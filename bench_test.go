@@ -1,0 +1,260 @@
+// Benchmarks regenerating every table and figure from the paper's
+// evaluation. Each BenchmarkTableN / BenchmarkFigN runs the corresponding
+// experiment end to end; the simulated time is fixed per iteration, so
+// ns/op measures the harness cost of regenerating that artifact.
+//
+// Benchmarks run at reduced stimulus scale (experiments.QuickConfig) so
+// `go test -bench=.` completes in seconds; `cmd/nimblock-paper` runs the
+// paper-scale version of the same drivers. Set NIMBLOCK_BENCH_FULL=1 to
+// benchmark at paper scale.
+package nimblock_test
+
+import (
+	"os"
+	"testing"
+
+	"nimblock/internal/experiments"
+	"nimblock/internal/workload"
+)
+
+func benchConfig() experiments.Config {
+	if os.Getenv("NIMBLOCK_BENCH_FULL") != "" {
+		return experiments.DefaultConfig()
+	}
+	return experiments.QuickConfig()
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table2() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// scenarioData runs the three congestion scenarios once per iteration,
+// the shared stimulus for Figures 5-8.
+func scenarioData(b *testing.B, cfg experiments.Config) map[workload.Scenario]*experiments.ScenarioData {
+	b.Helper()
+	data := map[workload.Scenario]*experiments.ScenarioData{}
+	for _, sc := range workload.Scenarios() {
+		d, err := experiments.RunScenario(cfg, sc, experiments.PolicyNames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data[sc] = d
+	}
+	return data
+}
+
+func BenchmarkFig5(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data := scenarioData(b, cfg)
+		if _, err := experiments.Fig5(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data := scenarioData(b, cfg)
+		if _, err := experiments.Fig6(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data := scenarioData(b, cfg)
+		if _, err := experiments.Fig7(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.RunScenario(cfg, workload.Standard, []string{"Nimblock"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Fig8(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ablationData runs the fixed-batch stress stimulus for Figures 9-11.
+func ablationData(b *testing.B, cfg experiments.Config) *experiments.AblationData {
+	b.Helper()
+	data, err := experiments.RunAblation(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+func BenchmarkFig9(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(ablationData(b, cfg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(ablationData(b, cfg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(ablationData(b, cfg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7Ablation regenerates the deadline-ablation extension
+// experiment (preemption's impact on deadline protection).
+func BenchmarkFig7Ablation(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DeadlineAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterconnectStudy regenerates the NoC-vs-PS extension study.
+func BenchmarkInterconnectStudy(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.InterconnectStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaleOut regenerates the multi-FPGA scale-out study.
+func BenchmarkScaleOut(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ScaleOut(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSlotSweep regenerates the overlay-size sensitivity study.
+func BenchmarkSlotSweep(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SlotSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUtilizationStudy regenerates the slot-occupancy study.
+func BenchmarkUtilizationStudy(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.UtilizationStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimality regenerates the online-vs-offline gap study.
+func BenchmarkOptimality(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Optimality(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreemptStudy regenerates the preemption-mechanism study.
+func BenchmarkPreemptStudy(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PreemptStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReconfigSweep regenerates the PR-latency sensitivity study.
+func BenchmarkReconfigSweep(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ReconfigSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduler measures raw simulation throughput of one stress
+// sequence per policy — the cost of the scheduling algorithms themselves.
+func BenchmarkScheduler(b *testing.B) {
+	cfg := benchConfig()
+	seq := workload.Generate(workload.Spec{Scenario: workload.Stress, Events: cfg.Events}, cfg.Seed)
+	for _, pol := range experiments.PolicyNames {
+		pol := pol
+		b.Run(pol, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunSequence(cfg, pol, seq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

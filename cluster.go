@@ -1,0 +1,159 @@
+package nimblock
+
+import (
+	"fmt"
+	"time"
+
+	"nimblock/internal/cluster"
+	"nimblock/internal/hv"
+	"nimblock/internal/sched"
+	"nimblock/internal/sim"
+)
+
+// DispatchPolicy selects how a cluster places arriving applications.
+type DispatchPolicy string
+
+// Available dispatch policies.
+const (
+	// DispatchRoundRobin cycles through boards.
+	DispatchRoundRobin DispatchPolicy = "round-robin"
+	// DispatchLeastLoaded picks the board with the least estimated
+	// outstanding work.
+	DispatchLeastLoaded DispatchPolicy = "least-loaded"
+	// DispatchLeastPending picks the board with the fewest pending apps.
+	DispatchLeastPending DispatchPolicy = "least-pending"
+	// DispatchRandom picks a seeded-random board.
+	DispatchRandom DispatchPolicy = "random"
+)
+
+// ClusterConfig parameterizes a multi-FPGA deployment: Boards identical
+// FPGAs, each scheduled independently by Config.Algorithm, fronted by an
+// arrival-time dispatcher.
+type ClusterConfig struct {
+	// Config applies to every board.
+	Config
+	// Boards is the number of FPGAs (default 2).
+	Boards int
+	// Dispatch places arrivals (default DispatchLeastLoaded).
+	Dispatch DispatchPolicy
+	// Seed drives DispatchRandom.
+	Seed int64
+}
+
+// DefaultClusterConfig is a two-board, least-loaded Nimblock cluster.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{
+		Config:   DefaultConfig(),
+		Boards:   2,
+		Dispatch: DispatchLeastLoaded,
+	}
+}
+
+// ClusterResult is a Result annotated with the board that served it.
+type ClusterResult struct {
+	Result
+	Board int
+}
+
+// Cluster is a multi-FPGA system: Submit applications, then Run.
+type Cluster struct {
+	eng *sim.Engine
+	cl  *cluster.Cluster
+}
+
+// NewCluster builds a multi-FPGA deployment.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Boards == 0 {
+		cfg.Boards = 2
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = AlgoNimblock
+	}
+	var d cluster.Dispatch
+	switch cfg.Dispatch {
+	case DispatchRoundRobin:
+		d = cluster.RoundRobin
+	case DispatchLeastLoaded, "":
+		d = cluster.LeastLoaded
+	case DispatchLeastPending:
+		d = cluster.LeastPending
+	case DispatchRandom:
+		d = cluster.RandomBoard
+	default:
+		return nil, fmt.Errorf("nimblock: unknown dispatch policy %q", cfg.Dispatch)
+	}
+	hcfg := hv.DefaultConfig()
+	if cfg.Slots > 0 {
+		hcfg.Board.Slots = cfg.Slots
+	}
+	if cfg.SchedInterval > 0 {
+		hcfg.SchedInterval = sim.FromStd(cfg.SchedInterval)
+	}
+	if cfg.Horizon > 0 {
+		hcfg.Horizon = sim.Time(sim.FromStd(cfg.Horizon))
+	}
+	eng := sim.NewEngine()
+	mk := func(board hv.Config) sched.Scheduler {
+		p, err := newPolicy(cfg.Config, board)
+		if err != nil {
+			panic(err) // validated below before first use
+		}
+		return p
+	}
+	// Validate the algorithm once, eagerly.
+	if _, err := newPolicy(cfg.Config, hcfg); err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(eng, cluster.Config{
+		Boards:   cfg.Boards,
+		HV:       hcfg,
+		Dispatch: d,
+		Seed:     cfg.Seed,
+	}, mk)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{eng: eng, cl: cl}, nil
+}
+
+// Boards reports the cluster size.
+func (c *Cluster) Boards() int { return c.cl.Boards() }
+
+// Submit schedules an application arrival; the dispatcher places it on a
+// board when it arrives.
+func (c *Cluster) Submit(app *Application, batch, priority int, arrival time.Duration) error {
+	if app == nil {
+		return fmt.Errorf("nimblock: nil application")
+	}
+	return c.cl.Submit(app.graph, batch, priority, sim.Time(sim.FromStd(arrival)))
+}
+
+// Run executes the simulation until every application retires.
+func (c *Cluster) Run() ([]ClusterResult, error) {
+	raw, err := c.cl.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ClusterResult, len(raw))
+	for i, r := range raw {
+		out[i] = ClusterResult{
+			Result: Result{
+				App:              r.App,
+				ID:               r.AppID,
+				Batch:            r.Batch,
+				Priority:         r.Priority,
+				Arrival:          time.Duration(r.Arrival) * time.Microsecond,
+				FirstLaunch:      time.Duration(r.FirstLaunch) * time.Microsecond,
+				Retire:           time.Duration(r.Retire) * time.Microsecond,
+				Response:         r.Response.Std(),
+				Run:              r.Run.Std(),
+				Reconfig:         r.Reconfig.Std(),
+				Wait:             r.Wait.Std(),
+				Preemptions:      r.Preemptions,
+				Reconfigurations: r.Reconfigurations,
+			},
+			Board: r.Board,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package nimblock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClusterQuickstart(t *testing.T) {
+	cl, err := NewCluster(DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Boards() != 2 {
+		t.Fatalf("boards = %d", cl.Boards())
+	}
+	for i := 0; i < 6; i++ {
+		app, _ := Benchmark(Rendering3D)
+		if err := cl.Submit(app, 3, PriorityMedium, time.Duration(i)*100*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("%d results", len(res))
+	}
+	boards := map[int]bool{}
+	for _, r := range res {
+		boards[r.Board] = true
+		if r.Response <= 0 {
+			t.Fatalf("bad result %+v", r)
+		}
+	}
+	if len(boards) != 2 {
+		t.Fatalf("apps landed on %d boards, want 2", len(boards))
+	}
+}
+
+func TestClusterDispatchPolicies(t *testing.T) {
+	for _, d := range []DispatchPolicy{DispatchRoundRobin, DispatchLeastLoaded, DispatchLeastPending, DispatchRandom} {
+		cfg := DefaultClusterConfig()
+		cfg.Dispatch = d
+		cl, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		app, _ := Benchmark(LeNet)
+		cl.Submit(app, 2, PriorityLow, 0)
+		if _, err := cl.Run(); err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.Dispatch = "bogus"
+	if _, err := NewCluster(cfg); err == nil {
+		t.Fatal("bogus dispatch accepted")
+	}
+	cfg = DefaultClusterConfig()
+	cfg.Algorithm = "bogus"
+	if _, err := NewCluster(cfg); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+	cl, _ := NewCluster(DefaultClusterConfig())
+	if err := cl.Submit(nil, 1, 1, 0); err == nil {
+		t.Fatal("nil app accepted")
+	}
+}
+
+func TestClusterScalesThroughput(t *testing.T) {
+	run := func(boards int) time.Duration {
+		cfg := DefaultClusterConfig()
+		cfg.Boards = boards
+		cl, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			app, _ := Benchmark(OpticalFlow)
+			cl.Submit(app, 5, PriorityMedium, time.Duration(i)*50*time.Millisecond)
+		}
+		res, err := cl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total time.Duration
+		for _, r := range res {
+			total += r.Response
+		}
+		return total
+	}
+	if one, four := run(1), run(4); four >= one {
+		t.Fatalf("scale-out did not help: 1 board %v vs 4 boards %v", one, four)
+	}
+}

@@ -1,0 +1,160 @@
+// Command nimblock-paper regenerates every table and figure from the
+// paper's evaluation (Section 5) on the simulated platform and prints the
+// same rows and series the paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nimblock/internal/experiments"
+	"nimblock/internal/workload"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: all, table1, table2, table3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig7ablation, interconnect, scaleout, slotsweep, utilization, optimality, preempt, reconfigsweep, loadsweep, estimates")
+		quick = flag.Bool("quick", false, "reduced scale (2 sequences x 8 events) for fast runs")
+		seed  = flag.Int64("seed", 0, "override the base random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(name string) bool { return all || want[name] }
+
+	if run("table1") {
+		fmt.Println(experiments.Table1())
+	}
+	if run("table2") {
+		fmt.Println(experiments.Table2())
+	}
+	if run("table3") {
+		t3, err := experiments.Table3(cfg)
+		fail(err)
+		fmt.Println(t3.Render())
+	}
+
+	var data map[workload.Scenario]*experiments.ScenarioData
+	needScenarios := run("fig5") || run("fig6") || run("fig7") || run("fig8")
+	if needScenarios {
+		data = map[workload.Scenario]*experiments.ScenarioData{}
+		for _, sc := range workload.Scenarios() {
+			d, err := experiments.RunScenario(cfg, sc, experiments.PolicyNames)
+			fail(err)
+			data[sc] = d
+		}
+	}
+	if run("fig5") {
+		f, err := experiments.Fig5(data)
+		fail(err)
+		fmt.Println(f.Render())
+	}
+	if run("fig6") {
+		f, err := experiments.Fig6(data)
+		fail(err)
+		fmt.Println(f.Render())
+	}
+	if run("fig7") {
+		f, err := experiments.Fig7(data)
+		fail(err)
+		fmt.Println(f.Render())
+	}
+	if run("fig8") {
+		f, err := experiments.Fig8(data[workload.Standard])
+		fail(err)
+		fmt.Println(f.Render())
+	}
+
+	if run("estimates") {
+		f, err := experiments.EstimateAccuracy(cfg)
+		fail(err)
+		fmt.Println(f.Render())
+	}
+	if run("loadsweep") {
+		f, err := experiments.LoadSweep(cfg)
+		fail(err)
+		fmt.Println(f.Render())
+	}
+	if run("reconfigsweep") {
+		f, err := experiments.ReconfigSweep(cfg)
+		fail(err)
+		fmt.Println(f.Render())
+	}
+	if run("preempt") {
+		f, err := experiments.PreemptStudy(cfg)
+		fail(err)
+		fmt.Println(f.Render())
+	}
+	if run("optimality") {
+		f, err := experiments.Optimality(cfg)
+		fail(err)
+		fmt.Println(f.Render())
+	}
+	if run("utilization") {
+		f, err := experiments.UtilizationStudy(cfg)
+		fail(err)
+		fmt.Println(f.Render())
+	}
+	if run("slotsweep") {
+		f, err := experiments.SlotSweep(cfg)
+		fail(err)
+		fmt.Println(f.Render())
+	}
+	if run("scaleout") {
+		f, err := experiments.ScaleOut(cfg)
+		fail(err)
+		fmt.Println(f.Render())
+	}
+	if run("interconnect") {
+		f, err := experiments.InterconnectStudy(cfg)
+		fail(err)
+		fmt.Println(f.Render())
+	}
+	if run("fig7ablation") {
+		f, err := experiments.DeadlineAblation(cfg)
+		fail(err)
+		fmt.Println(f.Render())
+		fmt.Println(f.Summary())
+		fmt.Println()
+	}
+
+	if run("fig9") || run("fig10") || run("fig11") {
+		ab, err := experiments.RunAblation(cfg)
+		fail(err)
+		if run("fig9") {
+			f, err := experiments.Fig9(ab)
+			fail(err)
+			fmt.Println(f.Render())
+		}
+		if run("fig10") {
+			f, err := experiments.Fig10(ab)
+			fail(err)
+			fmt.Println(f.Render())
+		}
+		if run("fig11") {
+			f, err := experiments.Fig11(ab)
+			fail(err)
+			fmt.Println(f.Render())
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,171 @@
+// Command nimblock-report regenerates the core evaluation and writes a
+// self-contained HTML report with inline SVG charts: Figure 5 (average
+// reductions), Figure 6 (tail response), and Figure 7 (deadline sweeps),
+// plus the utilization extension study.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nimblock/internal/experiments"
+	"nimblock/internal/svgchart"
+	"nimblock/internal/workload"
+)
+
+func main() {
+	var (
+		out   = flag.String("o", "report.html", "output HTML file")
+		quick = flag.Bool("quick", false, "reduced stimulus scale")
+		seed  = flag.Int64("seed", 0, "override the base random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	html, err := build(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, []byte(html), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(html))
+}
+
+// build runs the scenario experiments and assembles the document.
+func build(cfg experiments.Config) (string, error) {
+	data := map[workload.Scenario]*experiments.ScenarioData{}
+	for _, sc := range workload.Scenarios() {
+		d, err := experiments.RunScenario(cfg, sc, experiments.PolicyNames)
+		if err != nil {
+			return "", err
+		}
+		data[sc] = d
+	}
+	f5, err := experiments.Fig5(data)
+	if err != nil {
+		return "", err
+	}
+	f6, err := experiments.Fig6(data)
+	if err != nil {
+		return "", err
+	}
+	f7, err := experiments.Fig7(data)
+	if err != nil {
+		return "", err
+	}
+	util, err := experiments.UtilizationStudy(cfg)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html><html><head><meta charset="utf-8">` +
+		`<title>Nimblock evaluation report</title>` +
+		`<style>body{font-family:sans-serif;max-width:900px;margin:24px auto;color:#222}` +
+		`h1{font-size:22px}section{margin-bottom:28px}</style></head><body>`)
+	b.WriteString(`<h1>Nimblock evaluation report</h1>` +
+		`<p>Regenerated from the simulated ZCU106 overlay. See EXPERIMENTS.md for paper-vs-measured analysis.</p>`)
+
+	// Figure 5: grouped bars.
+	bar := svgchart.BarChart{
+		Title:  "Figure 5: avg response-time reduction vs baseline (higher is better)",
+		YLabel: "reduction (x)",
+	}
+	for _, sc := range workload.Scenarios() {
+		bar.Groups = append(bar.Groups, sc.String())
+	}
+	for _, pol := range experiments.SharingPolicyNames {
+		s := svgchart.BarSeries{Name: pol}
+		for _, sc := range workload.Scenarios() {
+			s.Values = append(s.Values, f5.Reduction[sc][pol])
+		}
+		bar.Series = append(bar.Series, s)
+	}
+	svg, serr := bar.SVG(860, 320)
+	if err := section(&b, svg, serr); err != nil {
+		return "", err
+	}
+
+	// Figure 6: tails.
+	tail := svgchart.BarChart{
+		Title:  "Figure 6: tail response normalized to baseline (lower is better)",
+		YLabel: "normalized response",
+	}
+	for _, sc := range workload.Scenarios() {
+		tail.Groups = append(tail.Groups, sc.String()+"-95", sc.String()+"-99")
+	}
+	for _, pol := range experiments.SharingPolicyNames {
+		s := svgchart.BarSeries{Name: pol}
+		for _, sc := range workload.Scenarios() {
+			s.Values = append(s.Values, f6.Tail[sc][pol][0], f6.Tail[sc][pol][1])
+		}
+		tail.Series = append(tail.Series, s)
+	}
+	svg, serr = tail.SVG(860, 320)
+	if err := section(&b, svg, serr); err != nil {
+		return "", err
+	}
+
+	// Figure 7: one line chart per scenario.
+	for _, sc := range workload.Scenarios() {
+		lc := svgchart.LineChart{
+			Title:  fmt.Sprintf("Figure 7 (%s): deadline failure rate vs Ds (high priority)", sc),
+			XLabel: "deadline scaling factor Ds",
+			YLabel: "violation rate",
+		}
+		for _, p := range f7.Points[sc][experiments.PolicyNames[0]] {
+			lc.X = append(lc.X, p.Ds)
+		}
+		for _, pol := range experiments.PolicyNames {
+			s := svgchart.LineSeries{Name: pol}
+			for _, p := range f7.Points[sc][pol] {
+				s.Y = append(s.Y, p.ViolationRate)
+			}
+			lc.Series = append(lc.Series, s)
+		}
+		svg, serr := lc.SVG(860, 300)
+		if err := section(&b, svg, serr); err != nil {
+			return "", err
+		}
+	}
+
+	// Utilization extension.
+	ub := svgchart.BarChart{
+		Title:  "Extension: slot-time utilization over sequence makespan (stress)",
+		YLabel: "utilization",
+		Groups: []string{"utilization"},
+	}
+	for _, pol := range experiments.PolicyNames {
+		ub.Series = append(ub.Series, svgchart.BarSeries{Name: pol, Values: []float64{util.Utilization[pol]}})
+	}
+	svg2, serr2 := ub.SVG(860, 300)
+	if err := section(&b, svg2, serr2); err != nil {
+		return "", err
+	}
+
+	b.WriteString("</body></html>")
+	return b.String(), nil
+}
+
+// section appends one chart, propagating chart errors.
+func section(b *strings.Builder, svg string, err error) error {
+	if err != nil {
+		return err
+	}
+	b.WriteString("<section>")
+	b.WriteString(svg)
+	b.WriteString("</section>")
+	return nil
+}

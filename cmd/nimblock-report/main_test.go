@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"nimblock/internal/experiments"
+)
+
+func TestBuildReport(t *testing.T) {
+	cfg := experiments.QuickConfig()
+	cfg.Sequences = 2
+	cfg.Events = 6
+	html, err := build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html", "Figure 5", "Figure 6", "Figure 7 (standard)",
+		"Figure 7 (stress)", "Figure 7 (real-time)", "utilization", "</html>",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if n := strings.Count(html, "<svg"); n != 6 {
+		t.Errorf("%d charts, want 6", n)
+	}
+}

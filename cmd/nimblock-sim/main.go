@@ -1,0 +1,223 @@
+// Command nimblock-sim replays one event sequence against one scheduling
+// algorithm on the simulated ZCU106 overlay and reports per-application
+// response times, mirroring the serial-console reports of the paper's
+// testbed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/experiments"
+	"nimblock/internal/hv"
+	"nimblock/internal/metrics"
+	"nimblock/internal/report"
+	"nimblock/internal/sim"
+	"nimblock/internal/svgchart"
+	"nimblock/internal/trace"
+	"nimblock/internal/workload"
+)
+
+func main() {
+	var (
+		algo     = flag.String("algo", "Nimblock", "scheduling algorithm: Baseline, FCFS, PREMA, RR, Nimblock[NoPreempt|NoPipe|NoPreemptNoPipe]")
+		scenario = flag.String("scenario", "stress", "congestion scenario when generating events: standard, stress, real-time")
+		events   = flag.Int("events", workload.EventsPerSequence, "events to generate")
+		seed     = flag.Int64("seed", 1, "random seed for event generation")
+		batch    = flag.Int("batch", 0, "fixed batch size (0 = random)")
+		in       = flag.String("in", "", "JSON event file from nimblock-events (overrides generation; first sequence used)")
+		gantt    = flag.Bool("gantt", false, "render a per-slot Gantt chart")
+		dump     = flag.Bool("trace", false, "dump the full execution trace")
+		summary  = flag.Bool("summary", false, "print trace-derived per-application aggregates")
+		csv      = flag.Bool("csv", false, "emit the result table as CSV")
+		ganttSVG = flag.String("gantt-svg", "", "write an SVG slot-occupancy timeline to this file")
+	)
+	flag.Parse()
+
+	seq, err := loadOrGenerate(*in, *scenario, *events, *seed, *batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *algo == "all" {
+		if err := compareAll(seq); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.HV.EnableTrace = *gantt || *dump || *summary || *ganttSVG != ""
+
+	pol, err := experiments.NewPolicy(*algo, cfg.HV.Board)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	eng := sim.NewEngine()
+	h, err := hv.New(eng, cfg.HV, pol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, ev := range seq {
+		if err := h.Submit(apps.MustGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	results, err := h.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	t := &report.Table{
+		Title:  fmt.Sprintf("%s: %d events", pol.Name(), len(results)),
+		Header: []string{"#", "App", "Batch", "Prio", "Arrival", "Response", "Wait", "Run", "PR", "Preempts"},
+	}
+	for _, r := range results {
+		t.AddRow(r.AppID, r.App, r.Batch, r.Priority,
+			report.FormatSeconds(r.Arrival.Seconds()),
+			report.FormatSeconds(r.Response.Seconds()),
+			report.FormatSeconds(r.Wait.Seconds()),
+			report.FormatSeconds(r.Run.Seconds()),
+			report.FormatSeconds(r.Reconfig.Seconds()),
+			r.Preemptions)
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.Render())
+	}
+
+	resp := metrics.Responses(results)
+	fmt.Printf("\nresponse: mean=%.2fs median=%.2fs p95=%.2fs p99=%.2fs\n",
+		metrics.Mean(resp), metrics.Median(resp),
+		metrics.Percentile(resp, 95), metrics.Percentile(resp, 99))
+	preempts := 0
+	for _, r := range results {
+		preempts += r.Preemptions
+	}
+	st := h.Board().Stats()
+	fmt.Printf("board: %d reconfigurations (%.1fs on the CAP), %d faults, %d preemptions\n",
+		st.Reconfigurations, st.ReconfigTime.Seconds(), st.Faults, preempts)
+
+	if *gantt {
+		fmt.Println()
+		fmt.Print(h.Trace().Gantt(h.Board().NumSlots(), eng.Now(), 100))
+	}
+	if *dump {
+		fmt.Println()
+		fmt.Print(h.Trace().Dump())
+	}
+	if *summary {
+		fmt.Println()
+		fmt.Print(h.Trace().SummaryTable())
+	}
+	if *ganttSVG != "" {
+		svg, err := ganttFromTrace(h.Trace(), h.Board().NumSlots())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*ganttSVG, []byte(svg), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *ganttSVG)
+	}
+}
+
+// ganttFromTrace converts the execution trace into an SVG timeline:
+// reconfiguration windows in grey, per-application compute in colour.
+func ganttFromTrace(lg *trace.Log, slots int) (string, error) {
+	g := svgchart.Gantt{Title: "slot occupancy", Rows: slots}
+	type open struct {
+		at    float64
+		label string
+	}
+	reconf := map[int]open{}
+	items := map[int]open{}
+	for _, e := range lg.Events() {
+		at := e.At.Seconds()
+		if at > g.End {
+			g.End = at
+		}
+		switch e.Kind {
+		case trace.KindReconfigStart:
+			reconf[e.Slot] = open{at, e.App}
+		case trace.KindReconfigDone:
+			if o, ok := reconf[e.Slot]; ok {
+				g.Spans = append(g.Spans, svgchart.Span{Row: e.Slot, From: o.at, To: at, Kind: 'R', Label: o.label})
+				delete(reconf, e.Slot)
+			}
+		case trace.KindItemStart:
+			items[e.Slot] = open{at, e.App}
+		case trace.KindItemDone:
+			if o, ok := items[e.Slot]; ok {
+				g.Spans = append(g.Spans, svgchart.Span{Row: e.Slot, From: o.at, To: at, Kind: '#', Label: o.label})
+				delete(items, e.Slot)
+			}
+		}
+	}
+	return g.SVG(1000)
+}
+
+// compareAll replays the sequence under every algorithm and prints the
+// summary statistics side by side.
+func compareAll(seq workload.Sequence) error {
+	cfg := experiments.DefaultConfig()
+	t := &report.Table{
+		Title:  fmt.Sprintf("all algorithms: %d events", len(seq)),
+		Header: []string{"Algorithm", "Mean", "Median", "p95", "p99", "Preempts"},
+	}
+	for _, name := range experiments.PolicyNames {
+		results, err := experiments.RunSequence(cfg, name, seq)
+		if err != nil {
+			return err
+		}
+		resp := metrics.Responses(results)
+		preempts := 0
+		for _, r := range results {
+			preempts += r.Preemptions
+		}
+		t.AddRow(name,
+			report.FormatSeconds(metrics.Mean(resp)),
+			report.FormatSeconds(metrics.Median(resp)),
+			report.FormatSeconds(metrics.Percentile(resp, 95)),
+			report.FormatSeconds(metrics.Percentile(resp, 99)),
+			preempts)
+	}
+	fmt.Print(t.Render())
+	return nil
+}
+
+func loadOrGenerate(path, scenario string, events int, seed int64, batch int) (workload.Sequence, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		seqs, err := workload.ParseJSON(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return seqs[0], nil
+	}
+	var sc workload.Scenario
+	switch scenario {
+	case "standard":
+		sc = workload.Standard
+	case "stress":
+		sc = workload.Stress
+	case "real-time", "realtime":
+		sc = workload.RealTime
+	default:
+		return nil, fmt.Errorf("unknown scenario %q", scenario)
+	}
+	seq := workload.Generate(workload.Spec{Scenario: sc, Events: events, FixedBatch: batch}, seed)
+	return seq, seq.Validate()
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+
+	"nimblock/internal/sim"
+	"nimblock/internal/trace"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nimblock/internal/workload"
+)
+
+func TestLoadOrGenerateScenarios(t *testing.T) {
+	for _, sc := range []string{"standard", "stress", "real-time", "realtime"} {
+		seq, err := loadOrGenerate("", sc, 5, 1, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if len(seq) != 5 {
+			t.Fatalf("%s: %d events", sc, len(seq))
+		}
+	}
+	if _, err := loadOrGenerate("", "bogus", 5, 1, 0); err == nil {
+		t.Fatal("bogus scenario accepted")
+	}
+}
+
+func TestLoadOrGenerateFromFile(t *testing.T) {
+	seqs := []workload.Sequence{workload.Generate(workload.Spec{Scenario: workload.Stress, Events: 3}, 2)}
+	data, err := workload.MarshalJSON(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "events.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := loadOrGenerate(path, "stress", 99, 99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 3 {
+		t.Fatalf("loaded %d events, want 3 from file", len(seq))
+	}
+	if _, err := loadOrGenerate(filepath.Join(t.TempDir(), "missing.json"), "stress", 1, 1, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCompareAll(t *testing.T) {
+	seq := workload.Generate(workload.Spec{Scenario: workload.Stress, Events: 4, FixedBatch: 2}, 3)
+	if err := compareAll(seq); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGanttFromTrace(t *testing.T) {
+	lg := trace.New()
+	sec := func(s float64) sim.Time { return sim.Time(s * 1e6) }
+	lg.Add(trace.Event{At: sec(0), Kind: trace.KindReconfigStart, App: "a", Slot: 0, Task: 0, Item: -1})
+	lg.Add(trace.Event{At: sec(0.08), Kind: trace.KindReconfigDone, App: "a", Slot: 0, Task: 0, Item: -1})
+	lg.Add(trace.Event{At: sec(0.08), Kind: trace.KindItemStart, App: "a", Slot: 0, Task: 0, Item: 0})
+	lg.Add(trace.Event{At: sec(1), Kind: trace.KindItemDone, App: "a", Slot: 0, Task: 0, Item: 0})
+	svg, err := ganttFromTrace(lg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "slot occupancy") {
+		t.Fatalf("bad svg: %.80s", svg)
+	}
+}

@@ -1,0 +1,59 @@
+package nimblock_test
+
+import (
+	"fmt"
+	"time"
+
+	"nimblock"
+)
+
+// ExampleNewSystem runs one benchmark application on the default
+// Nimblock-scheduled overlay.
+func ExampleNewSystem() {
+	sys, _ := nimblock.NewSystem(nimblock.DefaultConfig())
+	app, _ := nimblock.Benchmark(nimblock.ImageCompression)
+	sys.Submit(app, 4, nimblock.PriorityMedium, 0)
+	results, _ := sys.Run()
+	fmt.Printf("%s finished its batch of %d\n", results[0].App, results[0].Batch)
+	// Output: ImageCompression finished its batch of 4
+}
+
+// ExampleNewApp builds and runs a custom three-stage pipeline.
+func ExampleNewApp() {
+	b := nimblock.NewApp("sensor-pipeline")
+	in := b.AddTask("ingest", 5*time.Millisecond)
+	ft := b.AddTask("filter", 8*time.Millisecond)
+	cl := b.AddTask("classify", 4*time.Millisecond)
+	b.Chain(in, ft, cl)
+	app, _ := b.Build()
+	fmt.Printf("%d tasks, critical path %v\n", app.NumTasks(), app.CriticalPath())
+	// Output: 3 tasks, critical path 17ms
+}
+
+// ExampleNewCluster spreads work across two boards.
+func ExampleNewCluster() {
+	cl, _ := nimblock.NewCluster(nimblock.DefaultClusterConfig())
+	app, _ := nimblock.Benchmark(nimblock.LeNet)
+	cl.Submit(app, 2, nimblock.PriorityHigh, 0)
+	cl.Submit(app, 2, nimblock.PriorityHigh, time.Millisecond)
+	results, _ := cl.Run()
+	boards := map[int]bool{}
+	for _, r := range results {
+		boards[r.Board] = true
+	}
+	fmt.Printf("%d results on %d boards\n", len(results), len(boards))
+	// Output: 2 results on 2 boards
+}
+
+// ExampleNewOpApp partitions a fine-grained operation graph into
+// slot-sized tasks automatically.
+func ExampleNewOpApp() {
+	b := nimblock.NewOpApp("kernel")
+	x := b.AddOp("stage1", 10*time.Millisecond, nimblock.ResourceDemand{LUTs: 0.4})
+	y := b.AddOp("stage2", 10*time.Millisecond, nimblock.ResourceDemand{LUTs: 0.4})
+	z := b.AddOp("stage3", 10*time.Millisecond, nimblock.ResourceDemand{LUTs: 0.4})
+	b.Chain(x, y, z)
+	app, info, _ := b.Partition()
+	fmt.Printf("%s: %d ops packed into %d tasks\n", app.Name(), 3, info.Tasks)
+	// Output: kernel: 3 ops packed into 2 tasks
+}

@@ -1,0 +1,71 @@
+// Ablation: measure what pipelining and batch-preemption each contribute
+// to Nimblock by running the same stressed workload under all four
+// variants (Section 5.6 of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"nimblock"
+)
+
+func main() {
+	variants := []nimblock.Algorithm{
+		nimblock.AlgoNimblock,
+		nimblock.AlgoNimblockNoPreempt,
+		nimblock.AlgoNimblockNoPipe,
+		nimblock.AlgoNimblockNoPreemptNoPipe,
+	}
+	fmt.Printf("%-26s %14s %14s %10s\n", "variant", "mean response", "worst", "preempts")
+	var base time.Duration
+	for _, v := range variants {
+		mean, worst, preempts := run(v)
+		if v == nimblock.AlgoNimblock {
+			base = mean
+		}
+		fmt.Printf("%-26s %14v %14v %10d   (%.2fx Nimblock)\n",
+			v, mean.Round(time.Millisecond), worst.Round(time.Millisecond),
+			preempts, float64(mean)/float64(base))
+	}
+}
+
+// run replays the same deterministic workload under one variant and
+// returns the mean and worst response plus total preemptions.
+func run(algo nimblock.Algorithm) (mean, worst time.Duration, preempts int) {
+	cfg := nimblock.DefaultConfig()
+	cfg.Algorithm = algo
+	sys, err := nimblock.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	names := []string{
+		nimblock.LeNet, nimblock.ImageCompression, nimblock.Rendering3D,
+		nimblock.OpticalFlow, nimblock.AlexNet,
+	}
+	prios := []int{nimblock.PriorityLow, nimblock.PriorityMedium, nimblock.PriorityHigh}
+	at := time.Duration(0)
+	for i := 0; i < 12; i++ {
+		app, _ := nimblock.Benchmark(names[rng.Intn(len(names))])
+		if err := sys.Submit(app, 5, prios[rng.Intn(len(prios))], at); err != nil {
+			log.Fatal(err)
+		}
+		at += time.Duration(150+rng.Intn(50)) * time.Millisecond
+	}
+	results, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var total time.Duration
+	for _, r := range results {
+		total += r.Response
+		if r.Response > worst {
+			worst = r.Response
+		}
+		preempts += r.Preemptions
+	}
+	return total / time.Duration(len(results)), worst, preempts
+}

@@ -1,0 +1,56 @@
+// Autopartition: build a fine-grained operation graph (the way an HLS
+// flow sees an application) and let the compilation flow cluster it into
+// slot-sized tasks automatically — the partitioning step the paper
+// performs by hand for its six benchmarks — then run the result on the
+// virtualized FPGA.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nimblock"
+)
+
+func main() {
+	// A small CNN at operation granularity: conv/pool/fc stages with
+	// their relative slot footprints from synthesis.
+	b := nimblock.NewOpApp("minicnn")
+	conv1 := b.AddOp("conv1", 30*time.Millisecond, nimblock.ResourceDemand{LUTs: 0.45, DSPs: 0.60})
+	pool1 := b.AddOp("pool1", 5*time.Millisecond, nimblock.ResourceDemand{LUTs: 0.15})
+	conv2 := b.AddOp("conv2", 40*time.Millisecond, nimblock.ResourceDemand{LUTs: 0.55, DSPs: 0.70})
+	pool2 := b.AddOp("pool2", 5*time.Millisecond, nimblock.ResourceDemand{LUTs: 0.15})
+	fc1 := b.AddOp("fc1", 20*time.Millisecond, nimblock.ResourceDemand{LUTs: 0.40, BRAMs: 0.60})
+	fc2 := b.AddOp("fc2", 10*time.Millisecond, nimblock.ResourceDemand{LUTs: 0.25, BRAMs: 0.35})
+	b.Chain(conv1, pool1, conv2, pool2, fc1, fc2)
+
+	app, info, err := b.Partition()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partitioned %q into %d slot-sized tasks (ops per task %v, mean slot utilization %.0f%%)\n",
+		app.Name(), info.Tasks, info.OpsPerTask, 100*info.Utilization)
+	fmt.Printf("task-graph: %d tasks, %d edges, critical path %v per item\n",
+		app.NumTasks(), app.NumEdges(), app.CriticalPath())
+
+	// Run the partitioned application alongside a benchmark tenant.
+	sys, err := nimblock.NewSystem(nimblock.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	other, _ := nimblock.Benchmark(nimblock.OpticalFlow)
+	if err := sys.Submit(other, 8, nimblock.PriorityLow, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Submit(app, 10, nimblock.PriorityHigh, 300*time.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+	results, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%-14s batch=%-3d response=%v\n", r.App, r.Batch, r.Response.Round(time.Millisecond))
+	}
+}

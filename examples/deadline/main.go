@@ -1,0 +1,106 @@
+// Deadline: reproduce the paper's service-level analysis on a small
+// workload. Deadlines are the single-slot latency of each application
+// scaled by a factor Ds; the example sweeps Ds and reports the violation
+// rate of each scheduling algorithm for high-priority tenants.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"nimblock"
+)
+
+type event struct {
+	name    string
+	batch   int
+	prio    int
+	arrival time.Duration
+}
+
+// workload draws a deterministic random stress-style event mix.
+func workload() []event {
+	rng := rand.New(rand.NewSource(7))
+	names := []string{
+		nimblock.LeNet, nimblock.ImageCompression, nimblock.Rendering3D,
+		nimblock.OpticalFlow, nimblock.AlexNet,
+	}
+	prios := []int{nimblock.PriorityLow, nimblock.PriorityMedium, nimblock.PriorityHigh}
+	var evs []event
+	at := time.Duration(0)
+	for i := 0; i < 14; i++ {
+		evs = append(evs, event{
+			name:    names[rng.Intn(len(names))],
+			batch:   1 + rng.Intn(10),
+			prio:    prios[rng.Intn(len(prios))],
+			arrival: at,
+		})
+		at += time.Duration(150+rng.Intn(50)) * time.Millisecond
+	}
+	return evs
+}
+
+func main() {
+	evs := workload()
+	algos := []nimblock.Algorithm{
+		nimblock.AlgoBaseline, nimblock.AlgoFCFS, nimblock.AlgoPREMA,
+		nimblock.AlgoRR, nimblock.AlgoNimblock,
+	}
+	type run struct {
+		results    []nimblock.Result
+		singleSlot map[int64]time.Duration
+	}
+	runs := map[nimblock.Algorithm]run{}
+	for _, algo := range algos {
+		cfg := nimblock.DefaultConfig()
+		cfg.Algorithm = algo
+		sys, err := nimblock.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ss := map[int64]time.Duration{}
+		for i, ev := range evs {
+			app, _ := nimblock.Benchmark(ev.name)
+			if err := sys.Submit(app, ev.batch, ev.prio, ev.arrival); err != nil {
+				log.Fatal(err)
+			}
+			ss[int64(i+1)] = sys.SingleSlotLatency(app, ev.batch)
+		}
+		results, err := sys.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs[algo] = run{results, ss}
+	}
+
+	fmt.Printf("%-6s", "Ds")
+	for _, a := range algos {
+		fmt.Printf("  %9s", a)
+	}
+	fmt.Println("  (violation rate, high priority)")
+	for ds := 1.0; ds <= 8.0; ds += 0.5 {
+		fmt.Printf("%-6.2f", ds)
+		for _, a := range algos {
+			r := runs[a]
+			total, missed := 0, 0
+			for _, res := range r.results {
+				if res.Priority != nimblock.PriorityHigh {
+					continue
+				}
+				total++
+				deadline := time.Duration(ds * float64(r.singleSlot[res.ID]))
+				if res.Response > deadline {
+					missed++
+				}
+			}
+			rate := 0.0
+			if total > 0 {
+				rate = float64(missed) / float64(total)
+			}
+			fmt.Printf("  %8.0f%%", 100*rate)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,89 @@
+// Scaleout: spread a bursty workload across a multi-FPGA cluster — the
+// scale-out property the paper's introduction requires of a virtualized
+// FPGA — and compare dispatch policies and cluster sizes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"nimblock"
+)
+
+// submitBurst sends a deterministic burst of mixed applications.
+func submitBurst(cl *nimblock.Cluster) error {
+	rng := rand.New(rand.NewSource(3))
+	names := []string{
+		nimblock.LeNet, nimblock.ImageCompression, nimblock.Rendering3D,
+		nimblock.OpticalFlow, nimblock.AlexNet,
+	}
+	at := time.Duration(0)
+	for i := 0; i < 16; i++ {
+		app, err := nimblock.Benchmark(names[rng.Intn(len(names))])
+		if err != nil {
+			return err
+		}
+		if err := cl.Submit(app, 1+rng.Intn(8), nimblock.PriorityMedium, at); err != nil {
+			return err
+		}
+		at += time.Duration(50+rng.Intn(100)) * time.Millisecond
+	}
+	return nil
+}
+
+func mean(res []nimblock.ClusterResult) time.Duration {
+	var total time.Duration
+	for _, r := range res {
+		total += r.Response
+	}
+	return total / time.Duration(len(res))
+}
+
+func main() {
+	fmt.Println("cluster size sweep (least-loaded dispatch, Nimblock per board):")
+	for _, boards := range []int{1, 2, 4, 8} {
+		cfg := nimblock.DefaultClusterConfig()
+		cfg.Boards = boards
+		cl, err := nimblock.NewCluster(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := submitBurst(cl); err != nil {
+			log.Fatal(err)
+		}
+		res, err := cl.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d board(s): mean response %v\n", boards, mean(res).Round(time.Millisecond))
+	}
+
+	fmt.Println("\ndispatch policy comparison (4 boards):")
+	for _, d := range []nimblock.DispatchPolicy{
+		nimblock.DispatchRoundRobin, nimblock.DispatchLeastLoaded,
+		nimblock.DispatchLeastPending, nimblock.DispatchRandom,
+	} {
+		cfg := nimblock.DefaultClusterConfig()
+		cfg.Boards = 4
+		cfg.Dispatch = d
+		cl, err := nimblock.NewCluster(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := submitBurst(cl); err != nil {
+			log.Fatal(err)
+		}
+		res, err := cl.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		perBoard := map[int]int{}
+		for _, r := range res {
+			perBoard[r.Board]++
+		}
+		fmt.Printf("  %-14s mean response %-10v placement %v\n",
+			d, mean(res).Round(time.Millisecond), perBoard)
+	}
+}

@@ -1,0 +1,81 @@
+// Serverless: run FPGA functions behind a FaaS front-end — the computing
+// model the paper's introduction says FPGA virtualization will enable.
+// Functions are registered once; invocations arrive in bursts; the
+// dispatcher keeps functions on warm boards and pays cold starts
+// (bitstream distribution) only to absorb load spikes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nimblock"
+)
+
+func main() {
+	cfg := nimblock.DefaultServerlessConfig()
+	cfg.Boards = 3
+	cfg.ScaleUp = 3
+	platform, err := nimblock.NewPlatform(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Register three functions from the benchmark suite.
+	for _, fn := range []struct {
+		name string
+		prio int
+	}{
+		{nimblock.LeNet, nimblock.PriorityHigh}, // latency-sensitive classifier
+		{nimblock.ImageCompression, nimblock.PriorityMedium},
+		{nimblock.Rendering3D, nimblock.PriorityLow},
+	} {
+		app, err := nimblock.Benchmark(fn.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := platform.Register(fn.name, app, fn.prio); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A calm period followed by a burst.
+	rng := rand.New(rand.NewSource(5))
+	names := []string{nimblock.LeNet, nimblock.ImageCompression, nimblock.Rendering3D}
+	at := time.Duration(0)
+	for i := 0; i < 10; i++ { // calm: one invocation per second
+		platform.Invoke(names[rng.Intn(3)], 1+rng.Intn(3), at)
+		at += time.Second
+	}
+	for i := 0; i < 20; i++ { // burst: twenty invocations in one second
+		platform.Invoke(names[rng.Intn(3)], 1+rng.Intn(3), at)
+		at += 50 * time.Millisecond
+	}
+
+	results, err := platform.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	perFn := map[string][]time.Duration{}
+	for _, r := range results {
+		perFn[r.Function] = append(perFn[r.Function], r.Latency)
+	}
+	fmt.Printf("%-18s %6s %12s %12s %12s\n", "function", "calls", "p50", "p99", "max")
+	for _, name := range names {
+		ls := perFn[name]
+		if len(ls) == 0 {
+			continue
+		}
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		fmt.Printf("%-18s %6d %12v %12v %12v\n", name, len(ls),
+			ls[len(ls)/2].Round(time.Millisecond),
+			ls[len(ls)*99/100].Round(time.Millisecond),
+			ls[len(ls)-1].Round(time.Millisecond))
+	}
+	st := platform.Stats()
+	fmt.Printf("\n%d invocations: %d cold starts, %d warm\n", st.Invocations, st.ColdStarts, st.WarmStarts)
+}

@@ -1,0 +1,37 @@
+package nimblock_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end so the
+// documented entry points cannot rot. Skipped under -short (each example
+// is a separate `go run` build).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example execution skipped in -short mode")
+	}
+	examples, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(examples) < 7 {
+		t.Fatalf("found only %d examples: %v", len(examples), examples)
+	}
+	for _, dir := range examples {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./"+dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", dir, err, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Fatalf("%s produced no output", dir)
+			}
+		})
+	}
+}

@@ -1,0 +1,151 @@
+package nimblock
+
+import (
+	"fmt"
+	"time"
+
+	"nimblock/internal/faas"
+	"nimblock/internal/hv"
+	"nimblock/internal/sched"
+	"nimblock/internal/sim"
+)
+
+// ServerlessConfig parameterizes a Platform: a function-as-a-service
+// front-end over a multi-FPGA Nimblock cluster, with warm-board affinity
+// and cold-start modelling (bitstream distribution to a board's storage
+// before its first invocation there).
+type ServerlessConfig struct {
+	// Config applies to every board (algorithm, slots, interval...).
+	Config
+	// Boards is the cluster size (default 4).
+	Boards int
+	// ColdStart is the bitstream-distribution delay paid the first time
+	// a function lands on a board (default 500 ms).
+	ColdStart time.Duration
+	// ScaleUp is the per-board backlog beyond which the dispatcher pays
+	// a cold start to open another board (default 4).
+	ScaleUp int
+}
+
+// DefaultServerlessConfig returns a 4-board platform.
+func DefaultServerlessConfig() ServerlessConfig {
+	return ServerlessConfig{
+		Config:    DefaultConfig(),
+		Boards:    4,
+		ColdStart: 500 * time.Millisecond,
+		ScaleUp:   4,
+	}
+}
+
+// InvocationResult is one completed function invocation.
+type InvocationResult struct {
+	Function string
+	Board    int
+	// Cold reports whether this invocation paid a cold start.
+	Cold bool
+	// InvokedAt is the client-side invocation instant.
+	InvokedAt time.Duration
+	// Latency is completion minus invocation, including any cold start.
+	Latency time.Duration
+	// Items echoes the invocation's input count.
+	Items int
+}
+
+// PlatformStats aggregates invocation counters.
+type PlatformStats struct {
+	Invocations int
+	ColdStarts  int
+	WarmStarts  int
+}
+
+// Platform is the serverless front-end: Register functions, Invoke them,
+// then Run.
+type Platform struct {
+	p *faas.Platform
+}
+
+// NewPlatform builds a serverless platform.
+func NewPlatform(cfg ServerlessConfig) (*Platform, error) {
+	if cfg.Boards == 0 {
+		cfg.Boards = 4
+	}
+	if cfg.ColdStart == 0 {
+		cfg.ColdStart = 500 * time.Millisecond
+	}
+	if cfg.ScaleUp == 0 {
+		cfg.ScaleUp = 4
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = AlgoNimblock
+	}
+	hcfg := hv.DefaultConfig()
+	if cfg.Slots > 0 {
+		hcfg.Board.Slots = cfg.Slots
+	}
+	if cfg.SchedInterval > 0 {
+		hcfg.SchedInterval = sim.FromStd(cfg.SchedInterval)
+	}
+	if cfg.Horizon > 0 {
+		hcfg.Horizon = sim.Time(sim.FromStd(cfg.Horizon))
+	}
+	if _, err := newPolicy(cfg.Config, hcfg); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	p, err := faas.New(eng, faas.Config{
+		Boards:    cfg.Boards,
+		HV:        hcfg,
+		ColdStart: sim.FromStd(cfg.ColdStart),
+		ScaleUp:   cfg.ScaleUp,
+	}, func() sched.Scheduler {
+		pol, err := newPolicy(cfg.Config, hcfg)
+		if err != nil {
+			panic(err) // validated above
+		}
+		return pol
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{p: p}, nil
+}
+
+// Register adds a function backed by an application task-graph.
+func (pl *Platform) Register(name string, app *Application, priority int) error {
+	if app == nil {
+		return fmt.Errorf("nimblock: nil application for function %q", name)
+	}
+	return pl.p.Register(name, faas.Function{Graph: app.graph, Priority: priority})
+}
+
+// Invoke schedules an invocation with the given number of independent
+// inputs at the given time.
+func (pl *Platform) Invoke(function string, items int, at time.Duration) error {
+	return pl.p.Invoke(function, items, sim.Time(sim.FromStd(at)))
+}
+
+// Stats returns invocation counters.
+func (pl *Platform) Stats() PlatformStats {
+	s := pl.p.Stats()
+	return PlatformStats{Invocations: s.Invocations, ColdStarts: s.ColdStarts, WarmStarts: s.WarmStarts}
+}
+
+// Run completes every invocation and returns results in invocation order.
+func (pl *Platform) Run() ([]InvocationResult, error) {
+	raw, err := pl.p.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]InvocationResult, len(raw))
+	for i, r := range raw {
+		out[i] = InvocationResult{
+			Function:  r.Function,
+			Board:     r.Board,
+			Cold:      r.Cold,
+			InvokedAt: time.Duration(r.InvokedAt) * time.Microsecond,
+			Latency:   r.Latency.Std(),
+			Items:     r.Items,
+		}
+	}
+	return out, nil
+}

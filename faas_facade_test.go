@@ -1,0 +1,60 @@
+package nimblock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestServerlessQuickstart(t *testing.T) {
+	platform, err := NewPlatform(DefaultServerlessConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := Benchmark(LeNet)
+	if err := platform.Register("classify", app, PriorityHigh); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := platform.Invoke("classify", 2, time.Duration(i)*200*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := platform.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("%d results", len(res))
+	}
+	cold := 0
+	for _, r := range res {
+		if r.Latency <= 0 || r.Function != "classify" {
+			t.Fatalf("bad result %+v", r)
+		}
+		if r.Cold {
+			cold++
+		}
+	}
+	if cold == 0 {
+		t.Fatal("no cold start recorded")
+	}
+	st := platform.Stats()
+	if st.Invocations != 5 || st.ColdStarts != cold {
+		t.Fatalf("stats %+v vs %d cold results", st, cold)
+	}
+}
+
+func TestServerlessValidation(t *testing.T) {
+	cfg := DefaultServerlessConfig()
+	cfg.Algorithm = "bogus"
+	if _, err := NewPlatform(cfg); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+	platform, _ := NewPlatform(DefaultServerlessConfig())
+	if err := platform.Register("x", nil, 1); err == nil {
+		t.Fatal("nil app accepted")
+	}
+	if err := platform.Invoke("ghost", 1, 0); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}

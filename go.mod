@@ -1,0 +1,3 @@
+module nimblock
+
+go 1.22

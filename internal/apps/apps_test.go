@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"testing"
+
+	"nimblock/internal/sim"
+)
+
+// Table 2 of the paper: task and edge counts per benchmark.
+func TestTable2Counts(t *testing.T) {
+	want := map[string][2]int{
+		LeNet:            {3, 2},
+		AlexNet:          {38, 184},
+		ImageCompression: {6, 5},
+		OpticalFlow:      {9, 8},
+		Rendering3D:      {3, 2},
+		DigitRecognition: {3, 2},
+	}
+	for name, w := range want {
+		g := MustGraph(name)
+		if g.NumTasks() != w[0] || g.NumEdges() != w[1] {
+			t.Errorf("%s: got %d tasks / %d edges, want %d / %d",
+				name, g.NumTasks(), g.NumEdges(), w[0], w[1])
+		}
+	}
+}
+
+func TestNamesStableAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("Names returned %d entries, want 6", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+	for _, n := range names {
+		if _, err := Graph(n); err != nil {
+			t.Errorf("Graph(%q) failed: %v", n, err)
+		}
+		if Abbrev[n] == "" {
+			t.Errorf("no abbreviation for %q", n)
+		}
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := Graph("nope"); err == nil {
+		t.Fatal("unknown benchmark did not error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGraph did not panic")
+		}
+	}()
+	MustGraph("nope")
+}
+
+func TestAllGraphsValid(t *testing.T) {
+	for name, g := range All() {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if g.Name() != name {
+			t.Errorf("graph name %q filed under %q", g.Name(), name)
+		}
+	}
+}
+
+func TestAlexNetShape(t *testing.T) {
+	g := MustGraph(AlexNet)
+	// Max width matches the widest layer (conv1, 7 tasks).
+	if g.MaxWidth() != 7 {
+		t.Fatalf("AlexNet MaxWidth = %d, want 7", g.MaxWidth())
+	}
+	// Single sink: fc8.
+	if sinks := g.Sinks(); len(sinks) != 1 {
+		t.Fatalf("AlexNet sinks = %v, want 1", sinks)
+	}
+	// 8 layers -> depth of sink is 7.
+	if d := g.Depth(g.Sinks()[0]); d != 7 {
+		t.Fatalf("AlexNet sink depth = %d, want 7", d)
+	}
+	// Critical path: 7 x 1.6s + 1.2s = 12.4s per item.
+	if cp := g.CriticalPath(); cp != sim.Seconds(12.4) {
+		t.Fatalf("AlexNet critical path = %v, want 12.4s", cp)
+	}
+}
+
+func TestChainsAreChains(t *testing.T) {
+	for _, name := range []string{LeNet, ImageCompression, OpticalFlow, Rendering3D, DigitRecognition} {
+		g := MustGraph(name)
+		if g.MaxWidth() != 1 {
+			t.Errorf("%s: MaxWidth = %d, want 1 (chain)", name, g.MaxWidth())
+		}
+		if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+			t.Errorf("%s: not a chain (sources=%v sinks=%v)", name, g.Sources(), g.Sinks())
+		}
+	}
+}
+
+// Relative magnitudes from Table 3: DR is by far the longest-running,
+// ImgC and LeNet the shortest.
+func TestLatencyOrdering(t *testing.T) {
+	work := map[string]sim.Duration{}
+	for name, g := range All() {
+		work[name] = g.TotalWork()
+	}
+	if !(work[DigitRecognition] > work[AlexNet] &&
+		work[AlexNet] > work[OpticalFlow] &&
+		work[OpticalFlow] > work[Rendering3D] &&
+		work[Rendering3D] > work[LeNet] &&
+		work[LeNet] > work[ImageCompression]) {
+		t.Fatalf("per-item total work ordering does not match Table 3: %v", work)
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	g := Synthetic("syn", 4, 10*sim.Millisecond)
+	if g.NumTasks() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("Synthetic shape: %d tasks %d edges", g.NumTasks(), g.NumEdges())
+	}
+	if g.Name() != "syn" {
+		t.Fatalf("Synthetic name = %q", g.Name())
+	}
+}

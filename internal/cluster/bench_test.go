@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"testing"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/core"
+	"nimblock/internal/hv"
+	"nimblock/internal/sched"
+	"nimblock/internal/sim"
+)
+
+// BenchmarkClusterRun measures a 4-board least-loaded run end to end.
+func BenchmarkClusterRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		cfg := Config{Boards: 4, HV: hv.DefaultConfig(), Dispatch: LeastLoaded}
+		c, err := New(eng, cfg, mkNimblockBench(cfg.HV))
+		if err != nil {
+			b.Fatal(err)
+		}
+		names := []string{apps.LeNet, apps.ImageCompression, apps.Rendering3D, apps.OpticalFlow}
+		for j := 0; j < 12; j++ {
+			if err := c.Submit(apps.MustGraph(names[j%len(names)]), 3, 3, sim.Time(j)*sim.Time(50*sim.Millisecond)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// mkNimblockBench mirrors the test helper without *testing.T.
+func mkNimblockBench(cfg hv.Config) func(hv.Config) sched.Scheduler {
+	return func(b hv.Config) sched.Scheduler { return core.New(core.DefaultOptions(), b.Board) }
+}

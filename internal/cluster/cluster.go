@@ -1,0 +1,197 @@
+// Package cluster scales Nimblock out across multiple FPGAs.
+//
+// The paper's introduction lists scale-out — "allowing applications to
+// spread across multiple FPGAs" — as one of the three properties a
+// virtualized FPGA should support, and leaves cloud-scale exploration to
+// future work. This package provides that layer: a dispatcher in front
+// of N independent boards, each running its own Nimblock hypervisor, all
+// advancing on one virtual clock. Applications are placed on a board at
+// arrival time by a pluggable dispatch policy; within a board, the
+// configured scheduling algorithm takes over.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nimblock/internal/hv"
+	"nimblock/internal/sched"
+	"nimblock/internal/sim"
+	"nimblock/internal/taskgraph"
+)
+
+// Dispatch selects how arrivals are spread across boards.
+type Dispatch int
+
+const (
+	// RoundRobin cycles through boards in order.
+	RoundRobin Dispatch = iota
+	// LeastLoaded picks the board with the smallest estimated
+	// outstanding work (HLS estimates, like the schedulers use).
+	LeastLoaded
+	// LeastPending picks the board with the fewest pending applications.
+	LeastPending
+	// RandomBoard picks uniformly at random (seeded, deterministic).
+	RandomBoard
+)
+
+// String names the dispatch policy.
+func (d Dispatch) String() string {
+	switch d {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	case LeastPending:
+		return "least-pending"
+	case RandomBoard:
+		return "random"
+	default:
+		return fmt.Sprintf("Dispatch(%d)", int(d))
+	}
+}
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Boards is the number of FPGAs (>= 1).
+	Boards int
+	// HV configures each board's hypervisor identically.
+	HV hv.Config
+	// BoardConfigs, when non-nil, overrides HV per board, enabling
+	// heterogeneous clusters (e.g. a mix of edge-scale 4-slot and
+	// cloud-scale 10-slot devices, the Hetero-ViTAL direction). Its
+	// length must equal Boards.
+	BoardConfigs []hv.Config
+	// Dispatch selects the placement policy (default RoundRobin).
+	Dispatch Dispatch
+	// Seed drives RandomBoard placement.
+	Seed int64
+}
+
+// Result is a per-application outcome annotated with its board.
+type Result struct {
+	hv.Result
+	Board int
+}
+
+// Cluster fronts N hypervisors with an arrival-time dispatcher.
+type Cluster struct {
+	eng      *sim.Engine
+	cfg      Config
+	boards   []*hv.Hypervisor
+	rng      *rand.Rand
+	next     int // round-robin cursor
+	expected int
+	placed   map[int]int // submission index -> board
+}
+
+// New builds a cluster; mkPolicy supplies a fresh scheduling policy per
+// board (policies are stateful and must not be shared) and receives the
+// board's configuration so policies that plan against board shape (the
+// Nimblock goal-number analysis) work on heterogeneous clusters.
+func New(eng *sim.Engine, cfg Config, mkPolicy func(board hv.Config) sched.Scheduler) (*Cluster, error) {
+	if cfg.Boards < 1 {
+		return nil, fmt.Errorf("cluster: need at least one board, got %d", cfg.Boards)
+	}
+	if mkPolicy == nil {
+		return nil, fmt.Errorf("cluster: nil policy factory")
+	}
+	if cfg.BoardConfigs != nil && len(cfg.BoardConfigs) != cfg.Boards {
+		return nil, fmt.Errorf("cluster: %d board configs for %d boards", len(cfg.BoardConfigs), cfg.Boards)
+	}
+	c := &Cluster{
+		eng:    eng,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		placed: map[int]int{},
+	}
+	for i := 0; i < cfg.Boards; i++ {
+		bcfg := cfg.HV
+		if cfg.BoardConfigs != nil {
+			bcfg = cfg.BoardConfigs[i]
+		}
+		h, err := hv.New(eng, bcfg, mkPolicy(bcfg))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: board %d: %w", i, err)
+		}
+		c.boards = append(c.boards, h)
+	}
+	return c, nil
+}
+
+// Boards reports the cluster size.
+func (c *Cluster) Boards() int { return len(c.boards) }
+
+// Board exposes one board's hypervisor (for tests and reports).
+func (c *Cluster) Board(i int) *hv.Hypervisor { return c.boards[i] }
+
+// Submit schedules an application arrival. The board is chosen when the
+// application actually arrives, so load-aware policies see current state.
+func (c *Cluster) Submit(g *taskgraph.Graph, batch, priority int, arrival sim.Time) error {
+	if g == nil {
+		return fmt.Errorf("cluster: nil graph")
+	}
+	idx := c.expected
+	c.expected++
+	c.eng.At(arrival, func() {
+		b := c.pick()
+		c.placed[idx] = b
+		// Arrival is "now" from the board's perspective.
+		if err := c.boards[b].Submit(g, batch, priority, c.eng.Now()); err != nil {
+			// Submission failures at dispatch time are mechanical
+			// errors; surface through the board's error state by
+			// re-checking in Run (Collect reports missing apps).
+			panic(fmt.Sprintf("cluster: dispatch-time submit failed: %v", err))
+		}
+	})
+	return nil
+}
+
+// pick applies the dispatch policy.
+func (c *Cluster) pick() int {
+	switch c.cfg.Dispatch {
+	case LeastLoaded:
+		best, bestLoad := 0, c.boards[0].OutstandingEstimate()
+		for i := 1; i < len(c.boards); i++ {
+			if l := c.boards[i].OutstandingEstimate(); l < bestLoad {
+				best, bestLoad = i, l
+			}
+		}
+		return best
+	case LeastPending:
+		best, bestN := 0, c.boards[0].PendingCount()
+		for i := 1; i < len(c.boards); i++ {
+			if n := c.boards[i].PendingCount(); n < bestN {
+				best, bestN = i, n
+			}
+		}
+		return best
+	case RandomBoard:
+		return c.rng.Intn(len(c.boards))
+	default:
+		b := c.next
+		c.next = (c.next + 1) % len(c.boards)
+		return b
+	}
+}
+
+// Run drives the shared engine until every application on every board
+// retires, and returns board-annotated results in submission order of
+// each board (stable across runs).
+func (c *Cluster) Run() ([]Result, error) {
+	c.eng.RunUntil(c.cfg.HV.Horizon)
+	var out []Result
+	for i, b := range c.boards {
+		results, err := b.Collect()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: board %d: %w", i, err)
+		}
+		for _, r := range results {
+			out = append(out, Result{Result: r, Board: i})
+		}
+	}
+	if len(out) != c.expected {
+		return nil, fmt.Errorf("cluster: %d results for %d submissions", len(out), c.expected)
+	}
+	return out, nil
+}

@@ -1,0 +1,244 @@
+// Package core implements the Nimblock scheduling algorithm — the paper's
+// primary contribution (Section 4).
+//
+// At each scheduling opportunity the algorithm:
+//
+//  1. accumulates PREMA-style tokens and updates the candidate pool
+//     (Section 4.1, Algorithm 1);
+//  2. reallocates slots: one slot per candidate oldest-first, then up to
+//     each candidate's goal number (from saturation-point analysis), then
+//     leftover slots to applications that can still use them
+//     (Section 4.2);
+//  3. selects a task from the oldest candidate with allocation headroom
+//     and a configurable task, and a free slot to host it (Section 4.3);
+//     pipelining across batch items begins automatically because extra
+//     slots admit downstream tasks while upstream ones still run;
+//  4. if a task is ready but no slot is free, batch-preempts the
+//     application that most exceeds its allocation, choosing its latest
+//     task in topological order (Section 4.4, Algorithm 2); the
+//     hypervisor honours the preemption at the next batch boundary so no
+//     user-logic state is ever checkpointed.
+//
+// Options switch off preemption and/or pipelining for the paper's
+// ablation study (Section 5.6).
+package core
+
+import (
+	"nimblock/internal/fpga"
+	"nimblock/internal/saturate"
+	"nimblock/internal/sched"
+)
+
+// Options selects Nimblock features; both on is the full algorithm.
+type Options struct {
+	// Preemption enables batch-preemption of over-consuming applications.
+	Preemption bool
+	// Pipelining enables cross-batch pipelining of an application's tasks.
+	Pipelining bool
+}
+
+// DefaultOptions enables the full algorithm.
+func DefaultOptions() Options { return Options{Preemption: true, Pipelining: true} }
+
+// satKey caches saturation analyses per application shape.
+type satKey struct {
+	name  string
+	batch int
+}
+
+// Scheduler is the Nimblock policy.
+type Scheduler struct {
+	opts  Options
+	board fpga.Config
+	pool  *sched.TokenPool
+	cache map[satKey]saturate.Result
+}
+
+// New returns a Nimblock scheduler that will plan against boards shaped
+// like the given configuration (the saturation analysis sweeps its slot
+// count and reconfiguration latency).
+func New(opts Options, board fpga.Config) *Scheduler {
+	return &Scheduler{
+		opts:  opts,
+		board: board,
+		pool:  sched.NewTokenPool(),
+		cache: map[satKey]saturate.Result{},
+	}
+}
+
+// Name implements sched.Scheduler, matching the ablation labels used in
+// Figures 9-11 of the paper.
+func (s *Scheduler) Name() string {
+	switch {
+	case s.opts.Preemption && s.opts.Pipelining:
+		return "Nimblock"
+	case !s.opts.Preemption && s.opts.Pipelining:
+		return "NimblockNoPreempt"
+	case s.opts.Preemption && !s.opts.Pipelining:
+		return "NimblockNoPipe"
+	default:
+		return "NimblockNoPreemptNoPipe"
+	}
+}
+
+// Pipelining implements sched.Scheduler.
+func (s *Scheduler) Pipelining() bool { return s.opts.Pipelining }
+
+// Schedule implements sched.Scheduler.
+func (s *Scheduler) Schedule(w sched.World, why sched.Reason) {
+	apps := w.Apps()
+	s.pool.Accumulate(w.Now(), apps)
+	cands := sched.Candidates(apps)
+	s.reallocate(w, cands)
+	s.selectAndLaunch(w, cands)
+}
+
+// analysis returns the cached saturation analysis for the application.
+// The analysis is computed from HLS estimates only; on the real system it
+// runs in parallel with synthesis, firmly off the user flow's critical
+// path, so treating it as pre-computed here is faithful.
+func (s *Scheduler) analysis(a *sched.App) saturate.Result {
+	key := satKey{name: a.Name, batch: a.Batch}
+	if r, ok := s.cache[key]; ok {
+		return r
+	}
+	r, err := saturate.AnalyzeCached(a.Graph, a.Report, a.Batch, s.board, s.opts.Pipelining)
+	if err != nil {
+		// Conservative fallback: the universally best second slot.
+		r = saturate.Result{Goal: 2, MaxUseful: a.Graph.NumTasks()}
+	}
+	if r.Goal < 1 {
+		r.Goal = 1
+	}
+	if r.MaxUseful < r.Goal {
+		r.MaxUseful = r.Goal
+	}
+	s.cache[key] = r
+	return r
+}
+
+// reallocate recomputes SlotsAllocated for every pending application
+// (Section 4.2). It runs on every scheduling opportunity, which subsumes
+// the paper's "periodic intervals plus candidate-pool changes" triggers.
+func (s *Scheduler) reallocate(w sched.World, cands []*sched.App) {
+	for _, a := range w.Apps() {
+		a.SlotsAllocated = 0
+	}
+	remaining := w.NumSlots()
+	// Phase 1: one slot per candidate, oldest first, so every candidate
+	// makes forward progress.
+	for _, a := range cands {
+		if remaining == 0 {
+			return
+		}
+		a.SlotsAllocated = 1
+		remaining--
+	}
+	// Phase 2: raise allocations to the goal number, oldest first.
+	for _, a := range cands {
+		if remaining == 0 {
+			return
+		}
+		an := s.analysis(a)
+		a.Goal = an.Goal
+		add := an.Goal - a.SlotsAllocated
+		if add > remaining {
+			add = remaining
+		}
+		if add > 0 {
+			a.SlotsAllocated += add
+			remaining -= add
+		}
+	}
+	// Phase 3: hand leftover slots to applications that can still make
+	// use of them, in age order, so older applications can pipeline
+	// aggressively toward their deadlines.
+	for _, a := range cands {
+		if remaining == 0 {
+			return
+		}
+		an := s.analysis(a)
+		add := an.MaxUseful - a.SlotsAllocated
+		if add > remaining {
+			add = remaining
+		}
+		if add > 0 {
+			a.SlotsAllocated += add
+			remaining -= add
+		}
+	}
+}
+
+// selectAndLaunch picks one task to configure (Section 4.3). Only one
+// slot can be reconfigured at a time, so at most one reconfiguration is
+// issued per opportunity, and only when the CAP is idle.
+func (s *Scheduler) selectAndLaunch(w sched.World, cands []*sched.App) {
+	if w.CAPBusy() {
+		return
+	}
+	for _, a := range cands {
+		if a.SlotsAllocated == 0 || a.SlotsUsed() >= a.SlotsAllocated {
+			continue
+		}
+		tasks := a.ConfigurableTasks()
+		if len(tasks) == 0 {
+			continue
+		}
+		if free := w.FreeSlots(); len(free) > 0 {
+			w.Reconfigure(free[0], a, tasks[0])
+			return
+		}
+		// A task is ready but no slot is available: consider preemption.
+		if s.opts.Preemption {
+			s.preempt(w)
+		}
+		return
+	}
+}
+
+// preempt implements Algorithm 2: select the application that most
+// exceeds its slot allocation and batch-preempt its topologically latest
+// running task. The paper returns without acting when the victim is
+// mid-item and re-evaluates at the next step; our preemption request is
+// honoured by the hypervisor at the batch boundary, which yields the same
+// boundary-only semantics without re-polling.
+func (s *Scheduler) preempt(w sched.World) {
+	// One preemption in flight at a time.
+	for slot := 0; slot < w.NumSlots(); slot++ {
+		if w.PreemptRequested(slot) {
+			return
+		}
+	}
+	var victim *sched.App
+	over := 0
+	seen := map[int64]bool{}
+	for slot := 0; slot < w.NumSlots(); slot++ {
+		a, _, ok := w.SlotOccupant(slot)
+		if !ok || seen[a.ID] {
+			continue
+		}
+		seen[a.ID] = true
+		if c := a.OverConsumption(); c > over {
+			over, victim = c, a
+		}
+	}
+	if victim == nil {
+		return // no over-consumer: nothing is preempted
+	}
+	// Latest task in topological order eliminates the chance of removing
+	// a pipelined dependency of another running task.
+	rank := victim.Graph.TopoRank()
+	bestSlot, bestRank := -1, -1
+	for slot := 0; slot < w.NumSlots(); slot++ {
+		a, task, ok := w.SlotOccupant(slot)
+		if !ok || a != victim || a.TaskState(task) != sched.TaskActive {
+			continue
+		}
+		if rank[task] > bestRank {
+			bestRank, bestSlot = rank[task], slot
+		}
+	}
+	if bestSlot >= 0 {
+		w.RequestPreempt(bestSlot)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nimblock/internal/metrics"
+	"nimblock/internal/report"
+	"nimblock/internal/workload"
+)
+
+// DeadlineAblationResult isolates batch-preemption's contribution to
+// deadline protection, the mechanism Section 5.4 credits for Nimblock's
+// low violation rates. It sweeps the stress-test deadline grid for the
+// full algorithm and the NoPreempt ablation.
+type DeadlineAblationResult struct {
+	// Points maps variant -> deadline sweep (high-priority apps).
+	Points map[string][]metrics.DeadlinePoint
+	// ErrorPoint10 maps variant -> 10% error point (-1 if unreached).
+	ErrorPoint10 map[string]float64
+}
+
+// deadlineAblationVariants are the two variants compared.
+var deadlineAblationVariants = []string{"Nimblock", "NimblockNoPreempt"}
+
+// DeadlineAblation runs the stress scenario under Nimblock with and
+// without preemption and sweeps deadline scaling factors.
+func DeadlineAblation(cfg Config) (*DeadlineAblationResult, error) {
+	data, err := RunScenario(cfg, workload.Stress, deadlineAblationVariants)
+	if err != nil {
+		return nil, err
+	}
+	spec := metrics.DefaultDeadlineSpec()
+	out := &DeadlineAblationResult{
+		Points:       map[string][]metrics.DeadlinePoint{},
+		ErrorPoint10: map[string]float64{},
+	}
+	for _, v := range deadlineAblationVariants {
+		pts, err := metrics.DeadlineSweep(data.Results[v], data.SingleSlot, spec)
+		if err != nil {
+			return nil, err
+		}
+		out.Points[v] = pts
+		out.ErrorPoint10[v] = metrics.ErrorPoint(pts, 0.10)
+	}
+	return out, nil
+}
+
+// Render prints the sweep and error points.
+func (r *DeadlineAblationResult) Render() string {
+	var series []report.Series
+	for _, v := range deadlineAblationVariants {
+		s := report.Series{Name: v}
+		for _, p := range r.Points[v] {
+			s.X = append(s.X, p.Ds)
+			s.Y = append(s.Y, p.ViolationRate)
+		}
+		series = append(series, s)
+	}
+	out := report.RenderSeries("Figure 7 ablation: preemption's deadline impact (stress, high priority)", "Ds", series)
+	t := &report.Table{Header: append([]string{"10% error point"}, deadlineAblationVariants...)}
+	row := []any{"stress"}
+	for _, v := range deadlineAblationVariants {
+		ep := r.ErrorPoint10[v]
+		if ep < 0 {
+			row = append(row, ">20")
+		} else {
+			row = append(row, report.FormatFloat(ep))
+		}
+	}
+	t.AddRow(row...)
+	return out + t.Render()
+}
+
+// Summary gives the one-line comparison for reports.
+func (r *DeadlineAblationResult) Summary() string {
+	return fmt.Sprintf("10%% error point: Nimblock Ds=%s vs NoPreempt Ds=%s",
+		report.FormatFloat(r.ErrorPoint10["Nimblock"]),
+		report.FormatFloat(r.ErrorPoint10["NimblockNoPreempt"]))
+}

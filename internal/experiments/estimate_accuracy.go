@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/hls"
+	"nimblock/internal/metrics"
+	"nimblock/internal/report"
+	"nimblock/internal/saturate"
+)
+
+// EstimateAccuracyResult validates the ILP-substitute: how closely the
+// estimate-driven makespan analysis (which is all Nimblock's goal
+// numbers ever see) predicts the realized makespan on ground-truth
+// latencies, per benchmark.
+type EstimateAccuracyResult struct {
+	// RelError maps benchmark -> |estimated - actual| / actual at the
+	// benchmark's goal slot count, batch 5.
+	RelError map[string]float64
+	// Goal maps benchmark -> the goal number used.
+	Goal map[string]int
+	// MeanError is the average relative error across benchmarks.
+	MeanError float64
+}
+
+// EstimateAccuracy sweeps the benchmark suite.
+func EstimateAccuracy(cfg Config) (*EstimateAccuracyResult, error) {
+	out := &EstimateAccuracyResult{RelError: map[string]float64{}, Goal: map[string]int{}}
+	var errs []float64
+	const batch = 5
+	for _, name := range apps.Names() {
+		g := apps.MustGraph(name)
+		rep := hls.Analyze(g)
+		an, err := saturate.AnalyzeCached(g, rep, batch, cfg.HV.Board, true)
+		if err != nil {
+			return nil, fmt.Errorf("estimate accuracy %s: %w", name, err)
+		}
+		k := an.Goal
+		est := an.Makespans[k-1]
+		act, err := saturate.ActualMakespan(g, batch, k, cfg.HV.Board, true)
+		if err != nil {
+			return nil, err
+		}
+		rel := math.Abs(float64(est)-float64(act)) / float64(act)
+		out.RelError[name] = rel
+		out.Goal[name] = k
+		errs = append(errs, rel)
+	}
+	out.MeanError = metrics.Mean(errs)
+	return out, nil
+}
+
+// Render prints the validation.
+func (r *EstimateAccuracyResult) Render() string {
+	t := &report.Table{
+		Title:  "Estimate accuracy: goal-number analysis vs realized makespan (batch 5)",
+		Header: []string{"Benchmark", "Goal slots", "Relative error"},
+	}
+	for _, name := range apps.Names() {
+		t.AddRow(name, r.Goal[name], report.FormatPercent(r.RelError[name]))
+	}
+	t.AddRow("mean", "", report.FormatPercent(r.MeanError))
+	return t.Render()
+}

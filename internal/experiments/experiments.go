@@ -1,0 +1,168 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation (Section 5). Each experiment has a driver that returns
+// structured data and a renderer that prints the same rows/series the
+// paper reports; cmd/nimblock-paper and the repository's benchmarks are
+// thin wrappers over these drivers.
+package experiments
+
+import (
+	"fmt"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/core"
+	"nimblock/internal/fpga"
+	"nimblock/internal/hv"
+	"nimblock/internal/sched"
+	"nimblock/internal/sched/baseline"
+	"nimblock/internal/sched/fcfs"
+	"nimblock/internal/sched/prema"
+	"nimblock/internal/sched/rr"
+	"nimblock/internal/sim"
+	"nimblock/internal/workload"
+)
+
+// Config scales the experiment harness.
+type Config struct {
+	// HV configures the hypervisor and board.
+	HV hv.Config
+	// Seed derives every random sequence.
+	Seed int64
+	// Sequences per test (paper: 10). Lower for quick runs.
+	Sequences int
+	// Events per sequence (paper: 20).
+	Events int
+}
+
+// DefaultConfig reproduces the paper's scale.
+func DefaultConfig() Config {
+	return Config{
+		HV:        hv.DefaultConfig(),
+		Seed:      20230617, // ISCA'23 presentation date
+		Sequences: workload.SequencesPerTest,
+		Events:    workload.EventsPerSequence,
+	}
+}
+
+// QuickConfig is a reduced-scale configuration for smoke tests and
+// benchmarks that must finish in seconds.
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.Sequences = 2
+	c.Events = 8
+	return c
+}
+
+// PolicyNames lists the five evaluated algorithms in figure order.
+var PolicyNames = []string{"Baseline", "FCFS", "PREMA", "RR", "Nimblock"}
+
+// SharingPolicyNames lists the four sharing algorithms (everything but
+// the baseline), the set normalized in Figures 5 and 6.
+var SharingPolicyNames = []string{"FCFS", "PREMA", "RR", "Nimblock"}
+
+// AblationNames lists the Nimblock variants of Section 5.6.
+var AblationNames = []string{"Nimblock", "NimblockNoPreempt", "NimblockNoPipe", "NimblockNoPreemptNoPipe"}
+
+// NewPolicy instantiates a scheduler by name.
+func NewPolicy(name string, board fpga.Config) (sched.Scheduler, error) {
+	switch name {
+	case "Baseline":
+		return baseline.New(), nil
+	case "FCFS":
+		return fcfs.New(), nil
+	case "PREMA":
+		return prema.New(), nil
+	case "RR":
+		return rr.New(), nil
+	case "Nimblock":
+		return core.New(core.Options{Preemption: true, Pipelining: true}, board), nil
+	case "NimblockNoPreempt":
+		return core.New(core.Options{Pipelining: true}, board), nil
+	case "NimblockNoPipe":
+		return core.New(core.Options{Preemption: true}, board), nil
+	case "NimblockNoPreemptNoPipe":
+		return core.New(core.Options{}, board), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %q", name)
+	}
+}
+
+// RunSequence replays one event sequence under one policy and returns
+// per-event results (AppIDs follow event order, starting at 1).
+func RunSequence(cfg Config, policy string, seq workload.Sequence) ([]hv.Result, error) {
+	if err := seq.Validate(); err != nil {
+		return nil, err
+	}
+	pol, err := NewPolicy(policy, cfg.HV.Board)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	h, err := hv.New(eng, cfg.HV, pol)
+	if err != nil {
+		return nil, err
+	}
+	for _, ev := range seq {
+		if err := h.Submit(apps.MustGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
+			return nil, err
+		}
+	}
+	return h.Run()
+}
+
+// idOffset separates AppIDs of different sequences when results are
+// pooled across a whole test.
+const idOffset = 1_000_000
+
+// ScenarioData pools results for one congestion scenario across all
+// sequences and policies, plus the per-event single-slot latencies needed
+// for deadline analysis.
+type ScenarioData struct {
+	Scenario workload.Scenario
+	// Results maps policy name to the pooled per-event results; events
+	// from sequence i carry AppIDs offset by i*idOffset so they remain
+	// unique and match across policies.
+	Results map[string][]hv.Result
+	// PerSequence maps policy name to per-sequence result slices (same
+	// offset IDs), for statistics that must stay sequence-local.
+	PerSequence map[string][][]hv.Result
+	// SingleSlot maps pooled AppIDs to single-slot latencies.
+	SingleSlot map[int64]sim.Duration
+}
+
+// RunScenario replays the scenario's full stimulus under every policy in
+// the given list.
+func RunScenario(cfg Config, scenario workload.Scenario, policyNames []string) (*ScenarioData, error) {
+	spec := workload.Spec{Scenario: scenario, Events: cfg.Events}
+	return runSpec(cfg, spec, scenario, policyNames)
+}
+
+func runSpec(cfg Config, spec workload.Spec, scenario workload.Scenario, policyNames []string) (*ScenarioData, error) {
+	data := &ScenarioData{
+		Scenario:    scenario,
+		Results:     map[string][]hv.Result{},
+		PerSequence: map[string][][]hv.Result{},
+		SingleSlot:  map[int64]sim.Duration{},
+	}
+	seqs := workload.GenerateTest(spec, cfg.Seed)
+	if cfg.Sequences < len(seqs) {
+		seqs = seqs[:cfg.Sequences]
+	}
+	for si, seq := range seqs {
+		for _, pol := range policyNames {
+			res, err := RunSequence(cfg, pol, seq)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %v, sequence %d, policy %s: %w", scenario, si, pol, err)
+			}
+			for i := range res {
+				res[i].AppID += int64(si) * idOffset
+			}
+			data.Results[pol] = append(data.Results[pol], res...)
+			data.PerSequence[pol] = append(data.PerSequence[pol], res)
+		}
+		for i, ev := range seq {
+			id := int64(i+1) + int64(si)*idOffset
+			data.SingleSlot[id] = hv.SingleSlotLatencyFor(cfg.HV.Board, apps.MustGraph(ev.App), ev.Batch)
+		}
+	}
+	return data, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"nimblock/internal/apps"
+
+	"nimblock/internal/interconnect"
+	"nimblock/internal/report"
+	"nimblock/internal/workload"
+)
+
+// InterconnectStudyResult quantifies the paper's future-work NoC
+// proposal: how much explicit inter-slot data movement costs when it
+// serializes through the PS (the evaluated overlay) versus a
+// Network-on-Chip, relative to the calibrated folded model.
+type InterconnectStudyResult struct {
+	// MeanResponse maps interconnect kind -> scenario -> mean response
+	// seconds under Nimblock.
+	MeanResponse map[interconnect.Kind]map[workload.Scenario]float64
+	// Transfers maps kind -> total hand-offs priced (0 for folded).
+	Transfers map[interconnect.Kind]int
+}
+
+// interconnectKinds in presentation order.
+var interconnectKinds = []interconnect.Kind{interconnect.Folded, interconnect.PSBus, interconnect.NoC}
+
+// InterconnectStudy runs a communication-heavy workload under Nimblock
+// with each interconnect model. The stimulus restricts the pool to the
+// edge-dense benchmarks (AlexNet contributes 184 hand-off edges per
+// batch item) with a fixed batch of 10, where inter-slot data movement
+// actually matters; chains with second-scale tasks barely notice it.
+func InterconnectStudy(cfg Config) (*InterconnectStudyResult, error) {
+	out := &InterconnectStudyResult{
+		MeanResponse: map[interconnect.Kind]map[workload.Scenario]float64{},
+		Transfers:    map[interconnect.Kind]int{},
+	}
+	pool := []string{apps.AlexNet, apps.OpticalFlow, apps.ImageCompression}
+	for _, kind := range interconnectKinds {
+		c := cfg
+		switch kind {
+		case interconnect.PSBus:
+			c.HV.Interconnect = interconnect.DefaultPSBus()
+		case interconnect.NoC:
+			c.HV.Interconnect = interconnect.DefaultNoC()
+		default:
+			c.HV.Interconnect = interconnect.DefaultConfig()
+		}
+		out.MeanResponse[kind] = map[workload.Scenario]float64{}
+		for _, sc := range []workload.Scenario{workload.Standard, workload.Stress} {
+			spec := workload.Spec{Scenario: sc, Events: c.Events, FixedBatch: 10, Pool: pool}
+			data, err := runSpec(c, spec, sc, []string{"Nimblock"})
+			if err != nil {
+				return nil, fmt.Errorf("interconnect %v, scenario %v: %w", kind, sc, err)
+			}
+			out.MeanResponse[kind][sc] = meanResponse(data.Results["Nimblock"])
+		}
+	}
+	return out, nil
+}
+
+// Render prints the study.
+func (r *InterconnectStudyResult) Render() string {
+	t := &report.Table{
+		Title:  "Interconnect study: Nimblock mean response by inter-slot data path",
+		Header: []string{"Scenario", "folded (calibrated)", "ps-bus", "noc", "noc vs ps-bus"},
+	}
+	for _, sc := range []workload.Scenario{workload.Standard, workload.Stress} {
+		folded := r.MeanResponse[interconnect.Folded][sc]
+		ps := r.MeanResponse[interconnect.PSBus][sc]
+		noc := r.MeanResponse[interconnect.NoC][sc]
+		speedup := 0.0
+		if noc > 0 {
+			speedup = ps / noc
+		}
+		t.AddRow(sc.String(),
+			report.FormatSeconds(folded),
+			report.FormatSeconds(ps),
+			report.FormatSeconds(noc),
+			report.FormatFactor(speedup))
+	}
+	return t.Render()
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/hv"
+	"nimblock/internal/metrics"
+	"nimblock/internal/optsched"
+	"nimblock/internal/report"
+	"nimblock/internal/sim"
+)
+
+// OptimalityResult measures the price of online scheduling: Nimblock
+// never sees the future, while DML-style offline solvers know every
+// arrival in advance. Instances are kept small enough to enumerate the
+// full eager-schedule space, exactly the regime where the paper says
+// ILP-based solutions are viable.
+type OptimalityResult struct {
+	// PerInstance lists, per random instance, [offline-best, nimblock]
+	// mean response seconds.
+	PerInstance [][2]float64
+	// MeanGap is the average nimblock/offline-best ratio.
+	MeanGap float64
+	// Orders is the total number of schedules enumerated.
+	Orders int
+}
+
+// smallPool holds the 3-task chains, keeping interleaving counts tiny.
+var smallPool = []string{apps.LeNet, apps.Rendering3D, apps.DigitRecognition}
+
+// Optimality compares Nimblock against the exhaustive offline best on a
+// set of small random instances.
+func Optimality(cfg Config) (*OptimalityResult, error) {
+	out := &OptimalityResult{}
+	instances := cfg.Sequences
+	if instances > 6 {
+		instances = 6
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var gaps []float64
+	for i := 0; i < instances; i++ {
+		nJobs := 2 + rng.Intn(2) // 2-3 jobs of 3 tasks: <= 1680 orders
+		var jobs []optsched.Job
+		for j := 0; j < nJobs; j++ {
+			name := smallPool[rng.Intn(len(smallPool)-1)] // exclude DR for runtime
+			jobs = append(jobs, optsched.Job{
+				Graph:    apps.MustGraph(name),
+				Batch:    1 + rng.Intn(5),
+				Priority: 3,
+				Arrival:  sim.Time(rng.Intn(500)) * sim.Time(sim.Millisecond),
+			})
+		}
+		best, visited, err := optsched.Best(jobs, cfg.HV, 2000)
+		if err != nil {
+			return nil, fmt.Errorf("optimality instance %d: %w", i, err)
+		}
+		out.Orders += visited
+		nim, err := runNimblockJobs(cfg, jobs)
+		if err != nil {
+			return nil, err
+		}
+		out.PerInstance = append(out.PerInstance, [2]float64{best.MeanResponse.Seconds(), nim.Seconds()})
+		gaps = append(gaps, float64(nim)/float64(best.MeanResponse))
+	}
+	out.MeanGap = metrics.Mean(gaps)
+	return out, nil
+}
+
+// runNimblockJobs replays an optsched instance under online Nimblock.
+func runNimblockJobs(cfg Config, jobs []optsched.Job) (sim.Duration, error) {
+	pol, err := NewPolicy("Nimblock", cfg.HV.Board)
+	if err != nil {
+		return 0, err
+	}
+	eng := sim.NewEngine()
+	h, err := hv.New(eng, cfg.HV, pol)
+	if err != nil {
+		return 0, err
+	}
+	for _, j := range jobs {
+		if err := h.Submit(j.Graph, j.Batch, j.Priority, j.Arrival); err != nil {
+			return 0, err
+		}
+	}
+	res, err := h.Run()
+	if err != nil {
+		return 0, err
+	}
+	var total sim.Duration
+	for _, r := range res {
+		total += r.Response
+	}
+	return total / sim.Duration(len(res)), nil
+}
+
+// Render prints the study.
+func (r *OptimalityResult) Render() string {
+	t := &report.Table{
+		Title:  "Optimality study: online Nimblock vs exhaustive offline eager schedule",
+		Header: []string{"Instance", "Offline best", "Nimblock", "Gap"},
+	}
+	for i, p := range r.PerInstance {
+		t.AddRow(fmt.Sprintf("%d", i+1),
+			report.FormatSeconds(p[0]), report.FormatSeconds(p[1]),
+			report.FormatFactor(p[1]/p[0]))
+	}
+	t.AddRow("mean gap", "", "", report.FormatFactor(r.MeanGap))
+	return t.Render()
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"testing"
+
+	"nimblock/internal/workload"
+)
+
+// TestPaperShapes verifies the paper's headline orderings at full scale
+// (10 sequences x 20 events per scenario). It takes a few seconds and is
+// skipped under -short.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale shape verification skipped in -short mode")
+	}
+	cfg := DefaultConfig()
+	data := map[workload.Scenario]*ScenarioData{}
+	for _, sc := range workload.Scenarios() {
+		d, err := RunScenario(cfg, sc, PolicyNames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[sc] = d
+	}
+
+	f5, err := Fig5(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range workload.Scenarios() {
+		red := f5.Reduction[sc]
+		// Ordering claim (Section 5.2): Nimblock > PREMA > {FCFS, RR},
+		// and every sharing algorithm beats the baseline on average.
+		if !(red["Nimblock"] > red["PREMA"] && red["PREMA"] > red["RR"]) {
+			t.Errorf("%v: ordering violated: %v", sc, red)
+		}
+		for _, pol := range SharingPolicyNames {
+			if red[pol] <= 1 {
+				t.Errorf("%v/%s: no improvement over baseline (%v)", sc, pol, red[pol])
+			}
+		}
+		// Headline factor: Nimblock's improvement over PREMA is in the
+		// paper's 1.2x-3x band.
+		ratio := red["Nimblock"] / red["PREMA"]
+		if ratio < 1.2 || ratio > 3.0 {
+			t.Errorf("%v: Nimblock/PREMA ratio %.2f outside [1.2, 3.0]", sc, ratio)
+		}
+	}
+
+	f6, err := Fig6(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range workload.Scenarios() {
+		// Section 5.3 headline: Nimblock has the best p95 of the
+		// priority-aware algorithms in every scenario.
+		nim := f6.Tail[sc]["Nimblock"][0]
+		if nim > f6.Tail[sc]["PREMA"][0] || nim > f6.Tail[sc]["RR"][0] {
+			t.Errorf("%v: Nimblock p95 %v not best (PREMA %v, RR %v)",
+				sc, nim, f6.Tail[sc]["PREMA"][0], f6.Tail[sc]["RR"][0])
+		}
+	}
+
+	f7, err := Fig7(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range workload.Scenarios() {
+		// Section 5.4: Nimblock has the lowest violation rate at the
+		// tightest deadline and the earliest 10% error point.
+		for _, pol := range PolicyNames {
+			if pol == "Nimblock" {
+				continue
+			}
+			if f7.Points[sc]["Nimblock"][0].ViolationRate > f7.Points[sc][pol][0].ViolationRate {
+				t.Errorf("%v: Nimblock tight-deadline rate above %s", sc, pol)
+			}
+			nimEP := f7.ErrorPoint10[sc]["Nimblock"]
+			polEP := f7.ErrorPoint10[sc][pol]
+			if nimEP < 0 || (polEP >= 0 && polEP < nimEP) {
+				t.Errorf("%v: %s reaches 10%% error point earlier (%v) than Nimblock (%v)", sc, pol, polEP, nimEP)
+			}
+		}
+	}
+
+	// Fig 9 shape at full scale: pipelining is the dominant mechanism
+	// for batches above 1, and batch 1 is insensitive.
+	ab, err := RunAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f9, err := Fig9(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range AblationBatchSizes {
+		noPipe := f9.Relative[b]["NimblockNoPipe"]
+		if b == 1 {
+			if noPipe < 0.95 || noPipe > 1.05 {
+				t.Errorf("batch 1: NoPipe relative %v, want ~1", noPipe)
+			}
+			continue
+		}
+		if noPipe < 1.1 {
+			t.Errorf("batch %d: NoPipe relative %v, want clearly > 1", b, noPipe)
+		}
+	}
+}

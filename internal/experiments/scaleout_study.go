@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"nimblock/internal/hv"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/cluster"
+	"nimblock/internal/core"
+	"nimblock/internal/metrics"
+	"nimblock/internal/report"
+	"nimblock/internal/sched"
+	"nimblock/internal/sim"
+	"nimblock/internal/workload"
+)
+
+// ScaleOutBoards is the cluster-size sweep.
+var ScaleOutBoards = []int{1, 2, 4, 8}
+
+// scaleOutDispatches compared in the study.
+var scaleOutDispatches = []cluster.Dispatch{
+	cluster.RoundRobin, cluster.LeastLoaded, cluster.LeastPending, cluster.RandomBoard,
+}
+
+// ScaleOutResult quantifies multi-FPGA scale-out — the virtualization
+// property the paper's introduction lists but leaves to future work.
+type ScaleOutResult struct {
+	// MeanResponse maps boards -> dispatch -> mean response seconds of a
+	// stress-scenario burst under Nimblock per board.
+	MeanResponse map[int]map[cluster.Dispatch]float64
+}
+
+// ScaleOut sweeps cluster sizes and dispatch policies over the stress
+// stimulus.
+func ScaleOut(cfg Config) (*ScaleOutResult, error) {
+	out := &ScaleOutResult{MeanResponse: map[int]map[cluster.Dispatch]float64{}}
+	seqs := workload.GenerateTest(workload.Spec{Scenario: workload.Stress, Events: cfg.Events}, cfg.Seed)
+	if cfg.Sequences < len(seqs) {
+		seqs = seqs[:cfg.Sequences]
+	}
+	for _, boards := range ScaleOutBoards {
+		out.MeanResponse[boards] = map[cluster.Dispatch]float64{}
+		for _, d := range scaleOutDispatches {
+			var all []float64
+			for si, seq := range seqs {
+				eng := sim.NewEngine()
+				ccfg := cluster.Config{Boards: boards, HV: cfg.HV, Dispatch: d, Seed: cfg.Seed}
+				cl, err := cluster.New(eng, ccfg, func(b hv.Config) sched.Scheduler {
+					return core.New(core.DefaultOptions(), b.Board)
+				})
+				if err != nil {
+					return nil, err
+				}
+				for _, ev := range seq {
+					if err := cl.Submit(apps.MustGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
+						return nil, err
+					}
+				}
+				res, err := cl.Run()
+				if err != nil {
+					return nil, fmt.Errorf("scale-out %d boards, %v, sequence %d: %w", boards, d, si, err)
+				}
+				for _, r := range res {
+					all = append(all, r.Response.Seconds())
+				}
+			}
+			out.MeanResponse[boards][d] = metrics.Mean(all)
+		}
+	}
+	return out, nil
+}
+
+// Render prints the sweep.
+func (r *ScaleOutResult) Render() string {
+	t := &report.Table{
+		Title:  "Scale-out study: mean response (s) by cluster size and dispatch (stress, Nimblock per board)",
+		Header: []string{"Boards", "round-robin", "least-loaded", "least-pending", "random"},
+	}
+	for _, boards := range ScaleOutBoards {
+		row := []any{fmt.Sprintf("%d", boards)}
+		for _, d := range scaleOutDispatches {
+			row = append(row, report.FormatSeconds(r.MeanResponse[boards][d]))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/fpga"
+	"nimblock/internal/hv"
+	"nimblock/internal/metrics"
+	"nimblock/internal/report"
+	"nimblock/internal/sim"
+	"nimblock/internal/workload"
+)
+
+// Table1 renders the slot and static region utilization (Table 1 of the
+// paper). These are properties of the overlay floorplan, reproduced as
+// model constants.
+func Table1() string {
+	t := &report.Table{
+		Title:  "Table 1: Slot and Static Region Utilization",
+		Header: []string{"Region", "DSP", "LUT", "FF", "Carry", "RAMB18", "RAMB36", "IOBuf"},
+	}
+	row := func(name string, lo, hi fpga.Resources, ranged bool) {
+		f := func(a, b int) string {
+			if ranged && a != b {
+				return fmt.Sprintf("%d-%d", a, b)
+			}
+			return fmt.Sprintf("%d", a)
+		}
+		t.AddRow(name, f(lo.DSP, hi.DSP), f(lo.LUT, hi.LUT), f(lo.FF, hi.FF),
+			f(lo.Carry, hi.Carry), f(lo.RAMB18, hi.RAMB18), f(lo.RAMB36, hi.RAMB36), f(lo.IOBuf, hi.IOBuf))
+	}
+	row("Slot", fpga.SlotResources, fpga.SlotResourcesMax, true)
+	row("Static", fpga.StaticResources, fpga.StaticResources, false)
+	return t.Render()
+}
+
+// Table2 renders the benchmark sizes (Table 2 of the paper), derived from
+// the actual task-graphs.
+func Table2() string {
+	t := &report.Table{
+		Title:  "Table 2: Benchmark Sizes",
+		Header: []string{"Benchmark", "Abbrev", "Number of Tasks", "Number of Edges"},
+	}
+	for _, name := range apps.Names() {
+		g := apps.MustGraph(name)
+		t.AddRow(name, apps.Abbrev[name], g.NumTasks(), g.NumEdges())
+	}
+	return t.Render()
+}
+
+// Table3Result carries benchmark latencies and response times (Table 3).
+type Table3Result struct {
+	// ExecBaseline is the solo no-sharing execution time per benchmark
+	// (first task start to last task completion, batch 5).
+	ExecBaseline map[string]sim.Duration
+	// Response maps policy -> benchmark -> mean response across the
+	// fixed-batch test sequences.
+	Response map[string]map[string]sim.Duration
+}
+
+// Table3 reproduces the benchmark characteristics experiment: a test
+// sequence with fixed batch size 5 and 500 ms between events, reporting
+// per-benchmark execution and response times under every algorithm.
+func Table3(cfg Config) (*Table3Result, error) {
+	out := &Table3Result{
+		ExecBaseline: map[string]sim.Duration{},
+		Response:     map[string]map[string]sim.Duration{},
+	}
+	// Solo baseline execution time per benchmark.
+	for _, name := range apps.Names() {
+		res, err := RunSequence(cfg, "Baseline", workload.Sequence{
+			{App: name, Batch: 5, Priority: 3, Arrival: 0},
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.ExecBaseline[name] = res[0].Retire.Sub(res[0].FirstLaunch)
+	}
+	// Shared sequences: fixed batch 5, 500 ms delay.
+	spec := workload.Spec{
+		Scenario:   workload.Standard,
+		Events:     cfg.Events,
+		FixedBatch: 5,
+		FixedGap:   500 * sim.Millisecond,
+	}
+	data, err := runSpec(cfg, spec, workload.Standard, PolicyNames)
+	if err != nil {
+		return nil, err
+	}
+	for _, pol := range PolicyNames {
+		byApp := metrics.ByApp(data.Results[pol])
+		out.Response[pol] = map[string]sim.Duration{}
+		for name, rs := range byApp {
+			out.Response[pol][name] = sim.Seconds(metrics.Mean(metrics.Responses(rs)))
+		}
+	}
+	return out, nil
+}
+
+// Render prints Table 3 in the paper's layout.
+func (r *Table3Result) Render() string {
+	t := &report.Table{
+		Title:  "Table 3: Benchmark Latencies and Response Times (batch 5, 500ms gaps)",
+		Header: append([]string{"Benchmark", "Exec (Baseline)"}, PolicyNames...),
+	}
+	names := make([]string, 0, len(r.ExecBaseline))
+	for n := range r.ExecBaseline {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		row := []any{name, report.FormatSeconds(r.ExecBaseline[name].Seconds())}
+		for _, pol := range PolicyNames {
+			if d, ok := r.Response[pol][name]; ok {
+				row = append(row, report.FormatSeconds(d.Seconds()))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+// meanResponse averages response seconds over results.
+func meanResponse(rs []hv.Result) float64 {
+	return metrics.Mean(metrics.Responses(rs))
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/hv"
+	"nimblock/internal/metrics"
+	"nimblock/internal/report"
+	"nimblock/internal/sim"
+	"nimblock/internal/workload"
+)
+
+// UtilizationResult quantifies the paper's motivating argument: the
+// no-sharing model under-utilizes the fabric ("dedicating entire pieces
+// of hardware to a single job, regardless of whether or not the job
+// needs to use all the resources"), while fine-grained sharing keeps
+// slots busy.
+type UtilizationResult struct {
+	// Utilization maps policy -> mean slot-time utilization (0..1) over
+	// each sequence's makespan, averaged across sequences.
+	Utilization map[string]float64
+	// Makespan maps policy -> mean makespan seconds per sequence.
+	Makespan map[string]float64
+}
+
+// UtilizationStudy measures slot occupancy under the stress scenario for
+// every policy.
+func UtilizationStudy(cfg Config) (*UtilizationResult, error) {
+	out := &UtilizationResult{
+		Utilization: map[string]float64{},
+		Makespan:    map[string]float64{},
+	}
+	seqs := workload.GenerateTest(workload.Spec{Scenario: workload.Stress, Events: cfg.Events}, cfg.Seed)
+	if cfg.Sequences < len(seqs) {
+		seqs = seqs[:cfg.Sequences]
+	}
+	for _, pol := range PolicyNames {
+		var utils, spans []float64
+		for si, seq := range seqs {
+			p, err := NewPolicy(pol, cfg.HV.Board)
+			if err != nil {
+				return nil, err
+			}
+			eng := sim.NewEngine()
+			h, err := hv.New(eng, cfg.HV, p)
+			if err != nil {
+				return nil, err
+			}
+			for _, ev := range seq {
+				if err := h.Submit(apps.MustGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
+					return nil, err
+				}
+			}
+			results, err := h.Run()
+			if err != nil {
+				return nil, fmt.Errorf("utilization %s sequence %d: %w", pol, si, err)
+			}
+			var makespan sim.Time
+			for _, r := range results {
+				if r.Retire > makespan {
+					makespan = r.Retire
+				}
+			}
+			utils = append(utils, h.Utilization(makespan))
+			spans = append(spans, makespan.Seconds())
+		}
+		out.Utilization[pol] = metrics.Mean(utils)
+		out.Makespan[pol] = metrics.Mean(spans)
+	}
+	return out, nil
+}
+
+// Render prints the study.
+func (r *UtilizationResult) Render() string {
+	t := &report.Table{
+		Title:  "Utilization study: slot-time occupancy over sequence makespan (stress)",
+		Header: []string{"Policy", "Utilization", "Mean makespan"},
+	}
+	for _, pol := range PolicyNames {
+		t.AddRow(pol, report.FormatPercent(r.Utilization[pol]), report.FormatSeconds(r.Makespan[pol]))
+	}
+	return t.Render()
+}

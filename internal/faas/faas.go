@@ -1,0 +1,267 @@
+// Package faas layers a serverless platform over the virtualized FPGA
+// cluster.
+//
+// The paper's introduction argues FPGA virtualization is the enabler for
+// serverless computing with FPGAs as first-class accelerators: FaaS needs
+// strong isolation between tenants (slots), fine-grained scheduling of
+// individual tasks (the Nimblock runtime), and flexible resource
+// allocation (the cluster). This package supplies the missing front-end:
+// a function registry, invocation dispatch with warm-board affinity, and
+// cold-start modelling — a function's partial bitstreams must be
+// distributed to a board before its first invocation runs there.
+package faas
+
+import (
+	"fmt"
+	"sort"
+
+	"nimblock/internal/hv"
+	"nimblock/internal/sched"
+	"nimblock/internal/sim"
+	"nimblock/internal/taskgraph"
+)
+
+// Function is a registered FPGA function: a task-graph with a fixed
+// priority class.
+type Function struct {
+	Graph    *taskgraph.Graph
+	Priority int
+}
+
+// Config parameterizes the platform.
+type Config struct {
+	// Boards is the cluster size.
+	Boards int
+	// HV configures each board.
+	HV hv.Config
+	// ColdStart is the delay to distribute a function's bitstreams to a
+	// board that has never run it (network copy to the board's SD card).
+	ColdStart sim.Duration
+	// ScaleUp is the pending-invocation count on warm boards beyond
+	// which the dispatcher pays a cold start to open a new board.
+	ScaleUp int
+}
+
+// DefaultConfig is a four-board platform with a 500 ms cold start.
+func DefaultConfig() Config {
+	return Config{
+		Boards:    4,
+		HV:        hv.DefaultConfig(),
+		ColdStart: 500 * sim.Millisecond,
+		ScaleUp:   4,
+	}
+}
+
+// Result is one completed invocation.
+type Result struct {
+	Function string
+	Board    int
+	Cold     bool
+	// InvokedAt is when the client issued the invocation.
+	InvokedAt sim.Time
+	// Latency is retirement minus invocation, including any cold start.
+	Latency sim.Duration
+	// Items echoes the invocation batch.
+	Items int
+}
+
+// Stats aggregates platform counters.
+type Stats struct {
+	Invocations int
+	ColdStarts  int
+	WarmStarts  int
+}
+
+// pendingInvocation links a board-local application ID back to the
+// invocation that produced it.
+type invKey struct {
+	board   int
+	localID int64
+}
+
+type invInfo struct {
+	function string
+	invoked  sim.Time
+	cold     bool
+	items    int
+}
+
+// Platform is the serverless front-end.
+type Platform struct {
+	eng       *sim.Engine
+	cfg       Config
+	boards    []*hv.Hypervisor
+	submitted []int64 // per-board submission counter (board-local IDs)
+	deployed  []map[string]bool
+	pendInv   []int // per-board dispatched-not-finished estimate
+	funcs     map[string]Function
+	inv       map[invKey]invInfo
+	stats     Stats
+	expected  int
+}
+
+// New builds a platform; mkPolicy supplies one scheduler per board.
+func New(eng *sim.Engine, cfg Config, mkPolicy func() sched.Scheduler) (*Platform, error) {
+	if cfg.Boards < 1 {
+		return nil, fmt.Errorf("faas: need at least one board")
+	}
+	if cfg.ColdStart < 0 {
+		return nil, fmt.Errorf("faas: negative cold start")
+	}
+	if mkPolicy == nil {
+		return nil, fmt.Errorf("faas: nil policy factory")
+	}
+	p := &Platform{
+		eng:   eng,
+		cfg:   cfg,
+		funcs: map[string]Function{},
+		inv:   map[invKey]invInfo{},
+	}
+	for i := 0; i < cfg.Boards; i++ {
+		h, err := hv.New(eng, cfg.HV, mkPolicy())
+		if err != nil {
+			return nil, err
+		}
+		p.boards = append(p.boards, h)
+		p.deployed = append(p.deployed, map[string]bool{})
+		p.pendInv = append(p.pendInv, 0)
+		p.submitted = append(p.submitted, 0)
+	}
+	return p, nil
+}
+
+// Register adds a function to the registry. Functions must be registered
+// before they are invoked; re-registration replaces the definition only
+// if no invocation has run yet.
+func (p *Platform) Register(name string, fn Function) error {
+	if fn.Graph == nil {
+		return fmt.Errorf("faas: function %q has no task-graph", name)
+	}
+	if fn.Priority < 1 {
+		return fmt.Errorf("faas: function %q priority %d < 1", name, fn.Priority)
+	}
+	if _, dup := p.funcs[name]; dup {
+		return fmt.Errorf("faas: function %q already registered", name)
+	}
+	p.funcs[name] = fn
+	return nil
+}
+
+// Invoke schedules an invocation of a registered function at the given
+// time with the given number of independent inputs.
+func (p *Platform) Invoke(function string, items int, at sim.Time) error {
+	if _, ok := p.funcs[function]; !ok {
+		return fmt.Errorf("faas: unknown function %q", function)
+	}
+	if items < 1 {
+		return fmt.Errorf("faas: invocation of %q with %d items", function, items)
+	}
+	p.expected++
+	p.eng.At(at, func() { p.dispatch(function, items, at) })
+	return nil
+}
+
+// dispatch places an invocation at its arrival instant.
+func (p *Platform) dispatch(function string, items int, invoked sim.Time) {
+	fn := p.funcs[function]
+	board, cold := p.pick(function)
+	arrival := p.eng.Now()
+	if cold {
+		p.deployed[board][function] = true
+		p.stats.ColdStarts++
+		arrival = arrival.Add(p.cfg.ColdStart)
+	} else {
+		p.stats.WarmStarts++
+	}
+	p.stats.Invocations++
+	p.pendInv[board]++
+	if err := p.boards[board].Submit(fn.Graph, items, fn.Priority, arrival); err != nil {
+		panic(fmt.Sprintf("faas: dispatch-time submit failed: %v", err))
+	}
+	p.submitted[board]++
+	p.inv[invKey{board, p.submitted[board]}] = invInfo{
+		function: function,
+		invoked:  invoked,
+		cold:     cold,
+		items:    items,
+	}
+}
+
+// pick chooses a board with warm affinity: the least-busy board that
+// already holds the function's bitstreams, unless all warm boards exceed
+// the scale-up threshold and a colder board is idle enough to justify
+// the cold start.
+func (p *Platform) pick(function string) (board int, cold bool) {
+	warmBest, warmLoad := -1, 0
+	coldBest, coldLoad := -1, 0
+	for i := range p.boards {
+		load := p.pendInv[i] - doneApprox(p.boards[i], p.pendInv[i])
+		if p.deployed[i][function] {
+			if warmBest == -1 || load < warmLoad {
+				warmBest, warmLoad = i, load
+			}
+		} else if coldBest == -1 || load < coldLoad {
+			coldBest, coldLoad = i, load
+		}
+	}
+	if warmBest == -1 {
+		return coldBest, true
+	}
+	if coldBest != -1 && warmLoad >= p.cfg.ScaleUp && coldLoad < warmLoad {
+		return coldBest, true
+	}
+	return warmBest, false
+}
+
+// doneApprox estimates completed invocations on a board from its pending
+// count: dispatched minus currently pending.
+func doneApprox(h *hv.Hypervisor, dispatched int) int {
+	pend := h.PendingCount()
+	if pend > dispatched {
+		return 0
+	}
+	return dispatched - pend
+}
+
+// Stats returns platform counters.
+func (p *Platform) Stats() Stats { return p.stats }
+
+// Boards reports the cluster size.
+func (p *Platform) Boards() int { return len(p.boards) }
+
+// Run drives the simulation until every invocation completes and returns
+// per-invocation results ordered by invocation time (ties by board).
+func (p *Platform) Run() ([]Result, error) {
+	p.eng.RunUntil(p.cfg.HV.Horizon)
+	var out []Result
+	for bi, b := range p.boards {
+		results, err := b.Collect()
+		if err != nil {
+			return nil, fmt.Errorf("faas: board %d: %w", bi, err)
+		}
+		for _, r := range results {
+			info, ok := p.inv[invKey{bi, r.AppID}]
+			if !ok {
+				return nil, fmt.Errorf("faas: board %d app %d has no invocation record", bi, r.AppID)
+			}
+			out = append(out, Result{
+				Function:  info.function,
+				Board:     bi,
+				Cold:      info.cold,
+				InvokedAt: info.invoked,
+				Latency:   r.Retire.Sub(info.invoked),
+				Items:     info.items,
+			})
+		}
+	}
+	if len(out) != p.expected {
+		return nil, fmt.Errorf("faas: %d results for %d invocations", len(out), p.expected)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].InvokedAt != out[j].InvokedAt {
+			return out[i].InvokedAt < out[j].InvokedAt
+		}
+		return out[i].Board < out[j].Board
+	})
+	return out, nil
+}

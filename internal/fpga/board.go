@@ -1,0 +1,263 @@
+package fpga
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nimblock/internal/bitstream"
+	"nimblock/internal/sim"
+)
+
+// SlotState is the electrical state of a reconfigurable slot.
+type SlotState int
+
+const (
+	// SlotFree means no user logic is configured (or it has been
+	// decoupled and released).
+	SlotFree SlotState = iota
+	// SlotReconfiguring means the CAP is streaming a partial bitstream
+	// into this region; decoupling isolates it from the interconnect.
+	SlotReconfiguring
+	// SlotLoaded means user logic is configured and attached to the
+	// memory-mapped control and data interfaces.
+	SlotLoaded
+)
+
+// String names the state for traces.
+func (s SlotState) String() string {
+	switch s {
+	case SlotFree:
+		return "free"
+	case SlotReconfiguring:
+		return "reconfiguring"
+	case SlotLoaded:
+		return "loaded"
+	default:
+		return fmt.Sprintf("SlotState(%d)", int(s))
+	}
+}
+
+// Slot is one reconfigurable region.
+type Slot struct {
+	ID    int
+	State SlotState
+	// Image is the partial bitstream currently configured (nil when free
+	// or while the first reconfiguration is in flight).
+	Image *bitstream.Image
+}
+
+// Config sets the physical parameters of the simulated board.
+type Config struct {
+	// Slots is the number of reconfigurable regions (paper: 10).
+	Slots int
+	// CAPBytesPerSec is the configuration port bandwidth. The default
+	// moves one 7.5 MB slot image in ~80 ms.
+	CAPBytesPerSec float64
+	// SDBytesPerSec is the SD-card read bandwidth for loading bitstreams
+	// into DDR before configuration. The ARM core performs the load and
+	// the CAP write back-to-back, so both serialize on the single
+	// reconfiguration pipeline.
+	SDBytesPerSec float64
+	// FaultRate, if positive, is the probability that a reconfiguration
+	// attempt fails CRC and must be retried (fault injection for tests).
+	FaultRate float64
+	// FaultSeed seeds the fault process.
+	FaultSeed int64
+	// MaxRetries bounds reconfiguration retries before reporting an
+	// error (0 means a single attempt).
+	MaxRetries int
+	// AllowRelocation accepts slot-agnostic partial bitstreams
+	// (Header.Slot < 0): the loader patches frame addresses for the
+	// target slot before streaming.
+	AllowRelocation bool
+}
+
+// DefaultConfig reproduces the evaluation platform: 10 slots and ~80 ms
+// partial reconfiguration (SD load ~16 ms + CAP write ~64 ms).
+func DefaultConfig() Config {
+	return Config{
+		Slots:          10,
+		CAPBytesPerSec: 117.3e6, // ~64 ms for a slot image
+		SDBytesPerSec:  469.0e6, // ~16 ms for a slot image
+		MaxRetries:     3,
+	}
+}
+
+// Stats aggregates board-level counters.
+type Stats struct {
+	Reconfigurations int
+	ReconfigTime     sim.Duration
+	Faults           int
+	Releases         int
+}
+
+// reconfigRequest is one queued CAP operation.
+type reconfigRequest struct {
+	slot   int
+	img    *bitstream.Image
+	onDone func(error)
+	tries  int
+}
+
+// Board is the simulated FPGA. It is driven entirely by the simulation
+// engine: Reconfigure enqueues work on the single CAP, and completion is
+// delivered by callback in virtual time.
+type Board struct {
+	eng   *sim.Engine
+	cfg   Config
+	slots []*Slot
+	queue []reconfigRequest
+	busy  bool
+	rng   *rand.Rand
+	stats Stats
+}
+
+// NewBoard programs the static region and returns a board with all slots
+// free.
+func NewBoard(eng *sim.Engine, cfg Config) (*Board, error) {
+	if cfg.Slots < 1 {
+		return nil, fmt.Errorf("fpga: board needs at least one slot, got %d", cfg.Slots)
+	}
+	if cfg.CAPBytesPerSec <= 0 {
+		return nil, fmt.Errorf("fpga: CAP bandwidth must be positive")
+	}
+	if cfg.SDBytesPerSec <= 0 {
+		return nil, fmt.Errorf("fpga: SD bandwidth must be positive")
+	}
+	if cfg.FaultRate < 0 || cfg.FaultRate >= 1 {
+		return nil, fmt.Errorf("fpga: fault rate %v outside [0,1)", cfg.FaultRate)
+	}
+	b := &Board{
+		eng: eng,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.FaultSeed)),
+	}
+	for i := 0; i < cfg.Slots; i++ {
+		b.slots = append(b.slots, &Slot{ID: i})
+	}
+	return b, nil
+}
+
+// NumSlots reports the number of reconfigurable regions.
+func (b *Board) NumSlots() int { return len(b.slots) }
+
+// Slot returns a view of slot i. Callers must not mutate it.
+func (b *Board) Slot(i int) *Slot { return b.slots[i] }
+
+// CAPBusy reports whether a reconfiguration is currently streaming.
+func (b *Board) CAPBusy() bool { return b.busy }
+
+// CAPQueueLen reports the number of reconfigurations waiting behind the
+// active one.
+func (b *Board) CAPQueueLen() int { return len(b.queue) }
+
+// Stats returns a copy of the board counters.
+func (b *Board) Stats() Stats { return b.stats }
+
+// ReconfigTime reports how long one configuration of the given image
+// takes end to end (SD load + CAP write), excluding queueing.
+func (b *Board) ReconfigTime(img *bitstream.Image) sim.Duration {
+	load := img.LoadTime(b.cfg.SDBytesPerSec)
+	write := sim.Seconds(float64(img.Bytes) / b.cfg.CAPBytesPerSec)
+	return load + write
+}
+
+// Reconfigure requests that the given image be configured into the slot.
+// The slot must be free; it transitions to SlotReconfiguring immediately
+// (the region is decoupled) and to SlotLoaded when the CAP finishes, at
+// which point onDone is invoked. Requests are served strictly in order —
+// only one region can be configured at a time on a single device.
+func (b *Board) Reconfigure(slot int, img *bitstream.Image, onDone func(error)) error {
+	if slot < 0 || slot >= len(b.slots) {
+		return fmt.Errorf("fpga: slot %d out of range [0,%d)", slot, len(b.slots))
+	}
+	if img == nil {
+		return fmt.Errorf("fpga: nil bitstream for slot %d", slot)
+	}
+	if img.Header.Slot != slot {
+		if img.Header.Slot >= 0 || !b.cfg.AllowRelocation {
+			return fmt.Errorf("fpga: bitstream %s targets slot %d, not %d (no relocation support)", img.ID(), img.Header.Slot, slot)
+		}
+	}
+	s := b.slots[slot]
+	if s.State != SlotFree {
+		return fmt.Errorf("fpga: slot %d is %v, cannot reconfigure", slot, s.State)
+	}
+	s.State = SlotReconfiguring
+	s.Image = nil
+	b.queue = append(b.queue, reconfigRequest{slot: slot, img: img, onDone: onDone})
+	b.pump()
+	return nil
+}
+
+// pump starts the next queued reconfiguration if the CAP is idle.
+func (b *Board) pump() {
+	if b.busy || len(b.queue) == 0 {
+		return
+	}
+	req := b.queue[0]
+	b.queue = b.queue[1:]
+	b.busy = true
+	d := b.ReconfigTime(req.img)
+	b.eng.After(d, func() { b.finish(req, d) })
+}
+
+// finish completes (or retries) the active reconfiguration.
+func (b *Board) finish(req reconfigRequest, d sim.Duration) {
+	b.stats.ReconfigTime += d
+	if b.cfg.FaultRate > 0 && b.rng.Float64() < b.cfg.FaultRate {
+		b.stats.Faults++
+		if req.tries < b.cfg.MaxRetries {
+			req.tries++
+			// Retry: stream the image again; CAP stays busy.
+			b.eng.After(d, func() { b.finish(req, d) })
+			return
+		}
+		// Unrecoverable: free the slot and report the error.
+		s := b.slots[req.slot]
+		s.State = SlotFree
+		s.Image = nil
+		b.busy = false
+		b.pump()
+		if req.onDone != nil {
+			req.onDone(fmt.Errorf("fpga: reconfiguration of slot %d failed after %d retries", req.slot, req.tries))
+		}
+		return
+	}
+	b.stats.Reconfigurations++
+	s := b.slots[req.slot]
+	s.State = SlotLoaded
+	s.Image = req.img
+	b.busy = false
+	b.pump()
+	if req.onDone != nil {
+		req.onDone(nil)
+	}
+}
+
+// Release decouples and frees a loaded slot. The hypervisor calls this
+// when a task completes or is preempted at a batch boundary.
+func (b *Board) Release(slot int) error {
+	if slot < 0 || slot >= len(b.slots) {
+		return fmt.Errorf("fpga: slot %d out of range", slot)
+	}
+	s := b.slots[slot]
+	if s.State != SlotLoaded {
+		return fmt.Errorf("fpga: slot %d is %v, cannot release", slot, s.State)
+	}
+	s.State = SlotFree
+	s.Image = nil
+	b.stats.Releases++
+	return nil
+}
+
+// FreeSlots lists the IDs of slots currently free.
+func (b *Board) FreeSlots() []int {
+	var free []int
+	for _, s := range b.slots {
+		if s.State == SlotFree {
+			free = append(free, s.ID)
+		}
+	}
+	return free
+}

@@ -1,0 +1,250 @@
+package fpga
+
+import (
+	"testing"
+
+	"nimblock/internal/bitstream"
+	"nimblock/internal/sim"
+)
+
+func image(slot int) *bitstream.Image {
+	return &bitstream.Image{
+		Header: bitstream.Header{App: "app", Task: 0, Slot: slot},
+		Bytes:  bitstream.SlotImageBytes + bitstream.HeaderBytes,
+	}
+}
+
+func newBoard(t *testing.T, cfg Config) (*sim.Engine, *Board) {
+	t.Helper()
+	eng := sim.NewEngine()
+	b, err := NewBoard(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, b
+}
+
+func TestDefaultReconfigAround80ms(t *testing.T) {
+	_, b := newBoard(t, DefaultConfig())
+	d := b.ReconfigTime(image(0))
+	if d < 70*sim.Millisecond || d > 90*sim.Millisecond {
+		t.Fatalf("reconfig time %v, want ~80ms", d)
+	}
+}
+
+func TestReconfigureLifecycle(t *testing.T) {
+	eng, b := newBoard(t, DefaultConfig())
+	var doneAt sim.Time
+	img := image(3)
+	if err := b.Reconfigure(3, img, func(err error) {
+		if err != nil {
+			t.Errorf("unexpected error: %v", err)
+		}
+		doneAt = eng.Now()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Slot(3).State; got != SlotReconfiguring {
+		t.Fatalf("state during reconfig = %v", got)
+	}
+	if !b.CAPBusy() {
+		t.Fatal("CAP should be busy")
+	}
+	eng.Run()
+	if b.Slot(3).State != SlotLoaded {
+		t.Fatalf("state after reconfig = %v", b.Slot(3).State)
+	}
+	if b.Slot(3).Image != img {
+		t.Fatal("loaded image mismatch")
+	}
+	if doneAt != sim.Time(0).Add(b.ReconfigTime(img)) {
+		t.Fatalf("completion at %v, want %v", doneAt, b.ReconfigTime(img))
+	}
+	if b.Stats().Reconfigurations != 1 {
+		t.Fatalf("stats = %+v", b.Stats())
+	}
+}
+
+func TestCAPSerializesRequests(t *testing.T) {
+	eng, b := newBoard(t, DefaultConfig())
+	var order []int
+	var times []sim.Time
+	for _, slot := range []int{0, 1, 2} {
+		slot := slot
+		if err := b.Reconfigure(slot, image(slot), func(error) {
+			order = append(order, slot)
+			times = append(times, eng.Now())
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.CAPQueueLen() != 2 {
+		t.Fatalf("queue length = %d, want 2", b.CAPQueueLen())
+	}
+	eng.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("completion order %v", order)
+	}
+	d := b.ReconfigTime(image(0))
+	for i, at := range times {
+		want := sim.Time(0).Add(sim.Duration(i+1) * d)
+		if at != want {
+			t.Fatalf("completion %d at %v, want %v (serialized)", i, at, want)
+		}
+	}
+}
+
+func TestReconfigureValidation(t *testing.T) {
+	eng, b := newBoard(t, DefaultConfig())
+	if err := b.Reconfigure(99, image(99), nil); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if err := b.Reconfigure(0, nil, nil); err == nil {
+		t.Fatal("nil image accepted")
+	}
+	if err := b.Reconfigure(0, image(5), nil); err == nil {
+		t.Fatal("image targeting wrong slot accepted (no relocation)")
+	}
+	if err := b.Reconfigure(0, image(0), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reconfigure(0, image(0), nil); err == nil {
+		t.Fatal("reconfigure of busy slot accepted")
+	}
+	eng.Run()
+	if err := b.Reconfigure(0, image(0), nil); err == nil {
+		t.Fatal("reconfigure of loaded slot accepted")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	eng, b := newBoard(t, DefaultConfig())
+	if err := b.Release(0); err == nil {
+		t.Fatal("release of free slot accepted")
+	}
+	b.Reconfigure(0, image(0), nil)
+	eng.Run()
+	if err := b.Release(0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Slot(0).State != SlotFree || b.Slot(0).Image != nil {
+		t.Fatal("release did not free slot")
+	}
+	if len(b.FreeSlots()) != b.NumSlots() {
+		t.Fatalf("FreeSlots = %v", b.FreeSlots())
+	}
+}
+
+func TestFaultInjectionRetries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FaultRate = 0.5
+	cfg.FaultSeed = 42
+	cfg.MaxRetries = 10
+	eng, b := newBoard(t, cfg)
+	ok := false
+	b.Reconfigure(0, image(0), func(err error) {
+		if err != nil {
+			t.Errorf("reconfig failed despite retries: %v", err)
+		}
+		ok = true
+	})
+	eng.Run()
+	if !ok {
+		t.Fatal("callback never invoked")
+	}
+	if b.Slot(0).State != SlotLoaded {
+		t.Fatalf("slot state %v after retried reconfig", b.Slot(0).State)
+	}
+}
+
+func TestFaultInjectionExhaustsRetries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FaultRate = 0.999999
+	cfg.FaultSeed = 7
+	cfg.MaxRetries = 2
+	eng, b := newBoard(t, cfg)
+	var gotErr error
+	called := false
+	b.Reconfigure(0, image(0), func(err error) { gotErr = err; called = true })
+	eng.Run()
+	if !called || gotErr == nil {
+		t.Fatal("expected an unrecoverable reconfiguration error")
+	}
+	if b.Slot(0).State != SlotFree {
+		t.Fatalf("failed slot should be freed, state=%v", b.Slot(0).State)
+	}
+	if b.Stats().Faults != 3 {
+		t.Fatalf("faults = %d, want 3 (initial + 2 retries)", b.Stats().Faults)
+	}
+	// The CAP must recover for subsequent work.
+	ok := false
+	cfg2 := b.cfg
+	_ = cfg2
+	b.cfg.FaultRate = 0
+	b.Reconfigure(1, image(1), func(err error) { ok = err == nil })
+	eng.Run()
+	if !ok {
+		t.Fatal("CAP did not recover after a failed reconfiguration")
+	}
+}
+
+func TestBoardConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	bad := []Config{
+		{Slots: 0, CAPBytesPerSec: 1, SDBytesPerSec: 1},
+		{Slots: 1, CAPBytesPerSec: 0, SDBytesPerSec: 1},
+		{Slots: 1, CAPBytesPerSec: 1, SDBytesPerSec: 0},
+		{Slots: 1, CAPBytesPerSec: 1, SDBytesPerSec: 1, FaultRate: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewBoard(eng, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestResourcesTable1(t *testing.T) {
+	// The static region dominates the board; a slot's demand fits the
+	// slot capacity but not vice versa.
+	if !SlotResourcesMax.Fits(SlotResources) {
+		t.Fatal("slot min should fit slot max")
+	}
+	if SlotResources.Fits(StaticResources) {
+		t.Fatal("static region cannot fit in a slot")
+	}
+	ten := SlotResources.Scale(10)
+	if ten.LUT != 96800 {
+		t.Fatalf("Scale: %+v", ten)
+	}
+	sum := SlotResources.Add(StaticResources)
+	if sum.DSP != 46+1004 {
+		t.Fatalf("Add: %+v", sum)
+	}
+}
+
+func TestRelocationGate(t *testing.T) {
+	reloc := &bitstream.Image{
+		Header: bitstream.Header{App: "app", Task: 0, Slot: bitstream.RelocatableSlot},
+		Bytes:  bitstream.SlotImageBytes,
+	}
+	// Without relocation support, a slot-agnostic image is rejected.
+	eng, b := newBoard(t, DefaultConfig())
+	if err := b.Reconfigure(2, reloc, nil); err == nil {
+		t.Fatal("relocatable image accepted without AllowRelocation")
+	}
+	// With support, it configures into any slot.
+	cfg := DefaultConfig()
+	cfg.AllowRelocation = true
+	eng, b = newBoard(t, cfg)
+	if err := b.Reconfigure(2, reloc, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if b.Slot(2).State != SlotLoaded {
+		t.Fatalf("state = %v", b.Slot(2).State)
+	}
+	// A mismatched per-slot image is still rejected even with relocation.
+	if err := b.Reconfigure(3, image(5), nil); err == nil {
+		t.Fatal("mismatched per-slot image accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Package fpga simulates the Nimblock overlay on the ZCU106 board: a
+// static region plus uniform, independently reconfigurable slots driven by
+// a single configuration access port (CAP).
+//
+// The simulation exposes exactly the surface the hypervisor observes on
+// real hardware — slot occupancy, serialized reconfiguration with ~80 ms
+// latency, and completion callbacks — while the user-logic compute itself
+// is advanced in virtual time by the hypervisor.
+package fpga
+
+// Resources counts fabric primitives, mirroring Table 1 of the paper.
+type Resources struct {
+	DSP    int
+	LUT    int
+	FF     int
+	Carry  int
+	RAMB18 int
+	RAMB36 int
+	IOBuf  int
+}
+
+// SlotResources is the capacity of one reconfigurable slot. Slots on the
+// ZCU106 overlay vary slightly with floorplanning; we model the lower
+// bound of the ranges in Table 1, the conservative capacity every slot
+// can guarantee.
+var SlotResources = Resources{
+	DSP:    46,
+	LUT:    9680,
+	FF:     19360,
+	Carry:  1210,
+	RAMB18: 44,
+	RAMB36: 22,
+	IOBuf:  1908,
+}
+
+// SlotResourcesMax is the upper bound of the per-slot ranges in Table 1.
+var SlotResourcesMax = Resources{
+	DSP:    92,
+	LUT:    12960,
+	FF:     22880,
+	Carry:  1620,
+	RAMB18: 46,
+	RAMB36: 23,
+	IOBuf:  2343,
+}
+
+// StaticResources is the static region utilization from Table 1: the
+// interconnect, decoupling logic, and PS attachment programmed once at
+// system start-up.
+var StaticResources = Resources{
+	DSP:    1004,
+	LUT:    122560,
+	FF:     245120,
+	Carry:  15320,
+	RAMB18: 172,
+	RAMB36: 86,
+	IOBuf:  24803,
+}
+
+// Fits reports whether a demand fits within capacity c.
+func (c Resources) Fits(demand Resources) bool {
+	return demand.DSP <= c.DSP &&
+		demand.LUT <= c.LUT &&
+		demand.FF <= c.FF &&
+		demand.Carry <= c.Carry &&
+		demand.RAMB18 <= c.RAMB18 &&
+		demand.RAMB36 <= c.RAMB36 &&
+		demand.IOBuf <= c.IOBuf
+}
+
+// Add returns the component-wise sum of two resource vectors.
+func (c Resources) Add(o Resources) Resources {
+	return Resources{
+		DSP:    c.DSP + o.DSP,
+		LUT:    c.LUT + o.LUT,
+		FF:     c.FF + o.FF,
+		Carry:  c.Carry + o.Carry,
+		RAMB18: c.RAMB18 + o.RAMB18,
+		RAMB36: c.RAMB36 + o.RAMB36,
+		IOBuf:  c.IOBuf + o.IOBuf,
+	}
+}
+
+// Scale returns the resource vector multiplied by n.
+func (c Resources) Scale(n int) Resources {
+	return Resources{
+		DSP:    c.DSP * n,
+		LUT:    c.LUT * n,
+		FF:     c.FF * n,
+		Carry:  c.Carry * n,
+		RAMB18: c.RAMB18 * n,
+		RAMB36: c.RAMB36 * n,
+		IOBuf:  c.IOBuf * n,
+	}
+}

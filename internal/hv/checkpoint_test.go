@@ -1,0 +1,149 @@
+package hv_test
+
+import (
+	"testing"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/core"
+	"nimblock/internal/hv"
+	"nimblock/internal/sim"
+	"nimblock/internal/trace"
+)
+
+// checkpointConfig builds a hypervisor config in checkpoint mode.
+func checkpointConfig(save, restore sim.Duration) hv.Config {
+	cfg := hv.DefaultConfig()
+	cfg.Preempt = hv.PreemptWithCheckpoint
+	cfg.CheckpointSave = save
+	cfg.CheckpointRestore = restore
+	cfg.EnableTrace = true
+	return cfg
+}
+
+// checkpointWorkload provokes mid-item preemption: a long-item app hogs
+// slots, then high-priority newcomers arrive.
+func checkpointWorkload(t *testing.T, cfg hv.Config) ([]hv.Result, *hv.Hypervisor) {
+	t.Helper()
+	eng := sim.NewEngine()
+	h, err := hv.New(eng, cfg, core.New(core.DefaultOptions(), cfg.Board))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := []submission{
+		{apps.OpticalFlow, 20, 1, 0}, // 507 ms items, pipelines wide
+		{apps.AlexNet, 8, 1, 100 * sim.Time(sim.Millisecond)},
+		{apps.LeNet, 5, 9, 2 * sim.Time(sim.Second)},
+		{apps.Rendering3D, 5, 9, 2 * sim.Time(sim.Second)},
+		{apps.ImageCompression, 5, 9, 2 * sim.Time(sim.Second)},
+	}
+	for _, s := range subs {
+		if err := h.Submit(apps.MustGraph(s.name), s.batch, s.prio, s.at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, h
+}
+
+func TestCheckpointPreemptionHappens(t *testing.T) {
+	res, h := checkpointWorkload(t, checkpointConfig(10*sim.Millisecond, 10*sim.Millisecond))
+	ckpts := h.Trace().Count(trace.KindCheckpoint)
+	if ckpts == 0 {
+		t.Fatal("no mid-item checkpoints happened")
+	}
+	preempts := 0
+	for _, r := range res {
+		preempts += r.Preemptions
+	}
+	if preempts < ckpts {
+		t.Fatalf("accounted preemptions %d < checkpoints %d", preempts, ckpts)
+	}
+	// Work conservation with overhead: every app's run time covers at
+	// least its nominal work (restore overhead may add to it).
+	for _, r := range res {
+		g := apps.MustGraph(r.App)
+		want := g.TotalWork() * sim.Duration(r.Batch)
+		if r.Run < want {
+			t.Errorf("%s: run %v < nominal %v (checkpoint lost work)", r.App, r.Run, want)
+		}
+	}
+	if h.Mem().Live() != 0 {
+		t.Fatalf("%d buffers leaked", h.Mem().Live())
+	}
+}
+
+func TestCheckpointedItemsResumeExactlyOnceEach(t *testing.T) {
+	_, h := checkpointWorkload(t, checkpointConfig(sim.Millisecond, sim.Millisecond))
+	type key struct {
+		app        int64
+		task, item int
+	}
+	starts := map[key]int{}
+	ckpts := map[key]int{}
+	dones := map[key]int{}
+	for _, e := range h.Trace().Events() {
+		k := key{e.AppID, e.Task, e.Item}
+		switch e.Kind {
+		case trace.KindItemStart:
+			starts[k]++
+		case trace.KindCheckpoint:
+			ckpts[k]++
+		case trace.KindItemDone:
+			dones[k]++
+		}
+	}
+	for k, n := range dones {
+		if n != 1 {
+			t.Fatalf("item %+v finished %d times", k, n)
+		}
+		if starts[k] != 1+ckpts[k] {
+			t.Fatalf("item %+v: %d starts for %d checkpoints", k, starts[k], ckpts[k])
+		}
+	}
+	for k := range starts {
+		if dones[k] != 1 {
+			t.Fatalf("item %+v never finished", k)
+		}
+	}
+}
+
+func TestCheckpointFreesSlotFasterThanBatchBoundary(t *testing.T) {
+	// Compare the high-priority newcomers' responses under batch vs
+	// cheap-checkpoint preemption: with 507 ms / 1.6 s items in flight,
+	// instant checkpointing must serve newcomers at least as fast.
+	batchCfg := hv.DefaultConfig()
+	batchCfg.EnableTrace = true
+	batchRes, _ := checkpointWorkload(t, batchCfg)
+	ckptRes, _ := checkpointWorkload(t, checkpointConfig(sim.Millisecond, sim.Millisecond))
+	var batchHigh, ckptHigh sim.Duration
+	for i := range batchRes {
+		if batchRes[i].Priority == 9 {
+			batchHigh += batchRes[i].Response
+			ckptHigh += ckptRes[i].Response
+		}
+	}
+	if ckptHigh > batchHigh {
+		t.Fatalf("cheap checkpointing slower for high-priority apps: %v vs %v", ckptHigh, batchHigh)
+	}
+}
+
+func TestCheckpointConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := checkpointConfig(-1, 0)
+	if _, err := hv.New(eng, cfg, core.New(core.DefaultOptions(), cfg.Board)); err == nil {
+		t.Fatal("negative save cost accepted")
+	}
+}
+
+func TestCheckpointDeterminism(t *testing.T) {
+	a, _ := checkpointWorkload(t, checkpointConfig(5*sim.Millisecond, 5*sim.Millisecond))
+	b, _ := checkpointWorkload(t, checkpointConfig(5*sim.Millisecond, 5*sim.Millisecond))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

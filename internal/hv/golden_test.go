@@ -1,0 +1,137 @@
+package hv_test
+
+import (
+	"testing"
+
+	"nimblock/internal/core"
+	"nimblock/internal/hv"
+	"nimblock/internal/sched"
+	"nimblock/internal/sched/fcfs"
+	"nimblock/internal/sim"
+	"nimblock/internal/taskgraph"
+)
+
+// goldenGraph is a 2-task chain with 100 ms items.
+func goldenGraph(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	b := taskgraph.NewBuilder("golden")
+	x := b.AddTask("t0", 100*sim.Millisecond)
+	y := b.AddTask("t1", 100*sim.Millisecond)
+	b.Chain(x, y)
+	return b.MustBuild()
+}
+
+// reconfigTime derives the exact per-slot reconfiguration latency from
+// the analytic single-slot formula: n*R + batch*work.
+func reconfigTime(t *testing.T, g *taskgraph.Graph) sim.Duration {
+	t.Helper()
+	ss := hv.SingleSlotLatencyFor(hv.DefaultConfig().Board, g, 1)
+	return (ss - g.TotalWork()) / sim.Duration(g.NumTasks())
+}
+
+// TestGoldenScheduleFCFS pins the exact timeline of one bulk-mode app on
+// two slots:
+//
+//	t=0       arrival; t0 queued on the CAP, t1 behind it (prefetch)
+//	t=R       t0 live; items at [R, R+L], [R+L, R+2L]
+//	t=2R      t1 live, waits for t0's whole batch (bulk readiness)
+//	t=R+2L    t0 done; t1 items at [R+2L, R+3L], [R+3L, R+4L]
+//	retire at R+4L (R < L, so reconfigurations hide behind compute)
+func TestGoldenScheduleFCFS(t *testing.T) {
+	g := goldenGraph(t)
+	R := reconfigTime(t, g)
+	L := 100 * sim.Millisecond
+	if R >= L {
+		t.Fatalf("golden schedule assumes R < L (R=%v)", R)
+	}
+	eng := sim.NewEngine()
+	cfg := hv.DefaultConfig()
+	cfg.Board.Slots = 2
+	h, err := hv.New(eng, cfg, fcfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Submit(g, 2, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.FirstLaunch != sim.Time(0).Add(R) {
+		t.Errorf("first launch at %v, want %v", r.FirstLaunch, R)
+	}
+	want := sim.Time(0).Add(R + 4*L)
+	if r.Retire != want {
+		t.Errorf("retire at %v, want %v", r.Retire, want)
+	}
+	if r.Run != 4*L {
+		t.Errorf("run = %v, want %v", r.Run, 4*L)
+	}
+	if r.Reconfig != 2*R {
+		t.Errorf("reconfig = %v, want %v", r.Reconfig, 2*R)
+	}
+}
+
+// TestGoldenScheduleNimblockPipelined pins the pipelined timeline of the
+// same app under Nimblock:
+//
+//	t0 items at [R, R+L], [R+L, R+2L]
+//	t1 live at 2R; item 0 ready at R+L (> 2R), so items at
+//	[R+L, R+2L], [R+2L, R+3L] — retire at R+3L: pipelining saves L.
+func TestGoldenScheduleNimblockPipelined(t *testing.T) {
+	g := goldenGraph(t)
+	R := reconfigTime(t, g)
+	L := 100 * sim.Millisecond
+	if 2*R >= R+L {
+		t.Fatalf("golden schedule assumes 2R < R+L (R=%v)", R)
+	}
+	eng := sim.NewEngine()
+	cfg := hv.DefaultConfig()
+	cfg.Board.Slots = 2
+	h, err := hv.New(eng, cfg, core.New(core.DefaultOptions(), cfg.Board))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Submit(g, 2, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	want := sim.Time(0).Add(R + 3*L)
+	if r.Retire != want {
+		t.Errorf("retire at %v, want %v (pipelining must save one item)", r.Retire, want)
+	}
+}
+
+// Preempting a free or configuring slot is a contract violation.
+func TestRoguePreempt(t *testing.T) {
+	eng := sim.NewEngine()
+	h, err := hv.New(eng, hv.DefaultConfig(), &roguePreempt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := goldenGraph(t)
+	if err := h.Submit(g, 1, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Run(); err == nil {
+		t.Fatal("preempt of empty slot did not fail the run")
+	}
+}
+
+type roguePreempt struct{ fired bool }
+
+func (r *roguePreempt) Name() string     { return "rogue-preempt" }
+func (r *roguePreempt) Pipelining() bool { return false }
+func (r *roguePreempt) Schedule(w sched.World, why sched.Reason) {
+	if r.fired {
+		return
+	}
+	r.fired = true
+	w.RequestPreempt(3) // nothing is configured there
+}

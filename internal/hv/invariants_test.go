@@ -1,0 +1,374 @@
+package hv_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nimblock/internal/taskgraph"
+	"testing"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/core"
+	"nimblock/internal/hv"
+	"nimblock/internal/sched"
+	"nimblock/internal/sim"
+	"nimblock/internal/trace"
+	"nimblock/internal/workload"
+)
+
+// traceRun replays a generated sequence with tracing and returns the
+// results and log.
+func traceRun(t *testing.T, mk func() sched.Scheduler, seq workload.Sequence) ([]hv.Result, *trace.Log) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := hv.DefaultConfig()
+	cfg.EnableTrace = true
+	h, err := hv.New(eng, cfg, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range seq {
+		if err := h.Submit(apps.MustGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := h.Run()
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	return res, h.Trace()
+}
+
+// checkTraceInvariants verifies structural properties that must hold for
+// every policy and workload:
+//
+//  1. CAP serialization: reconfiguration intervals never overlap, even
+//     across different slots.
+//  2. Slot exclusivity: a slot hosts at most one activity at a time
+//     (reconfig or item), and items only run on configured slots.
+//  3. Item conservation: every (app, task, item) starts exactly once and
+//     finishes exactly once.
+//  4. Preemptions happen only at batch boundaries (no open item).
+//  5. Every application arrival has a matching retire, in causal order.
+func checkTraceInvariants(t *testing.T, lg *trace.Log, results []hv.Result) {
+	t.Helper()
+	type slotState struct {
+		reconfiguring bool
+		loaded        bool
+		itemOpen      bool
+	}
+	slots := map[int]*slotState{}
+	st := func(s int) *slotState {
+		if slots[s] == nil {
+			slots[s] = &slotState{}
+		}
+		return slots[s]
+	}
+	type itemKey struct {
+		app        int64
+		task, item int
+	}
+	started := map[itemKey]int{}
+	finished := map[itemKey]int{}
+	arrived := map[int64]sim.Time{}
+	retired := map[int64]sim.Time{}
+
+	for _, e := range lg.Events() {
+		switch e.Kind {
+		case trace.KindArrival:
+			arrived[e.AppID] = e.At
+		case trace.KindRetire:
+			if _, ok := arrived[e.AppID]; !ok {
+				t.Fatalf("retire before arrival: %v", e)
+			}
+			retired[e.AppID] = e.At
+		case trace.KindReconfigStart:
+			s := st(e.Slot)
+			if s.reconfiguring || s.loaded || s.itemOpen {
+				t.Fatalf("reconfig start on busy slot: %v", e)
+			}
+			s.reconfiguring = true
+		case trace.KindReconfigDone:
+			s := st(e.Slot)
+			if !s.reconfiguring {
+				t.Fatalf("reconfig done without start: %v", e)
+			}
+			s.reconfiguring = false
+			s.loaded = true
+		case trace.KindItemStart:
+			s := st(e.Slot)
+			if !s.loaded {
+				t.Fatalf("item start on unconfigured slot: %v", e)
+			}
+			if s.itemOpen {
+				t.Fatalf("two items in flight on slot %d: %v", e.Slot, e)
+			}
+			s.itemOpen = true
+			started[itemKey{e.AppID, e.Task, e.Item}]++
+		case trace.KindItemDone:
+			s := st(e.Slot)
+			if !s.itemOpen {
+				t.Fatalf("item done without start: %v", e)
+			}
+			s.itemOpen = false
+			finished[itemKey{e.AppID, e.Task, e.Item}]++
+		case trace.KindPreempt:
+			s := st(e.Slot)
+			if s.itemOpen {
+				t.Fatalf("preemption mid-item: %v", e)
+			}
+			if !s.loaded {
+				t.Fatalf("preemption of unloaded slot: %v", e)
+			}
+			s.loaded = false
+		case trace.KindTaskDone:
+			s := st(e.Slot)
+			if s.itemOpen {
+				t.Fatalf("task done with item in flight: %v", e)
+			}
+			s.loaded = false
+		case trace.KindFault:
+			// Unrecoverable reconfiguration fault: the slot is freed.
+			s := st(e.Slot)
+			if !s.reconfiguring {
+				t.Fatalf("fault on slot not reconfiguring: %v", e)
+			}
+			s.reconfiguring = false
+		}
+	}
+	for k, n := range started {
+		if n != 1 {
+			t.Fatalf("item %+v started %d times", k, n)
+		}
+		if finished[k] != 1 {
+			t.Fatalf("item %+v finished %d times", k, finished[k])
+		}
+	}
+	for k := range finished {
+		if started[k] != 1 {
+			t.Fatalf("item %+v finished without start", k)
+		}
+	}
+	if len(arrived) != len(results) || len(retired) != len(results) {
+		t.Fatalf("%d arrivals, %d retires, %d results", len(arrived), len(retired), len(results))
+	}
+	for id, at := range retired {
+		if at < arrived[id] {
+			t.Fatalf("app %d retired (%v) before arrival (%v)", id, at, arrived[id])
+		}
+	}
+}
+
+// checkCAPSerialization verifies the single configuration port globally:
+// successive reconfiguration completions are spaced by at least one full
+// reconfiguration time (trace records queueing at start, so completions
+// are the serialization witness).
+func checkCAPSerialization(t *testing.T, lg *trace.Log) {
+	t.Helper()
+	var last sim.Time
+	first := true
+	// One slot image takes ~80 ms end to end on the default board.
+	minGap := 70 * sim.Millisecond
+	for _, e := range lg.Events() {
+		if e.Kind != trace.KindReconfigDone {
+			continue
+		}
+		if !first && e.At.Sub(last) < minGap {
+			t.Fatalf("reconfigurations completed %v apart (< %v): CAP not serialized", e.At.Sub(last), minGap)
+		}
+		last, first = e.At, false
+	}
+}
+
+// Randomized invariant sweep across all five policies.
+func TestTraceInvariantsAcrossPolicies(t *testing.T) {
+	for name, mk := range policies() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				seq := workload.Generate(workload.Spec{
+					Scenario: workload.Stress,
+					Events:   10,
+					// Bound batch so the sweep stays fast.
+					FixedBatch: int(seed*3) % 8,
+				}, seed)
+				res, lg := traceRun(t, mk, seq)
+				checkTraceInvariants(t, lg, res)
+				checkCAPSerialization(t, lg)
+			}
+		})
+	}
+}
+
+// The same invariants hold for the ablation variants, which exercise
+// preemption and pipelining paths differently.
+func TestTraceInvariantsAblations(t *testing.T) {
+	board := hv.DefaultConfig().Board
+	variants := map[string]core.Options{
+		"NoPreempt":       {Pipelining: true},
+		"NoPipe":          {Preemption: true},
+		"NoPreemptNoPipe": {},
+	}
+	for name, opts := range variants {
+		name, opts := name, opts
+		t.Run(name, func(t *testing.T) {
+			seq := workload.Generate(workload.Spec{Scenario: workload.RealTime, Events: 10}, 5)
+			res, lg := traceRun(t, func() sched.Scheduler { return core.New(opts, board) }, seq)
+			checkTraceInvariants(t, lg, res)
+		})
+	}
+}
+
+// Invariants hold under reconfiguration fault injection too.
+func TestTraceInvariantsWithFaults(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := hv.DefaultConfig()
+	cfg.EnableTrace = true
+	cfg.Board.FaultRate = 0.15
+	cfg.Board.FaultSeed = 3
+	cfg.Board.MaxRetries = 50
+	h, err := hv.New(eng, cfg, core.New(core.DefaultOptions(), cfg.Board))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := workload.Generate(workload.Spec{Scenario: workload.Stress, Events: 8}, 11)
+	for _, ev := range seq {
+		if err := h.Submit(apps.MustGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTraceInvariants(t, h.Trace(), res)
+	if h.Board().Stats().Faults == 0 {
+		t.Fatal("fault injection inactive")
+	}
+}
+
+// Response-time accounting is consistent with the trace: an app's
+// first item-start matches FirstLaunch and its retire matches Retire.
+func TestAccountingMatchesTrace(t *testing.T) {
+	board := hv.DefaultConfig().Board
+	seq := workload.Generate(workload.Spec{Scenario: workload.Standard, Events: 8}, 21)
+	res, lg := traceRun(t, func() sched.Scheduler { return core.New(core.DefaultOptions(), board) }, seq)
+	firstStart := map[int64]sim.Time{}
+	retire := map[int64]sim.Time{}
+	for _, e := range lg.Events() {
+		switch e.Kind {
+		case trace.KindItemStart:
+			if _, ok := firstStart[e.AppID]; !ok {
+				firstStart[e.AppID] = e.At
+			}
+		case trace.KindRetire:
+			retire[e.AppID] = e.At
+		}
+	}
+	for _, r := range res {
+		if firstStart[r.AppID] != r.FirstLaunch {
+			t.Errorf("app %d: FirstLaunch %v, trace %v", r.AppID, r.FirstLaunch, firstStart[r.AppID])
+		}
+		if retire[r.AppID] != r.Retire {
+			t.Errorf("app %d: Retire %v, trace %v", r.AppID, r.Retire, retire[r.AppID])
+		}
+	}
+}
+
+// randomDAGGraph builds a random DAG application with forward edges and
+// mixed task latencies, exercising join/fork readiness paths the chain
+// benchmarks never hit.
+func randomDAGGraph(seed int64, name string) *taskgraph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(10)
+	b := taskgraph.NewBuilder(name)
+	for i := 0; i < n; i++ {
+		b.AddTask("t", sim.Duration(5+rng.Intn(200))*sim.Millisecond)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Property: random DAG applications complete under every policy with all
+// trace invariants intact.
+func TestRandomDAGInvariantsProperty(t *testing.T) {
+	for name, mk := range policies() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(100); seed < 106; seed++ {
+				eng := sim.NewEngine()
+				cfg := hv.DefaultConfig()
+				cfg.EnableTrace = true
+				h, err := hv.New(eng, cfg, mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(seed))
+				nApps := 2 + rng.Intn(4)
+				for i := 0; i < nApps; i++ {
+					g := randomDAGGraph(seed*31+int64(i), fmt.Sprintf("dag%d-%d", seed, i))
+					batch := 1 + rng.Intn(6)
+					prio := []int{1, 3, 9}[rng.Intn(3)]
+					at := sim.Time(rng.Intn(2_000_000))
+					if err := h.Submit(g, batch, prio, at); err != nil {
+						t.Fatal(err)
+					}
+				}
+				res, err := h.Run()
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				checkTraceInvariants(t, h.Trace(), res)
+				// Work conservation on arbitrary DAGs.
+				for _, r := range res {
+					if r.Run <= 0 {
+						t.Fatalf("seed %d: app %s ran for %v", seed, r.App, r.Run)
+					}
+				}
+				if h.Mem().Live() != 0 {
+					t.Fatalf("seed %d: %d buffers leaked", seed, h.Mem().Live())
+				}
+			}
+		})
+	}
+}
+
+// The hypervisor's accounting must agree with trace-derived summaries.
+func TestSummariesMatchAccounting(t *testing.T) {
+	board := hv.DefaultConfig().Board
+	seq := workload.Generate(workload.Spec{Scenario: workload.Stress, Events: 8}, 31)
+	res, lg := traceRun(t, func() sched.Scheduler { return core.New(core.DefaultOptions(), board) }, seq)
+	sums := lg.Summarize()
+	if len(sums) != len(res) {
+		t.Fatalf("%d summaries for %d results", len(sums), len(res))
+	}
+	byID := map[int64]hv.Result{}
+	for _, r := range res {
+		byID[r.AppID] = r
+	}
+	for _, s := range sums {
+		r := byID[s.AppID]
+		if s.Response() != r.Response {
+			t.Errorf("app %d: summary response %v vs accounting %v", s.AppID, s.Response(), r.Response)
+		}
+		if s.ComputeTime != r.Run {
+			t.Errorf("app %d: summary compute %v vs accounting %v", s.AppID, s.ComputeTime, r.Run)
+		}
+		if s.Preemptions != r.Preemptions {
+			t.Errorf("app %d: summary preempts %d vs accounting %d", s.AppID, s.Preemptions, r.Preemptions)
+		}
+		if s.Reconfigs != r.Reconfigurations {
+			t.Errorf("app %d: summary reconfigs %d vs accounting %d", s.AppID, s.Reconfigs, r.Reconfigurations)
+		}
+		g := apps.MustGraph(s.App)
+		if s.Items != g.NumTasks()*r.Batch {
+			t.Errorf("app %d: %d items, want %d", s.AppID, s.Items, g.NumTasks()*r.Batch)
+		}
+	}
+}

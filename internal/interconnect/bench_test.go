@@ -1,0 +1,25 @@
+package interconnect
+
+import "testing"
+
+func BenchmarkPSBusTransfer(b *testing.B) {
+	m, err := New(DefaultPSBus())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.TransferDone(0, i%10, (i+3)%10)
+	}
+}
+
+func BenchmarkNoCTransfer(b *testing.B) {
+	m, err := New(DefaultNoC())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.TransferDone(0, i%10, (i+3)%10)
+	}
+}

@@ -1,0 +1,193 @@
+// Package interconnect models inter-slot data movement on the Nimblock
+// overlay.
+//
+// On the evaluation system, slots exchange data through the processing
+// system: a producer writes its output buffer in shared DDR and the
+// consumer reads it back, serializing all transfers through the PS
+// memory interface. The paper's future-work section proposes a
+// Network-on-Chip for direct slot-to-slot transfers. This package
+// provides three models:
+//
+//   - Folded: transfers cost nothing extra (the calibrated default — the
+//     paper's measured task latencies already include data movement);
+//   - PSBus: transfers serialize through a single shared channel at a
+//     fixed bandwidth, like the real overlay;
+//   - NoC: transfers run in parallel over a mesh, with latency
+//     proportional to hop distance between slots.
+//
+// The hypervisor asks the model when a producer-to-consumer hand-off
+// completes; everything else (buffering, readiness) stays unchanged.
+package interconnect
+
+import (
+	"fmt"
+
+	"nimblock/internal/sim"
+)
+
+// Kind selects an interconnect model.
+type Kind int
+
+const (
+	// Folded charges no explicit transfer time (calibration default).
+	Folded Kind = iota
+	// PSBus serializes transfers through the processing system.
+	PSBus
+	// NoC transfers in parallel across a mesh between slots.
+	NoC
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Folded:
+		return "folded"
+	case PSBus:
+		return "ps-bus"
+	case NoC:
+		return "noc"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config parameterizes a model.
+type Config struct {
+	Kind Kind
+	// BytesPerItem is the data volume of one batch item hand-off.
+	BytesPerItem int64
+	// PSBandwidth is the shared PS channel bandwidth (bytes/s).
+	PSBandwidth float64
+	// NoCLinkBandwidth is the per-link NoC bandwidth (bytes/s).
+	NoCLinkBandwidth float64
+	// NoCHopLatency is the added latency per mesh hop.
+	NoCHopLatency sim.Duration
+	// MeshWidth is the number of slot columns in the NoC mesh (slots
+	// are laid out row-major); 0 defaults to 5 (a 5x2 mesh of 10 slots).
+	MeshWidth int
+}
+
+// DefaultConfig returns a Folded model (no explicit transfer cost).
+func DefaultConfig() Config { return Config{Kind: Folded} }
+
+// DefaultPSBus models the ZCU106's PS-mediated path: every hand-off is a
+// write to DDR plus a read back through HP ports that are shared with
+// control traffic and reconfiguration, so usable bandwidth is far below
+// the port peak and all transfers serialize.
+func DefaultPSBus() Config {
+	return Config{
+		Kind:         PSBus,
+		BytesPerItem: 16 << 20, // 16 MiB moved per hand-off (write + read back)
+		PSBandwidth:  0.8e9,    // usable shared bandwidth -> ~21 ms per hand-off
+	}
+}
+
+// DefaultNoC models a lightweight hard NoC between slots: direct
+// slot-to-slot links, transfers in parallel.
+func DefaultNoC() Config {
+	return Config{
+		Kind:             NoC,
+		BytesPerItem:     16 << 20,
+		NoCLinkBandwidth: 8e9, // ~2 ms per hand-off, no serialization
+		NoCHopLatency:    2 * sim.Microsecond,
+		MeshWidth:        5,
+	}
+}
+
+// Model computes transfer completion times. It is driven by the
+// hypervisor in virtual time; PSBus keeps internal channel state, so a
+// Model belongs to exactly one simulation.
+type Model struct {
+	cfg      Config
+	busyTill sim.Time // PSBus: when the shared channel frees
+	stats    Stats
+}
+
+// Stats counts transfer activity.
+type Stats struct {
+	Transfers int
+	Busy      sim.Duration // summed transfer durations
+	Queued    sim.Duration // summed waiting-for-channel time (PSBus)
+}
+
+// New builds a model.
+func New(cfg Config) (*Model, error) {
+	switch cfg.Kind {
+	case Folded:
+	case PSBus:
+		if cfg.PSBandwidth <= 0 || cfg.BytesPerItem <= 0 {
+			return nil, fmt.Errorf("interconnect: PS bus needs positive bandwidth and item size")
+		}
+	case NoC:
+		if cfg.NoCLinkBandwidth <= 0 || cfg.BytesPerItem <= 0 {
+			return nil, fmt.Errorf("interconnect: NoC needs positive bandwidth and item size")
+		}
+		if cfg.MeshWidth < 0 {
+			return nil, fmt.Errorf("interconnect: negative mesh width")
+		}
+	default:
+		return nil, fmt.Errorf("interconnect: unknown kind %v", cfg.Kind)
+	}
+	return &Model{cfg: cfg}, nil
+}
+
+// Kind reports the model kind.
+func (m *Model) Kind() Kind { return m.cfg.Kind }
+
+// Stats returns transfer counters.
+func (m *Model) Stats() Stats { return m.stats }
+
+// hops returns the Manhattan distance between two slots on the mesh.
+func (m *Model) hops(from, to int) int {
+	w := m.cfg.MeshWidth
+	if w <= 0 {
+		w = 5
+	}
+	fx, fy := from%w, from/w
+	tx, ty := to%w, to/w
+	dx, dy := fx-tx, fy-ty
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// TransferDone reports when one item's data, produced in slot from at
+// time now, becomes available to a consumer in slot to. A negative from
+// or to means the endpoint is the PS itself (application input/output),
+// which is free on all models.
+func (m *Model) TransferDone(now sim.Time, from, to int) sim.Time {
+	if from < 0 || to < 0 {
+		return now
+	}
+	switch m.cfg.Kind {
+	case Folded:
+		return now
+	case PSBus:
+		d := sim.Seconds(float64(m.cfg.BytesPerItem) / m.cfg.PSBandwidth)
+		start := now
+		if m.busyTill > start {
+			m.stats.Queued += m.busyTill.Sub(start)
+			start = m.busyTill
+		}
+		done := start.Add(d)
+		m.busyTill = done
+		m.stats.Transfers++
+		m.stats.Busy += d
+		return done
+	case NoC:
+		if from == to {
+			return now
+		}
+		d := sim.Seconds(float64(m.cfg.BytesPerItem)/m.cfg.NoCLinkBandwidth) +
+			sim.Duration(m.hops(from, to))*m.cfg.NoCHopLatency
+		m.stats.Transfers++
+		m.stats.Busy += d
+		return now.Add(d)
+	default:
+		return now
+	}
+}

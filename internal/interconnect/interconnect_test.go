@@ -1,0 +1,131 @@
+package interconnect
+
+import (
+	"testing"
+
+	"nimblock/internal/sim"
+)
+
+func TestFoldedIsFree(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TransferDone(100, 0, 9); got != 100 {
+		t.Fatalf("folded transfer took time: %v", got)
+	}
+	if m.Stats().Transfers != 0 {
+		t.Fatal("folded model counted transfers")
+	}
+}
+
+func TestPSBusSerializes(t *testing.T) {
+	cfg := DefaultPSBus()
+	cfg.BytesPerItem = 1_000_000
+	cfg.PSBandwidth = 1e6 // 1 s per transfer
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := sim.Time(sim.Second)
+	d1 := m.TransferDone(0, 0, 1)
+	d2 := m.TransferDone(0, 2, 3)
+	if d1 != sec {
+		t.Fatalf("first transfer done at %v, want 1s", d1)
+	}
+	if d2 != 2*sec {
+		t.Fatalf("second transfer done at %v, want 2s (serialized)", d2)
+	}
+	// A transfer starting after the channel frees is not delayed.
+	d3 := m.TransferDone(5*sec, 4, 5)
+	if d3 != 6*sec {
+		t.Fatalf("third transfer done at %v, want 6s", d3)
+	}
+	st := m.Stats()
+	if st.Transfers != 3 || st.Busy != 3*sim.Second || st.Queued != sim.Second {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNoCParallelAndDistance(t *testing.T) {
+	cfg := DefaultNoC()
+	cfg.BytesPerItem = 8_000_000
+	cfg.NoCLinkBandwidth = 8e9 // 1 ms serialization
+	cfg.NoCHopLatency = sim.Millisecond
+	cfg.MeshWidth = 5
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slots 0 and 1 are adjacent: 1 hop.
+	d := m.TransferDone(0, 0, 1)
+	if d != sim.Time(2*sim.Millisecond) {
+		t.Fatalf("adjacent transfer done at %v, want 2ms", d)
+	}
+	// Slots 0 and 9 on a 5x2 mesh: (0,0) -> (4,1) = 5 hops.
+	d = m.TransferDone(0, 0, 9)
+	if d != sim.Time(6*sim.Millisecond) {
+		t.Fatalf("far transfer done at %v, want 6ms", d)
+	}
+	// Transfers do not serialize.
+	d1 := m.TransferDone(0, 0, 1)
+	d2 := m.TransferDone(0, 2, 3)
+	if d1 != d2 {
+		t.Fatalf("NoC transfers serialized: %v vs %v", d1, d2)
+	}
+	// Same slot: free.
+	if got := m.TransferDone(42, 3, 3); got != 42 {
+		t.Fatalf("same-slot transfer took time: %v", got)
+	}
+}
+
+func TestPSEndpointsFree(t *testing.T) {
+	m, _ := New(DefaultPSBus())
+	if got := m.TransferDone(7, -1, 3); got != 7 {
+		t.Fatalf("input from PS took time: %v", got)
+	}
+	if got := m.TransferDone(7, 3, -1); got != 7 {
+		t.Fatalf("output to PS took time: %v", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Kind: PSBus},
+		{Kind: PSBus, BytesPerItem: 1},
+		{Kind: NoC, BytesPerItem: 1},
+		{Kind: NoC, BytesPerItem: 1, NoCLinkBandwidth: 1, MeshWidth: -1},
+		{Kind: Kind(99)},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	for _, good := range []Config{DefaultConfig(), DefaultPSBus(), DefaultNoC()} {
+		if _, err := New(good); err != nil {
+			t.Errorf("default config rejected: %v", err)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{Folded, PSBus, NoC, Kind(99)} {
+		if k.String() == "" {
+			t.Fatalf("empty name for kind %d", int(k))
+		}
+	}
+}
+
+func TestNoCFasterThanPSBusUnderContention(t *testing.T) {
+	ps, _ := New(DefaultPSBus())
+	noc, _ := New(DefaultNoC())
+	var psLast, nocLast sim.Time
+	for i := 0; i < 16; i++ {
+		psLast = ps.TransferDone(0, i%10, (i+1)%10)
+		nocLast = noc.TransferDone(0, i%10, (i+1)%10)
+	}
+	if nocLast >= psLast {
+		t.Fatalf("NoC (%v) not faster than PS bus (%v) for 16 concurrent transfers", nocLast, psLast)
+	}
+}

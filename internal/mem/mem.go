@@ -1,0 +1,144 @@
+// Package mem models the hypervisor's data-buffer management.
+//
+// On the real system the hypervisor allocates buffers in shared DDR for
+// each task launch; user logic reads inputs from and writes outputs to
+// those buffers through its memory-mapped data interface, and the
+// hypervisor relinquishes buffers once every consumer has finished with
+// them. The simulation keeps the same allocate/retain/release discipline
+// with byte-level accounting so leaks and double-releases are detectable.
+package mem
+
+import (
+	"fmt"
+
+	"nimblock/internal/sim"
+)
+
+// Buffer is one allocation in shared system memory.
+type Buffer struct {
+	ID    int64
+	Owner string // application that owns the data
+	Label string // what the buffer holds, e.g. "task3.out"
+	Bytes int64
+	refs  int
+}
+
+// Refs reports the current reference count.
+func (b *Buffer) Refs() int { return b.refs }
+
+// Manager tracks live buffers against a fixed DDR capacity.
+type Manager struct {
+	capacity int64
+	live     map[int64]*Buffer
+	nextID   int64
+	used     int64
+	peak     int64
+	allocs   int64
+	frees    int64
+}
+
+// NewManager returns a manager for a memory of the given capacity in
+// bytes. Capacity must be positive.
+func NewManager(capacity int64) (*Manager, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("mem: capacity must be positive, got %d", capacity)
+	}
+	return &Manager{capacity: capacity, live: map[int64]*Buffer{}}, nil
+}
+
+// Allocate reserves a buffer with an initial reference count. refs must be
+// at least 1; the buffer is freed when Release drops it to zero.
+func (m *Manager) Allocate(owner, label string, bytes int64, refs int) (*Buffer, error) {
+	if bytes < 0 {
+		return nil, fmt.Errorf("mem: negative allocation %d for %s/%s", bytes, owner, label)
+	}
+	if refs < 1 {
+		return nil, fmt.Errorf("mem: allocation %s/%s needs at least one reference", owner, label)
+	}
+	if m.used+bytes > m.capacity {
+		return nil, fmt.Errorf("mem: out of memory: %d used + %d requested > %d capacity", m.used, bytes, m.capacity)
+	}
+	m.nextID++
+	b := &Buffer{ID: m.nextID, Owner: owner, Label: label, Bytes: bytes, refs: refs}
+	m.live[b.ID] = b
+	m.used += bytes
+	m.allocs++
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+	return b, nil
+}
+
+// Retain adds a reference to a live buffer.
+func (m *Manager) Retain(id int64) error {
+	b, ok := m.live[id]
+	if !ok {
+		return fmt.Errorf("mem: retain of dead buffer %d", id)
+	}
+	b.refs++
+	return nil
+}
+
+// Release drops one reference; the buffer is freed at zero.
+func (m *Manager) Release(id int64) error {
+	b, ok := m.live[id]
+	if !ok {
+		return fmt.Errorf("mem: release of dead buffer %d", id)
+	}
+	b.refs--
+	if b.refs == 0 {
+		delete(m.live, id)
+		m.used -= b.Bytes
+		m.frees++
+	}
+	return nil
+}
+
+// ReleaseOwner force-releases every buffer owned by an application,
+// regardless of reference count. The hypervisor uses this when retiring
+// an application.
+func (m *Manager) ReleaseOwner(owner string) int {
+	n := 0
+	for id, b := range m.live {
+		if b.Owner == owner {
+			delete(m.live, id)
+			m.used -= b.Bytes
+			m.frees++
+			n++
+		}
+	}
+	return n
+}
+
+// Used reports live bytes.
+func (m *Manager) Used() int64 { return m.used }
+
+// Peak reports the high-water mark of live bytes.
+func (m *Manager) Peak() int64 { return m.peak }
+
+// Capacity reports the configured capacity.
+func (m *Manager) Capacity() int64 { return m.capacity }
+
+// Live reports the number of live buffers.
+func (m *Manager) Live() int { return len(m.live) }
+
+// Stats summarizes allocation activity.
+type Stats struct {
+	Allocs, Frees int64
+	Used, Peak    int64
+}
+
+// Stats returns current counters.
+func (m *Manager) Stats() Stats {
+	return Stats{Allocs: m.allocs, Frees: m.frees, Used: m.used, Peak: m.peak}
+}
+
+// TransferTime models moving n bytes over the PS interconnect at the
+// given bandwidth; inter-slot communication goes through the PS on this
+// overlay (no NoC).
+func TransferTime(bytes int64, bytesPerSec float64) sim.Duration {
+	if bytesPerSec <= 0 || bytes <= 0 {
+		return 0
+	}
+	return sim.Seconds(float64(bytes) / bytesPerSec)
+}

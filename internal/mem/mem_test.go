@@ -1,0 +1,156 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nimblock/internal/sim"
+)
+
+func newMgr(t *testing.T, cap int64) *Manager {
+	t.Helper()
+	m, err := NewManager(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAllocateReleaseAccounting(t *testing.T) {
+	m := newMgr(t, 1000)
+	b, err := m.Allocate("app", "t0.out", 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 400 || m.Live() != 1 || m.Peak() != 400 {
+		t.Fatalf("after alloc: used=%d live=%d peak=%d", m.Used(), m.Live(), m.Peak())
+	}
+	if err := m.Release(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 400 {
+		t.Fatal("buffer freed while references remain")
+	}
+	if err := m.Release(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 0 || m.Live() != 0 {
+		t.Fatalf("after final release: used=%d live=%d", m.Used(), m.Live())
+	}
+	if err := m.Release(b.ID); err == nil {
+		t.Fatal("double release accepted")
+	}
+}
+
+func TestRetain(t *testing.T) {
+	m := newMgr(t, 1000)
+	b, _ := m.Allocate("app", "x", 10, 1)
+	if err := m.Retain(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(b.ID)
+	if m.Live() != 1 {
+		t.Fatal("retained buffer freed early")
+	}
+	m.Release(b.ID)
+	if m.Live() != 0 {
+		t.Fatal("buffer not freed")
+	}
+	if err := m.Retain(b.ID); err == nil {
+		t.Fatal("retain of dead buffer accepted")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	m := newMgr(t, 100)
+	if _, err := m.Allocate("a", "x", 60, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Allocate("a", "y", 60, 1); err == nil {
+		t.Fatal("over-capacity allocation accepted")
+	}
+	if m.Used() != 60 {
+		t.Fatal("failed allocation changed accounting")
+	}
+}
+
+func TestAllocationValidation(t *testing.T) {
+	m := newMgr(t, 100)
+	if _, err := m.Allocate("a", "x", -1, 1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if _, err := m.Allocate("a", "x", 1, 0); err == nil {
+		t.Fatal("zero refs accepted")
+	}
+	if _, err := NewManager(0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestReleaseOwner(t *testing.T) {
+	m := newMgr(t, 1000)
+	m.Allocate("a", "x", 100, 5)
+	m.Allocate("a", "y", 100, 5)
+	m.Allocate("b", "z", 100, 5)
+	if n := m.ReleaseOwner("a"); n != 2 {
+		t.Fatalf("ReleaseOwner freed %d buffers, want 2", n)
+	}
+	if m.Used() != 100 || m.Live() != 1 {
+		t.Fatalf("after owner release: used=%d live=%d", m.Used(), m.Live())
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := newMgr(t, 1000)
+	b, _ := m.Allocate("a", "x", 10, 1)
+	m.Release(b.ID)
+	s := m.Stats()
+	if s.Allocs != 1 || s.Frees != 1 || s.Used != 0 || s.Peak != 10 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if m.Capacity() != 1000 {
+		t.Fatalf("capacity = %d", m.Capacity())
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	if got := TransferTime(1_000_000, 1e6); got != sim.Second {
+		t.Fatalf("TransferTime = %v", got)
+	}
+	if TransferTime(0, 1e6) != 0 || TransferTime(100, 0) != 0 {
+		t.Fatal("degenerate transfers should be free")
+	}
+}
+
+// Property: any sequence of allocations each matched with refs releases
+// returns the manager to zero usage, and peak never exceeds capacity.
+func TestConservationProperty(t *testing.T) {
+	f := func(sizes []uint16, refs []uint8) bool {
+		m, _ := NewManager(1 << 40)
+		var ids []int64
+		var counts []int
+		for i, sz := range sizes {
+			r := 1
+			if i < len(refs) {
+				r = int(refs[i]%4) + 1
+			}
+			b, err := m.Allocate("p", "x", int64(sz), r)
+			if err != nil {
+				return false
+			}
+			ids = append(ids, b.ID)
+			counts = append(counts, r)
+		}
+		for i, id := range ids {
+			for j := 0; j < counts[i]; j++ {
+				if err := m.Release(id); err != nil {
+					return false
+				}
+			}
+		}
+		return m.Used() == 0 && m.Live() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

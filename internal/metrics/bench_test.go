@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"nimblock/internal/hv"
+	"nimblock/internal/sim"
+)
+
+func benchResults(n int) ([]hv.Result, []hv.Result, map[int64]sim.Duration) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]hv.Result, n)
+	algo := make([]hv.Result, n)
+	ss := map[int64]sim.Duration{}
+	for i := 0; i < n; i++ {
+		id := int64(i + 1)
+		base[i] = hv.Result{AppID: id, Priority: 9, Response: sim.Seconds(1 + 100*rng.Float64())}
+		algo[i] = hv.Result{AppID: id, Priority: 9, Response: sim.Seconds(1 + 50*rng.Float64())}
+		ss[id] = sim.Seconds(1 + 10*rng.Float64())
+	}
+	return base, algo, ss
+}
+
+func BenchmarkReductions(b *testing.B) {
+	base, algo, _ := benchResults(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reductions(base, algo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeadlineSweep(b *testing.B) {
+	_, algo, ss := benchResults(200)
+	spec := DefaultDeadlineSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DeadlineSweep(algo, ss, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPercentile(b *testing.B) {
+	xs := make([]float64, 10_000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Percentile(xs, 99)
+	}
+}

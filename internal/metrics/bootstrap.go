@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Point, Lo, Hi float64
+}
+
+// String renders the interval compactly.
+func (c CI) String() string {
+	return fmt.Sprintf("%.3f [%.3f, %.3f]", c.Point, c.Lo, c.Hi)
+}
+
+// BootstrapMeanCI estimates a confidence interval for the mean by the
+// percentile bootstrap with the given number of resamples and confidence
+// level (e.g. 0.95). Resampling is seeded and deterministic, matching
+// the repository's reproducibility discipline.
+func BootstrapMeanCI(xs []float64, resamples int, confidence float64, seed int64) (CI, error) {
+	if len(xs) == 0 {
+		return CI{}, fmt.Errorf("metrics: bootstrap over empty sample")
+	}
+	if resamples < 1 {
+		return CI{}, fmt.Errorf("metrics: need at least one resample")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return CI{}, fmt.Errorf("metrics: confidence %v outside (0,1)", confidence)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = xs[rng.Intn(len(xs))]
+		}
+		means[r] = Mean(buf)
+	}
+	sort.Float64s(means)
+	alpha := (1 - confidence) / 2
+	lo := means[int(alpha*float64(resamples-1))]
+	hi := means[int((1-alpha)*float64(resamples-1))]
+	return CI{Point: Mean(xs), Lo: lo, Hi: hi}, nil
+}

@@ -1,0 +1,250 @@
+// Package optsched computes offline reference schedules with full
+// knowledge of the workload — the comparison point the paper draws
+// against DML, whose ILP solver finds optimal schedules but "relies on
+// prior knowledge of applications and their arrival times" and sits on
+// the critical path.
+//
+// The search space is the class of *eager list schedules*: a global
+// configuration order over every (application, task) pair that respects
+// each task-graph's topological order; the hypervisor configures the
+// next task in the order as soon as a slot is free and the task is
+// configurable, and items flow with cross-batch pipelining. Slots are
+// uniform, so the order is the only spatial decision that matters. The
+// package enumerates every linear extension of the per-application task
+// orders (feasible only for small instances, exactly like the ILP) and
+// replays each through the real hypervisor mechanics, returning the
+// order minimizing mean response time.
+package optsched
+
+import (
+	"fmt"
+	"math"
+
+	"nimblock/internal/hv"
+	"nimblock/internal/sched"
+	"nimblock/internal/sim"
+	"nimblock/internal/taskgraph"
+)
+
+// Job is one application in the offline instance.
+type Job struct {
+	Graph    *taskgraph.Graph
+	Batch    int
+	Priority int
+	Arrival  sim.Time
+}
+
+// Step is one entry of a global configuration order.
+type Step struct {
+	Job  int // index into the instance's jobs
+	Task int
+}
+
+// Schedule is the outcome of evaluating one configuration order.
+type Schedule struct {
+	Order        []Step
+	MeanResponse sim.Duration
+	Results      []hv.Result
+}
+
+// scripted configures tasks strictly in the given global order: the head
+// of the order is configured as soon as it is configurable and a slot is
+// free; later entries wait for the head. Cross-batch pipelining is on
+// (the schedule class DML's formulation optimizes over). The policy is
+// the only configurer, so a job cannot retire while it still has steps
+// in the order — a missing job simply has not arrived yet and blocks.
+type scripted struct {
+	order []Step
+	pos   int
+}
+
+func (s *scripted) Name() string     { return "scripted" }
+func (s *scripted) Pipelining() bool { return true }
+
+func (s *scripted) Schedule(w sched.World, why sched.Reason) {
+	apps := w.Apps()
+	for s.pos < len(s.order) {
+		step := s.order[s.pos]
+		var app *sched.App
+		for _, a := range apps {
+			if int(a.ID) == step.Job+1 { // hypervisor assigns IDs in submission order
+				app = a
+				break
+			}
+		}
+		if app == nil {
+			return // not arrived yet; the order waits
+		}
+		if !app.Configurable(step.Task) {
+			return // upstream tasks must finish configuring first
+		}
+		free := w.FreeSlots()
+		if len(free) == 0 {
+			return
+		}
+		if err := w.Reconfigure(free[0], app, step.Task); err != nil {
+			return
+		}
+		s.pos++
+	}
+}
+
+// Evaluate replays one configuration order through the hypervisor.
+func Evaluate(jobs []Job, order []Step, cfg hv.Config) (*Schedule, error) {
+	if err := validateOrder(jobs, order); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	pol := &scripted{order: order}
+	h, err := hv.New(eng, cfg, pol)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range jobs {
+		if err := h.Submit(j.Graph, j.Batch, j.Priority, j.Arrival); err != nil {
+			return nil, err
+		}
+	}
+	results, err := h.Run()
+	if err != nil {
+		return nil, err
+	}
+	var total sim.Duration
+	for _, r := range results {
+		total += r.Response
+	}
+	return &Schedule{
+		Order:        order,
+		MeanResponse: total / sim.Duration(len(results)),
+		Results:      results,
+	}, nil
+}
+
+// validateOrder checks the order covers every task of every job exactly
+// once and respects topological precedence within each job.
+func validateOrder(jobs []Job, order []Step) error {
+	seen := map[Step]bool{}
+	progress := make([]int, len(jobs))
+	ranks := make([][]int, len(jobs))
+	topoAt := make([][]int, len(jobs))
+	total := 0
+	for i, j := range jobs {
+		ranks[i] = j.Graph.TopoRank()
+		topoAt[i] = j.Graph.Topo()
+		total += j.Graph.NumTasks()
+	}
+	if len(order) != total {
+		return fmt.Errorf("optsched: order has %d steps for %d tasks", len(order), total)
+	}
+	for _, s := range order {
+		if s.Job < 0 || s.Job >= len(jobs) {
+			return fmt.Errorf("optsched: step references job %d", s.Job)
+		}
+		if s.Task < 0 || s.Task >= jobs[s.Job].Graph.NumTasks() {
+			return fmt.Errorf("optsched: step references task %d of job %d", s.Task, s.Job)
+		}
+		if seen[s] {
+			return fmt.Errorf("optsched: duplicate step %+v", s)
+		}
+		seen[s] = true
+		// Within a job, steps must follow the job's topological order;
+		// we require exactly the graph's canonical topo order per job,
+		// which loses no generality for chains and keeps enumeration
+		// tractable for DAGs (any linear extension of the interleaving
+		// is still explored across jobs).
+		want := topoAt[s.Job][progress[s.Job]]
+		if s.Task != want {
+			return fmt.Errorf("optsched: job %d steps out of topo order: got task %d, want %d", s.Job, s.Task, want)
+		}
+		progress[s.Job]++
+	}
+	return nil
+}
+
+// Enumerate calls fn with every interleaving of the jobs' canonical task
+// orders (one linear extension per multiset permutation). It returns the
+// number of orders visited. Instances are capped to keep the search
+// tractable; the multinomial count is checked up front.
+func Enumerate(jobs []Job, maxOrders int, fn func(order []Step) error) (int, error) {
+	if n := countInterleavings(jobs); n > float64(maxOrders) {
+		return 0, fmt.Errorf("optsched: %.0f interleavings exceed cap %d", n, maxOrders)
+	}
+	remaining := make([]int, len(jobs))
+	topo := make([][]int, len(jobs))
+	total := 0
+	for i, j := range jobs {
+		remaining[i] = j.Graph.NumTasks()
+		topo[i] = j.Graph.Topo()
+		total += j.Graph.NumTasks()
+	}
+	order := make([]Step, 0, total)
+	count := 0
+	var rec func() error
+	rec = func() error {
+		if len(order) == total {
+			count++
+			return fn(append([]Step(nil), order...))
+		}
+		for jb := range jobs {
+			if remaining[jb] == 0 {
+				continue
+			}
+			next := topo[jb][len(topo[jb])-remaining[jb]]
+			order = append(order, Step{Job: jb, Task: next})
+			remaining[jb]--
+			if err := rec(); err != nil {
+				return err
+			}
+			remaining[jb]++
+			order = order[:len(order)-1]
+		}
+		return nil
+	}
+	if err := rec(); err != nil {
+		return count, err
+	}
+	return count, nil
+}
+
+// countInterleavings computes the multinomial (Σn_i)! / Π n_i!.
+func countInterleavings(jobs []Job) float64 {
+	total := 0
+	for _, j := range jobs {
+		total += j.Graph.NumTasks()
+	}
+	out := 1.0
+	used := 0
+	for _, j := range jobs {
+		n := j.Graph.NumTasks()
+		// Multiply C(used+n, n) incrementally.
+		for k := 1; k <= n; k++ {
+			out *= float64(used+k) / float64(k)
+		}
+		used += n
+	}
+	_ = total
+	return math.Round(out)
+}
+
+// Best exhaustively searches the interleaving space and returns the
+// schedule minimizing mean response.
+func Best(jobs []Job, cfg hv.Config, maxOrders int) (*Schedule, int, error) {
+	var best *Schedule
+	visited, err := Enumerate(jobs, maxOrders, func(order []Step) error {
+		s, err := Evaluate(jobs, order, cfg)
+		if err != nil {
+			return err
+		}
+		if best == nil || s.MeanResponse < best.MeanResponse {
+			best = s
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, visited, err
+	}
+	if best == nil {
+		return nil, visited, fmt.Errorf("optsched: no feasible order found")
+	}
+	return best, visited, nil
+}

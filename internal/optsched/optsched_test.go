@@ -1,0 +1,156 @@
+package optsched
+
+import (
+	"testing"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/core"
+	"nimblock/internal/hv"
+	"nimblock/internal/sim"
+)
+
+func smallInstance() []Job {
+	return []Job{
+		{Graph: apps.MustGraph(apps.LeNet), Batch: 3, Priority: 3, Arrival: 0},
+		{Graph: apps.MustGraph(apps.Rendering3D), Batch: 2, Priority: 3, Arrival: sim.Time(100 * sim.Millisecond)},
+	}
+}
+
+func TestCountInterleavings(t *testing.T) {
+	// Two 3-task chains: C(6,3) = 20 interleavings.
+	if n := countInterleavings(smallInstance()); n != 20 {
+		t.Fatalf("countInterleavings = %v, want 20", n)
+	}
+	one := []Job{{Graph: apps.MustGraph(apps.LeNet)}}
+	if n := countInterleavings(one); n != 1 {
+		t.Fatalf("single job interleavings = %v", n)
+	}
+}
+
+func TestEnumerateVisitsAll(t *testing.T) {
+	jobs := smallInstance()
+	seen := map[string]bool{}
+	n, err := Enumerate(jobs, 100, func(order []Step) error {
+		key := ""
+		for _, s := range order {
+			key += string(rune('A' + s.Job))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate interleaving %q", key)
+		}
+		seen[key] = true
+		return validateOrder(jobs, order)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 || len(seen) != 20 {
+		t.Fatalf("visited %d orders, %d distinct", n, len(seen))
+	}
+}
+
+func TestEnumerateCap(t *testing.T) {
+	jobs := []Job{
+		{Graph: apps.MustGraph(apps.OpticalFlow)},
+		{Graph: apps.MustGraph(apps.OpticalFlow)},
+	}
+	// C(18,9) = 48620 > 100.
+	if _, err := Enumerate(jobs, 100, func([]Step) error { return nil }); err == nil {
+		t.Fatal("cap not enforced")
+	}
+}
+
+func TestValidateOrder(t *testing.T) {
+	jobs := smallInstance()
+	good := []Step{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0, 2}, {1, 2}}
+	if err := validateOrder(jobs, good); err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]Step{
+		{{0, 0}}, // wrong length
+		{{0, 1}, {0, 0}, {0, 2}, {1, 0}, {1, 1}, {1, 2}}, // topo violation
+		{{0, 0}, {0, 0}, {0, 2}, {1, 0}, {1, 1}, {1, 2}}, // duplicate
+		{{9, 0}, {0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}}, // bad job
+	}
+	for i, o := range bad {
+		if err := validateOrder(jobs, o); err == nil {
+			t.Errorf("bad order %d accepted", i)
+		}
+	}
+}
+
+func TestEvaluateCompletesJobs(t *testing.T) {
+	jobs := smallInstance()
+	order := []Step{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}}
+	s, err := Evaluate(jobs, order, hv.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 2 || s.MeanResponse <= 0 {
+		t.Fatalf("schedule = %+v", s)
+	}
+}
+
+func TestBestIsNoWorseThanAnyOrder(t *testing.T) {
+	jobs := smallInstance()
+	cfg := hv.DefaultConfig()
+	best, visited, err := Best(jobs, cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 20 {
+		t.Fatalf("visited %d orders", visited)
+	}
+	// Spot-check two specific orders.
+	for _, order := range [][]Step{
+		{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}},
+		{{1, 0}, {1, 1}, {1, 2}, {0, 0}, {0, 1}, {0, 2}},
+	} {
+		s, err := Evaluate(jobs, order, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.MeanResponse > s.MeanResponse {
+			t.Fatalf("best (%v) worse than sampled order (%v)", best.MeanResponse, s.MeanResponse)
+		}
+	}
+}
+
+// The key optimality-gap property: Nimblock, with no future knowledge,
+// stays within a modest factor of the best offline eager schedule.
+func TestNimblockNearOptimal(t *testing.T) {
+	jobs := smallInstance()
+	cfg := hv.DefaultConfig()
+	best, _, err := Best(jobs, cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run Nimblock on the identical instance.
+	eng := sim.NewEngine()
+	h, err := hv.New(eng, cfg, core.New(core.DefaultOptions(), cfg.Board))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if err := h.Submit(j.Graph, j.Batch, j.Priority, j.Arrival); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total sim.Duration
+	for _, r := range res {
+		total += r.Response
+	}
+	nimblock := total / sim.Duration(len(res))
+	if nimblock < best.MeanResponse {
+		// Possible: Nimblock's interval-driven timing is outside the
+		// eager class; that is fine (and good).
+		return
+	}
+	if float64(nimblock) > 2.0*float64(best.MeanResponse) {
+		t.Fatalf("Nimblock %v more than 2x the offline best %v", nimblock, best.MeanResponse)
+	}
+}

@@ -1,0 +1,46 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"nimblock/internal/fpga"
+	"nimblock/internal/sim"
+)
+
+// BenchmarkPartition measures clustering a 200-op graph into slot tasks.
+func BenchmarkPartition(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bd := NewBuilder("bench")
+	for i := 0; i < 200; i++ {
+		frac := 0.1 + 0.4*rng.Float64()
+		s := fpga.SlotResources
+		f := func(v int) int { return int(float64(v) * frac) }
+		bd.AddOp(Op{
+			Name:    "op",
+			Latency: sim.Duration(1+rng.Intn(50)) * sim.Millisecond,
+			Res: fpga.Resources{
+				DSP: f(s.DSP), LUT: f(s.LUT), FF: f(s.FF), Carry: f(s.Carry),
+				RAMB18: f(s.RAMB18), RAMB36: f(s.RAMB36), IOBuf: f(s.IOBuf),
+			},
+		})
+	}
+	for i := 0; i < 200; i++ {
+		for j := i + 1; j < 200 && j < i+5; j++ {
+			if rng.Intn(3) == 0 {
+				bd.AddEdge(i, j)
+			}
+		}
+	}
+	g, err := bd.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(g, fpga.SlotResources); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

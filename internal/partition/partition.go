@@ -1,0 +1,187 @@
+// Package partition implements the automatic application-partitioning
+// step of the Nimblock compilation flow.
+//
+// Before an application reaches the hypervisor it must be split into
+// slot-sized tasks (Section 2.2): each task is a portion of the
+// application with an input and an output that fits one reconfigurable
+// slot, and tasks should "use as much of the slot as possible". The
+// paper partitions its benchmarks manually and cites automatic flows
+// (AutoBridge, RapidStream, ViTAL); this package provides that flow for
+// the simulated overlay: a fine-grained operation graph with per-op
+// resource demands is clustered, along a topological order, into the
+// fewest slot-feasible tasks, and the result is emitted as a task-graph
+// ready for submission.
+package partition
+
+import (
+	"fmt"
+
+	"nimblock/internal/fpga"
+	"nimblock/internal/sim"
+	"nimblock/internal/taskgraph"
+)
+
+// Op is one fine-grained operation (e.g. a convolution, a pooling stage,
+// an FFT butterfly block) with its synthesis resource demand.
+type Op struct {
+	Name    string
+	Latency sim.Duration
+	Res     fpga.Resources
+}
+
+// OpGraph is a DAG of operations. Build with NewBuilder.
+type OpGraph struct {
+	name string
+	ops  []Op
+	succ [][]int
+	pred [][]int
+	topo []int
+}
+
+// Builder constructs an OpGraph.
+type Builder struct {
+	name  string
+	ops   []Op
+	edges [][2]int
+}
+
+// NewBuilder starts an operation graph for the named application.
+func NewBuilder(name string) *Builder { return &Builder{name: name} }
+
+// AddOp appends an operation and returns its index.
+func (b *Builder) AddOp(op Op) int {
+	b.ops = append(b.ops, op)
+	return len(b.ops) - 1
+}
+
+// AddEdge records a data dependency.
+func (b *Builder) AddEdge(from, to int) *Builder {
+	b.edges = append(b.edges, [2]int{from, to})
+	return b
+}
+
+// Chain links operations in sequence.
+func (b *Builder) Chain(ids ...int) *Builder {
+	for i := 1; i < len(ids); i++ {
+		b.AddEdge(ids[i-1], ids[i])
+	}
+	return b
+}
+
+// Build validates the operation graph. Validation reuses the task-graph
+// machinery: op latencies must be positive and the graph acyclic.
+func (b *Builder) Build() (*OpGraph, error) {
+	// Validate structure by round-tripping through taskgraph.
+	tb := taskgraph.NewBuilder(b.name)
+	for _, op := range b.ops {
+		tb.AddTask(op.Name, op.Latency)
+	}
+	for _, e := range b.edges {
+		tb.AddEdge(e[0], e[1])
+	}
+	tg, err := tb.Build()
+	if err != nil {
+		return nil, err
+	}
+	g := &OpGraph{
+		name: b.name,
+		ops:  append([]Op(nil), b.ops...),
+		succ: make([][]int, len(b.ops)),
+		pred: make([][]int, len(b.ops)),
+		topo: append([]int(nil), tg.Topo()...),
+	}
+	for i := range b.ops {
+		g.succ[i] = append([]int(nil), tg.Succ(i)...)
+		g.pred[i] = append([]int(nil), tg.Pred(i)...)
+	}
+	return g, nil
+}
+
+// NumOps reports the number of operations.
+func (g *OpGraph) NumOps() int { return len(g.ops) }
+
+// Op returns operation i.
+func (g *OpGraph) Op(i int) Op { return g.ops[i] }
+
+// Result is a completed partitioning.
+type Result struct {
+	// Graph is the slot-level task-graph ready for submission.
+	Graph *taskgraph.Graph
+	// Assignment maps each op index to its task index.
+	Assignment []int
+	// TaskOps lists the member operations of each task, in topological
+	// order of execution within the slot.
+	TaskOps [][]int
+	// Utilization is the mean fraction of the slot's LUTs used per task
+	// — the packing-quality metric ("use as much of the slot as
+	// possible").
+	Utilization float64
+}
+
+// Partition clusters the operation graph into slot-feasible tasks along
+// a topological order. Assigning ops in topological order to the
+// currently open cluster guarantees the quotient graph is acyclic: every
+// cross-cluster edge points from an earlier cluster to a later one.
+func Partition(g *OpGraph, slot fpga.Resources) (*Result, error) {
+	if g == nil || g.NumOps() == 0 {
+		return nil, fmt.Errorf("partition: empty operation graph")
+	}
+	for i, op := range g.ops {
+		if !slot.Fits(op.Res) {
+			return nil, fmt.Errorf("partition: op %d (%s) exceeds slot resources", i, op.Name)
+		}
+	}
+	assignment := make([]int, g.NumOps())
+	var taskOps [][]int
+	var used fpga.Resources
+	current := -1
+	for _, op := range g.topo {
+		need := used.Add(g.ops[op].Res)
+		if current == -1 || !slot.Fits(need) {
+			// Close the cluster and open a new one.
+			taskOps = append(taskOps, nil)
+			current = len(taskOps) - 1
+			used = fpga.Resources{}
+			need = g.ops[op].Res
+		}
+		taskOps[current] = append(taskOps[current], op)
+		assignment[op] = current
+		used = need
+	}
+	// Emit the task-graph: task latency is the serial latency of its
+	// member operations (they share one slot), task edges deduplicate
+	// crossing op edges.
+	tb := taskgraph.NewBuilder(g.name)
+	var lutSum float64
+	for t, members := range taskOps {
+		var lat sim.Duration
+		var res fpga.Resources
+		for _, op := range members {
+			lat += g.ops[op].Latency
+			res = res.Add(g.ops[op].Res)
+		}
+		tb.AddTask(fmt.Sprintf("%s-part%d", g.name, t), lat)
+		lutSum += float64(res.LUT) / float64(slot.LUT)
+	}
+	edges := map[[2]int]bool{}
+	for from := range g.ops {
+		for _, to := range g.succ[from] {
+			tf, tt := assignment[from], assignment[to]
+			if tf == tt || edges[[2]int{tf, tt}] {
+				continue
+			}
+			edges[[2]int{tf, tt}] = true
+			tb.AddEdge(tf, tt)
+		}
+	}
+	tg, err := tb.Build()
+	if err != nil {
+		return nil, fmt.Errorf("partition: quotient graph invalid: %w", err)
+	}
+	return &Result{
+		Graph:       tg,
+		Assignment:  assignment,
+		TaskOps:     taskOps,
+		Utilization: lutSum / float64(len(taskOps)),
+	}, nil
+}

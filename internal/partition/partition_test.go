@@ -1,0 +1,213 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nimblock/internal/fpga"
+	"nimblock/internal/sim"
+)
+
+// smallOp makes an op consuming a fraction of the slot's resources.
+func smallOp(name string, lutFrac float64, lat sim.Duration) Op {
+	s := fpga.SlotResources
+	f := func(v int) int { return int(float64(v) * lutFrac) }
+	return Op{
+		Name:    name,
+		Latency: lat,
+		Res: fpga.Resources{
+			DSP: f(s.DSP), LUT: f(s.LUT), FF: f(s.FF), Carry: f(s.Carry),
+			RAMB18: f(s.RAMB18), RAMB36: f(s.RAMB36), IOBuf: f(s.IOBuf),
+		},
+	}
+}
+
+func chainOps(t *testing.T, fracs []float64) *OpGraph {
+	t.Helper()
+	b := NewBuilder("chain")
+	var ids []int
+	for i, f := range fracs {
+		ids = append(ids, b.AddOp(smallOp("op", f, sim.Duration(i+1)*sim.Millisecond)))
+	}
+	b.Chain(ids...)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPacksSmallOpsTogether(t *testing.T) {
+	// Six ops at 34% each: two fit a slot, a third would overflow, so
+	// the packer emits three tasks of two ops.
+	g := chainOps(t, []float64{0.34, 0.34, 0.34, 0.34, 0.34, 0.34})
+	r, err := Partition(g, fpga.SlotResources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Graph.NumTasks() != 3 {
+		t.Fatalf("%d tasks, want 3", r.Graph.NumTasks())
+	}
+	for _, members := range r.TaskOps {
+		if len(members) != 2 {
+			t.Fatalf("task sizes %v, want pairs", r.TaskOps)
+		}
+	}
+	// A 3-task chain has 2 edges after dedup.
+	if r.Graph.NumEdges() != 2 {
+		t.Fatalf("%d edges", r.Graph.NumEdges())
+	}
+	if r.Utilization < 0.6 || r.Utilization > 0.72 {
+		t.Fatalf("utilization %v, want ~0.68", r.Utilization)
+	}
+}
+
+func TestLatencyConservation(t *testing.T) {
+	g := chainOps(t, []float64{0.4, 0.4, 0.4, 0.4})
+	r, err := Partition(g, fpga.SlotResources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opSum, taskSum sim.Duration
+	for i := 0; i < g.NumOps(); i++ {
+		opSum += g.Op(i).Latency
+	}
+	taskSum = r.Graph.TotalWork()
+	if opSum != taskSum {
+		t.Fatalf("latency not conserved: ops %v vs tasks %v", opSum, taskSum)
+	}
+}
+
+func TestOversizedOpRejected(t *testing.T) {
+	b := NewBuilder("big")
+	b.AddOp(smallOp("huge", 1.5, sim.Millisecond))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Partition(g, fpga.SlotResources); err == nil {
+		t.Fatal("op exceeding the slot accepted")
+	}
+}
+
+func TestEmptyGraphRejected(t *testing.T) {
+	if _, err := Partition(nil, fpga.SlotResources); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := NewBuilder("e").Build(); err == nil {
+		t.Fatal("empty builder accepted")
+	}
+}
+
+func TestCyclicOpsRejected(t *testing.T) {
+	b := NewBuilder("cyc")
+	x := b.AddOp(smallOp("x", 0.1, 1))
+	y := b.AddOp(smallOp("y", 0.1, 1))
+	b.AddEdge(x, y).AddEdge(y, x)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestDiamondPartition(t *testing.T) {
+	b := NewBuilder("diamond")
+	s := b.AddOp(smallOp("src", 0.6, sim.Millisecond))
+	l := b.AddOp(smallOp("left", 0.6, sim.Millisecond))
+	rr := b.AddOp(smallOp("right", 0.6, sim.Millisecond))
+	k := b.AddOp(smallOp("sink", 0.6, sim.Millisecond))
+	b.AddEdge(s, l).AddEdge(s, rr).AddEdge(l, k).AddEdge(rr, k)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Partition(g, fpga.SlotResources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 60% ops cannot pair: four tasks, quotient still a valid DAG.
+	if r.Graph.NumTasks() != 4 {
+		t.Fatalf("%d tasks", r.Graph.NumTasks())
+	}
+	if err := r.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any random op DAG partitions into a valid task-graph with
+// total latency conserved, every task within resources, and the
+// assignment consistent with TaskOps.
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(szRaw%20) + 1
+		b := NewBuilder("p")
+		for i := 0; i < n; i++ {
+			frac := 0.1 + 0.8*rng.Float64()
+			b.AddOp(smallOp("op", frac, sim.Duration(1+rng.Intn(50))*sim.Millisecond))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(4) == 0 {
+					b.AddEdge(i, j)
+				}
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		r, err := Partition(g, fpga.SlotResources)
+		if err != nil {
+			return false
+		}
+		if r.Graph.Validate() != nil {
+			return false
+		}
+		// Latency conservation.
+		var opSum sim.Duration
+		for i := 0; i < n; i++ {
+			opSum += g.Op(i).Latency
+		}
+		if r.Graph.TotalWork() != opSum {
+			return false
+		}
+		// Resource feasibility and assignment consistency.
+		for task, members := range r.TaskOps {
+			var res fpga.Resources
+			for _, op := range members {
+				res = res.Add(g.Op(op).Res)
+				if r.Assignment[op] != task {
+					return false
+				}
+			}
+			if !fpga.SlotResources.Fits(res) {
+				return false
+			}
+		}
+		// Every op assigned exactly once.
+		count := 0
+		for _, members := range r.TaskOps {
+			count += len(members)
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Partitioned applications run end to end (smoke via the task-graph).
+func TestPartitionedGraphRunnable(t *testing.T) {
+	g := chainOps(t, []float64{0.3, 0.5, 0.2, 0.7, 0.3})
+	r, err := Partition(g, fpga.SlotResources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Graph.Name() != "chain" {
+		t.Fatalf("name %q", r.Graph.Name())
+	}
+	if r.Graph.NumTasks() >= g.NumOps() {
+		t.Fatalf("no packing happened: %d tasks for %d ops", r.Graph.NumTasks(), g.NumOps())
+	}
+}

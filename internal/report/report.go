@@ -1,0 +1,143 @@
+// Package report renders experiment results as aligned ASCII tables and
+// labeled series, mirroring the reports the paper's artifact generates
+// from serial-console output.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render produces the aligned table text.
+func (t *Table) Render() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// FormatFloat renders floats compactly (3 significant decimals, trimmed).
+func FormatFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// FormatSeconds renders a duration in seconds with 2 decimals.
+func FormatSeconds(sec float64) string { return fmt.Sprintf("%.2fs", sec) }
+
+// FormatFactor renders a speedup factor ("4.7x").
+func FormatFactor(f float64) string { return fmt.Sprintf("%.2fx", f) }
+
+// FormatPercent renders a 0..1 rate as a percentage.
+func FormatPercent(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// Series is one labeled line of a figure: a name plus (x, y) samples.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// RenderSeries prints multiple series as a column-per-series listing
+// sharing the X grid of the first series.
+func RenderSeries(title, xLabel string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	if len(series) == 0 {
+		return b.String()
+	}
+	t := &Table{Header: append([]string{xLabel}, names(series)...)}
+	for i, x := range series[0].X {
+		row := []any{FormatFloat(x)}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, FormatFloat(s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	b.WriteString(t.Render())
+	return b.String()
+}
+
+func names(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}

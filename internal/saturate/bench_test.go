@@ -1,0 +1,37 @@
+package saturate
+
+import (
+	"testing"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/fpga"
+	"nimblock/internal/hls"
+)
+
+// BenchmarkAnalyze measures a full goal-number analysis for the largest
+// benchmark — the work the paper offloads to Gurobi, here a makespan
+// sweep over the overlay sizes.
+func BenchmarkAnalyze(b *testing.B) {
+	g := apps.MustGraph(apps.AlexNet)
+	r := hls.Analyze(g)
+	cfg := fpga.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(g, r, 10, cfg, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMakespan measures one k-slot estimate.
+func BenchmarkMakespan(b *testing.B) {
+	g := apps.MustGraph(apps.OpticalFlow)
+	r := hls.Analyze(g)
+	cfg := fpga.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Makespan(g, r, 10, 4, cfg, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

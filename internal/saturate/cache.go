@@ -1,0 +1,55 @@
+package saturate
+
+import (
+	"sync"
+
+	"nimblock/internal/fpga"
+	"nimblock/internal/hls"
+	"nimblock/internal/taskgraph"
+)
+
+// cacheKey identifies one analysis. Applications are keyed by name: the
+// compilation flow produces one task-graph per application, so the name
+// determines the shape and the estimates.
+type cacheKey struct {
+	name       string
+	batch      int
+	pipelining bool
+	slots      int
+	capBW      float64
+	sdBW       float64
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[cacheKey]Result{}
+)
+
+// AnalyzeCached is Analyze with a process-wide cache. On the real system
+// the analysis runs once per application during compilation (in parallel
+// with synthesis and place-and-route); caching reproduces that "computed
+// ahead of time" property across scheduler instances.
+func AnalyzeCached(g *taskgraph.Graph, report *hls.Report, batch int, board fpga.Config, pipelining bool) (Result, error) {
+	key := cacheKey{
+		name:       g.Name(),
+		batch:      batch,
+		pipelining: pipelining,
+		slots:      board.Slots,
+		capBW:      board.CAPBytesPerSec,
+		sdBW:       board.SDBytesPerSec,
+	}
+	cacheMu.Lock()
+	r, ok := cache[key]
+	cacheMu.Unlock()
+	if ok {
+		return r, nil
+	}
+	r, err := Analyze(g, report, batch, board, pipelining)
+	if err != nil {
+		return Result{}, err
+	}
+	cacheMu.Lock()
+	cache[key] = r
+	cacheMu.Unlock()
+	return r, nil
+}

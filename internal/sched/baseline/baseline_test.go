@@ -1,0 +1,73 @@
+package baseline
+
+import (
+	"testing"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/sched"
+	"nimblock/internal/sched/schedtest"
+)
+
+func TestIdentity(t *testing.T) {
+	s := New()
+	if s.Name() != "Baseline" || s.Pipelining() {
+		t.Fatalf("identity: name=%q pipelining=%v", s.Name(), s.Pipelining())
+	}
+}
+
+func TestEmptyWorldNoop(t *testing.T) {
+	s := New()
+	w := schedtest.NewWorld(4)
+	s.Schedule(w, sched.ReasonTick)
+	if len(w.Reconfigs) != 0 {
+		t.Fatal("scheduled with no apps")
+	}
+}
+
+func TestWholeBoardForOneApp(t *testing.T) {
+	s := New()
+	w := schedtest.NewWorld(4)
+	a := schedtest.NewApp(t, 1, apps.MustGraph(apps.OpticalFlow), 2, 3, 0)
+	b := schedtest.NewApp(t, 2, apps.MustGraph(apps.LeNet), 2, 9, 1)
+	w.AppList = []*sched.App{a, b}
+	s.Schedule(w, sched.ReasonArrival)
+	// Only the first-arrived app is scheduled, even though the second
+	// has higher priority.
+	for _, rc := range w.Reconfigs {
+		if rc[:len("OpticalFlow")] != "OpticalFlow" {
+			t.Fatalf("baseline scheduled non-active app: %v", w.Reconfigs)
+		}
+	}
+	if a.SlotsUsed() == 0 {
+		t.Fatal("active app got no slots")
+	}
+	if b.SlotsUsed() != 0 {
+		t.Fatal("second app shared the board")
+	}
+}
+
+func TestAdvancesAfterRetire(t *testing.T) {
+	s := New()
+	w := schedtest.NewWorld(4)
+	a := schedtest.NewApp(t, 1, apps.MustGraph(apps.LeNet), 1, 3, 0)
+	b := schedtest.NewApp(t, 2, apps.MustGraph(apps.LeNet), 1, 3, 1)
+	w.AppList = []*sched.App{a, b}
+	// Drive app a to completion.
+	for round := 0; round < 10 && !a.Done(); round++ {
+		s.Schedule(w, sched.ReasonTick)
+		for slot := 0; slot < w.Slots; slot++ {
+			if _, ok := w.Occupants[slot]; ok {
+				w.FinishTask(t, slot)
+			}
+		}
+	}
+	if !a.Done() {
+		t.Fatal("first app never finished")
+	}
+	a.Retire()
+	w.AppList = []*sched.App{b}
+	s.Schedule(w, sched.ReasonAppDone)
+	if b.SlotsUsed() == 0 {
+		t.Fatal("baseline did not advance to the next app")
+	}
+}

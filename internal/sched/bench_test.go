@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"testing"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/hls"
+	"nimblock/internal/sim"
+)
+
+func benchApps(b *testing.B, n int) []*App {
+	b.Helper()
+	var out []*App
+	names := apps.Names()
+	for i := 0; i < n; i++ {
+		g := apps.MustGraph(names[i%len(names)])
+		a, err := NewApp(int64(i+1), g, hls.Analyze(g), 1+i%10, PriorityLevels[i%3], sim.Time(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func BenchmarkTokenAccumulation(b *testing.B) {
+	apps := benchApps(b, 20)
+	p := NewTokenPool()
+	p.Accumulate(0, apps)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Accumulate(sim.Time(i+1)*sim.Time(sim.Millisecond), apps)
+	}
+}
+
+func BenchmarkCandidates(b *testing.B) {
+	apps := benchApps(b, 20)
+	p := NewTokenPool()
+	p.Accumulate(0, apps)
+	p.Accumulate(sim.Time(sim.Second), apps)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Candidates(apps) == nil {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+func BenchmarkConfigurableTasks(b *testing.B) {
+	a := benchApps(b, 1)[0] // first name alphabetically: AlexNet (38 tasks)
+	a.MarkConfiguring(0, 0)
+	a.MarkActive(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ConfigurableTasks()
+	}
+}
+
+func BenchmarkNextReadyItem(b *testing.B) {
+	a := benchApps(b, 1)[0]
+	a.MarkConfiguring(0, 0)
+	a.MarkActive(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.NextReadyItem(0, true)
+	}
+}

@@ -1,0 +1,69 @@
+package fcfs
+
+import (
+	"strings"
+	"testing"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/sched"
+	"nimblock/internal/sched/schedtest"
+)
+
+func TestIdentity(t *testing.T) {
+	s := New()
+	if s.Name() != "FCFS" || s.Pipelining() {
+		t.Fatalf("identity: name=%q pipelining=%v", s.Name(), s.Pipelining())
+	}
+}
+
+func TestArrivalOrderSharing(t *testing.T) {
+	s := New()
+	w := schedtest.NewWorld(3)
+	first := schedtest.NewApp(t, 1, apps.MustGraph(apps.ImageCompression), 2, 1, 0)
+	second := schedtest.NewApp(t, 2, apps.MustGraph(apps.LeNet), 2, 9, 1)
+	w.AppList = []*sched.App{first, second}
+	s.Schedule(w, sched.ReasonArrival)
+	if len(w.Reconfigs) != 3 {
+		t.Fatalf("reconfigs = %v, want all 3 slots filled", w.Reconfigs)
+	}
+	// The first-arrived app's chain prefix greedily takes every slot —
+	// priority is ignored and later arrivals starve. This is exactly the
+	// FCFS weakness the paper calls out.
+	for i, want := range []string{"ImageCompression#1/t0", "ImageCompression#1/t1", "ImageCompression#1/t2"} {
+		if !strings.HasPrefix(w.Reconfigs[i], want) {
+			t.Fatalf("order = %v", w.Reconfigs)
+		}
+	}
+	if second.SlotsUsed() != 0 {
+		t.Fatal("second app got slots despite FCFS greed")
+	}
+}
+
+func TestStopsWhenSlotsExhausted(t *testing.T) {
+	s := New()
+	w := schedtest.NewWorld(1)
+	a := schedtest.NewApp(t, 1, apps.MustGraph(apps.OpticalFlow), 2, 3, 0)
+	w.AppList = []*sched.App{a}
+	s.Schedule(w, sched.ReasonTick)
+	if len(w.Reconfigs) != 1 {
+		t.Fatalf("reconfigs = %v, want 1", w.Reconfigs)
+	}
+	// Re-scheduling with no free slots is a no-op.
+	s.Schedule(w, sched.ReasonTick)
+	if len(w.Reconfigs) != 1 {
+		t.Fatalf("reconfigured without free slots: %v", w.Reconfigs)
+	}
+}
+
+func TestParallelBranches(t *testing.T) {
+	s := New()
+	w := schedtest.NewWorld(8)
+	a := schedtest.NewApp(t, 1, apps.MustGraph(apps.AlexNet), 1, 3, 0)
+	w.AppList = []*sched.App{a}
+	s.Schedule(w, sched.ReasonTick)
+	// AlexNet's first layer has 7 parallel tasks; all are sources and
+	// immediately configurable, and the prefetch gate admits layer 2.
+	if a.SlotsUsed() != 8 {
+		t.Fatalf("slots used = %d, want 8", a.SlotsUsed())
+	}
+}

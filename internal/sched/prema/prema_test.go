@@ -1,0 +1,82 @@
+package prema
+
+import (
+	"strings"
+	"testing"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/sched"
+	"nimblock/internal/sched/schedtest"
+	"nimblock/internal/sim"
+)
+
+func TestIdentity(t *testing.T) {
+	s := New()
+	if s.Name() != "PREMA" || s.Pipelining() {
+		t.Fatalf("identity: name=%q pipelining=%v", s.Name(), s.Pipelining())
+	}
+}
+
+func TestShortestCandidateFirst(t *testing.T) {
+	s := New()
+	w := schedtest.NewWorld(2)
+	long := schedtest.NewApp(t, 1, apps.MustGraph(apps.DigitRecognition), 5, 3, 0)
+	short := schedtest.NewApp(t, 2, apps.MustGraph(apps.ImageCompression), 5, 3, 0)
+	w.AppList = []*sched.App{long, short}
+	s.Schedule(w, sched.ReasonArrival)
+	if len(w.Reconfigs) == 0 {
+		t.Fatal("nothing scheduled")
+	}
+	// Both start with equal tokens (same priority) so both are
+	// candidates; the shorter app must be configured first.
+	if !strings.HasPrefix(w.Reconfigs[0], "ImageCompression") {
+		t.Fatalf("first reconfig = %v, want shortest candidate", w.Reconfigs)
+	}
+}
+
+func TestHighPriorityDominatesCandidacy(t *testing.T) {
+	s := New()
+	w := schedtest.NewWorld(1)
+	lo := schedtest.NewApp(t, 1, apps.MustGraph(apps.ImageCompression), 1, 1, 0)
+	hi := schedtest.NewApp(t, 2, apps.MustGraph(apps.DigitRecognition), 1, 9, 0)
+	w.AppList = []*sched.App{lo, hi}
+	s.Schedule(w, sched.ReasonArrival)
+	// Threshold floors to 9; only the high-priority app is a candidate,
+	// even though the other is shorter.
+	if len(w.Reconfigs) != 1 || !strings.HasPrefix(w.Reconfigs[0], "DigitRecognition") {
+		t.Fatalf("reconfigs = %v, want only the high-priority candidate", w.Reconfigs)
+	}
+}
+
+func TestWaitingPromotesLowPriority(t *testing.T) {
+	s := New()
+	w := schedtest.NewWorld(1)
+	lo := schedtest.NewApp(t, 1, apps.MustGraph(apps.ImageCompression), 1, 1, 0)
+	hi := schedtest.NewApp(t, 2, apps.MustGraph(apps.DigitRecognition), 1, 9, 0)
+	w.AppList = []*sched.App{lo, hi}
+	s.Schedule(w, sched.ReasonArrival) // hi gets the slot
+	// Let a long time pass; the short low-priority app degrades fast
+	// (normalized by its tiny isolated latency) and crosses the
+	// threshold.
+	w.Clock = w.Clock.Add(30 * sim.Second)
+	s.Schedule(w, sched.ReasonTick)
+	if !lo.Candidate {
+		t.Fatalf("low-priority app never became a candidate (tokens=%v)", lo.Tokens)
+	}
+}
+
+func TestNoPreemptionEver(t *testing.T) {
+	s := New()
+	w := schedtest.NewWorld(1)
+	hog := schedtest.NewApp(t, 1, apps.MustGraph(apps.DigitRecognition), 5, 1, 0)
+	w.Occupy(t, 0, hog, 0)
+	hi := schedtest.NewApp(t, 2, apps.MustGraph(apps.LeNet), 1, 9, 1)
+	w.AppList = []*sched.App{hog, hi}
+	for i := 0; i < 5; i++ {
+		w.Clock = w.Clock.Add(sim.Second)
+		s.Schedule(w, sched.ReasonTick)
+	}
+	if len(w.Preempts) != 0 {
+		t.Fatalf("PREMA preempted: %v", w.Preempts)
+	}
+}

@@ -1,0 +1,138 @@
+// Package rr implements the queue-based round-robin comparator adapted
+// from Coyote's scheduler (Korolija et al., OSDI 2020), ported to the
+// Nimblock overlay as in the paper's evaluation.
+//
+// Tasks from all pending applications are issued to per-slot priority
+// queues in a round-robin fashion: each newly ready task goes to the
+// queue of the slot with the fewest waiting tasks. Within a queue, tasks
+// are ordered by priority level (then issue order). When a slot frees,
+// the head of its queue is configured. There is no pipelining and no
+// preemption, and — like the original — no global rebalancing once a
+// task is issued to a slot queue.
+package rr
+
+import (
+	"sort"
+
+	"nimblock/internal/sched"
+)
+
+// entry is one queued task.
+type entry struct {
+	app  *sched.App
+	task int
+	seq  int64
+}
+
+// Scheduler is the round-robin policy.
+type Scheduler struct {
+	queues [][]entry
+	issued map[int64]map[int]bool // app ID -> task -> queued at least once
+	seq    int64
+}
+
+// New returns a round-robin scheduler.
+func New() *Scheduler { return &Scheduler{issued: map[int64]map[int]bool{}} }
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return "RR" }
+
+// Pipelining implements sched.Scheduler: bulk processing only.
+func (s *Scheduler) Pipelining() bool { return false }
+
+// Schedule implements sched.Scheduler.
+func (s *Scheduler) Schedule(w sched.World, why sched.Reason) {
+	if s.queues == nil {
+		s.queues = make([][]entry, w.NumSlots())
+	}
+	// Dispatching a task can make its successors configurable and
+	// therefore issuable; iterate to a fixpoint.
+	for {
+		issued := s.issue(w)
+		dispatched := s.dispatch(w)
+		if issued == 0 && dispatched == 0 {
+			return
+		}
+	}
+}
+
+// issue sends newly ready tasks to the shortest slot queue, returning how
+// many tasks were enqueued.
+func (s *Scheduler) issue(w sched.World) int {
+	n := 0
+	for _, a := range w.Apps() {
+		for _, t := range a.ConfigurableTasks() {
+			m := s.issued[a.ID]
+			if m == nil {
+				m = map[int]bool{}
+				s.issued[a.ID] = m
+			}
+			if m[t] {
+				continue
+			}
+			m[t] = true
+			n++
+			q := s.shortestQueue(w)
+			s.seq++
+			s.queues[q] = append(s.queues[q], entry{app: a, task: t, seq: s.seq})
+			// Keep the queue ordered by priority (high first), then issue order.
+			sort.SliceStable(s.queues[q], func(i, j int) bool {
+				ei, ej := s.queues[q][i], s.queues[q][j]
+				if ei.app.Priority != ej.app.Priority {
+					return ei.app.Priority > ej.app.Priority
+				}
+				return ei.seq < ej.seq
+			})
+		}
+	}
+	return n
+}
+
+// shortestQueue returns the slot whose queue holds the fewest waiting
+// tasks, counting an occupied slot's running task as one waiting unit so
+// issuance spreads across the board.
+func (s *Scheduler) shortestQueue(w sched.World) int {
+	length := func(slot int) int {
+		n := len(s.queues[slot])
+		if _, _, busy := w.SlotOccupant(slot); busy {
+			n++
+		}
+		return n
+	}
+	best, bestLen := 0, length(0)
+	for i := 1; i < len(s.queues); i++ {
+		if l := length(i); l < bestLen {
+			best, bestLen = i, l
+		}
+	}
+	return best
+}
+
+// dispatch configures queue heads into their slots when free, returning
+// how many reconfigurations were issued.
+func (s *Scheduler) dispatch(w sched.World) int {
+	free := map[int]bool{}
+	for _, f := range w.FreeSlots() {
+		free[f] = true
+	}
+	n := 0
+	for slot := range s.queues {
+		if !free[slot] {
+			continue
+		}
+		for len(s.queues[slot]) > 0 {
+			head := s.queues[slot][0]
+			s.queues[slot] = s.queues[slot][1:]
+			if head.app.Retired() || !head.app.Configurable(head.task) {
+				// Stale entry (task already finished or configured).
+				continue
+			}
+			if err := w.Reconfigure(slot, head.app, head.task); err != nil {
+				return n
+			}
+			n++
+			break
+		}
+	}
+	return n
+}

@@ -1,0 +1,427 @@
+// Package sched defines the contract between the Nimblock hypervisor and
+// its scheduling algorithms, plus the application runtime state they share.
+//
+// The hypervisor owns mechanics — reconfiguration through the CAP, task
+// launch, buffer management, batch-boundary preemption — and exposes them
+// through the World interface. A Scheduler is pure policy: at each
+// scheduling opportunity it inspects the world and issues reconfiguration
+// or preemption requests. Five policies are implemented: the no-sharing
+// baseline, FCFS, task-based PREMA, Coyote-style round-robin, and the
+// Nimblock algorithm itself (package core).
+package sched
+
+import (
+	"fmt"
+
+	"nimblock/internal/hls"
+	"nimblock/internal/sim"
+	"nimblock/internal/taskgraph"
+)
+
+// Reason says why the scheduler is being invoked.
+type Reason int
+
+const (
+	// ReasonTick is the periodic scheduling interval (400 ms on the
+	// evaluation system).
+	ReasonTick Reason = iota
+	// ReasonArrival fires when a new application enters the pending queue.
+	ReasonArrival
+	// ReasonSlotFree fires when a task completes or a preemption is
+	// honoured, freeing a slot.
+	ReasonSlotFree
+	// ReasonAppDone fires when an application retires.
+	ReasonAppDone
+	// ReasonReconfigDone fires when the CAP finishes programming a slot,
+	// i.e. the next reconfiguration may be issued.
+	ReasonReconfigDone
+)
+
+// String names the reason for traces.
+func (r Reason) String() string {
+	switch r {
+	case ReasonTick:
+		return "tick"
+	case ReasonArrival:
+		return "arrival"
+	case ReasonSlotFree:
+		return "slot-free"
+	case ReasonAppDone:
+		return "app-done"
+	case ReasonReconfigDone:
+		return "reconfig-done"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// Scheduler is one scheduling policy.
+type Scheduler interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Pipelining reports whether the policy allows tasks of one
+	// application to pipeline across batch items. Only Nimblock (and its
+	// ablations) enable this; for every other policy a task may start
+	// items only after its predecessors finished the whole batch.
+	Pipelining() bool
+	// Schedule inspects the world and issues actions. It is called at
+	// scheduling intervals, on arrivals, completions, and when the CAP
+	// finishes a reconfiguration.
+	Schedule(w World, why Reason)
+}
+
+// World is the hypervisor surface visible to schedulers.
+type World interface {
+	// Now is the current virtual time.
+	Now() sim.Time
+	// NumSlots is the number of reconfigurable slots on the board.
+	NumSlots() int
+	// FreeSlots lists slots with no logic configured or in flight.
+	FreeSlots() []int
+	// CAPBusy reports whether a reconfiguration is streaming right now.
+	CAPBusy() bool
+	// Apps lists applications that have arrived and not yet retired, in
+	// arrival order. Slices and Apps must be treated as read-only except
+	// for the scheduler-owned fields (Tokens, SlotsAllocated, Goal).
+	Apps() []*App
+	// SlotOccupant reports the application and task configured (or being
+	// configured) in a slot; ok is false for free slots.
+	SlotOccupant(slot int) (app *App, task int, ok bool)
+	// SlotWaiting reports whether the slot's task is loaded and idle at a
+	// batch boundary (finished an item, next not started).
+	SlotWaiting(slot int) bool
+	// PreemptRequested reports whether a preemption is pending on the slot.
+	PreemptRequested(slot int) bool
+	// Reconfigure requests that the task be configured into the slot.
+	// The slot must be free and the task configurable for this policy.
+	Reconfigure(slot int, a *App, task int) error
+	// RequestPreempt asks for batch-preemption of the slot's task. The
+	// hypervisor honours it at the next batch boundary (immediately if
+	// the task is already waiting).
+	RequestPreempt(slot int) error
+}
+
+// TaskState tracks one task of a running application.
+type TaskState int
+
+const (
+	// TaskIdle means the task is not configured anywhere (never
+	// scheduled, or preempted with partial progress).
+	TaskIdle TaskState = iota
+	// TaskConfiguring means a reconfiguration for this task is queued or
+	// streaming on the CAP.
+	TaskConfiguring
+	// TaskActive means the task's logic is loaded and processing (or
+	// waiting for) batch items.
+	TaskActive
+	// TaskDone means every batch item has been processed by this task.
+	TaskDone
+)
+
+// String names the state for traces.
+func (s TaskState) String() string {
+	switch s {
+	case TaskIdle:
+		return "idle"
+	case TaskConfiguring:
+		return "configuring"
+	case TaskActive:
+		return "active"
+	case TaskDone:
+		return "done"
+	default:
+		return fmt.Sprintf("TaskState(%d)", int(s))
+	}
+}
+
+// App is the runtime state of one submitted application. Mechanical
+// fields are maintained by the hypervisor through the Mark* methods;
+// Tokens, SlotsAllocated, and Goal belong to the scheduling policy.
+type App struct {
+	ID       int64
+	Name     string
+	Graph    *taskgraph.Graph
+	Report   *hls.Report
+	Batch    int
+	Priority int
+	Arrival  sim.Time
+
+	// Tokens is the PREMA-style token balance (policy-owned).
+	Tokens float64
+	// Candidate reports whether the app is in the candidate pool.
+	Candidate bool
+	// CandidateSince is when the app first joined the candidate pool.
+	CandidateSince sim.Time
+	// SlotsAllocated is the policy's current slot allocation (Nimblock).
+	SlotsAllocated int
+	// Goal is the saturation-point goal number (Nimblock).
+	Goal int
+
+	state    []TaskState
+	slot     []int
+	done     [][]bool
+	doneCnt  []int
+	inflight []int
+	tasksFin int
+	retired  bool
+}
+
+// NewApp builds runtime state for a submission.
+func NewApp(id int64, g *taskgraph.Graph, report *hls.Report, batch, priority int, arrival sim.Time) (*App, error) {
+	if g == nil {
+		return nil, fmt.Errorf("sched: app %d has no task-graph", id)
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("sched: app %d (%s) batch %d < 1", id, g.Name(), batch)
+	}
+	if priority < 1 {
+		return nil, fmt.Errorf("sched: app %d (%s) priority %d < 1", id, g.Name(), priority)
+	}
+	n := g.NumTasks()
+	a := &App{
+		ID:       id,
+		Name:     g.Name(),
+		Graph:    g,
+		Report:   report,
+		Batch:    batch,
+		Priority: priority,
+		Arrival:  arrival,
+		state:    make([]TaskState, n),
+		slot:     make([]int, n),
+		done:     make([][]bool, n),
+		doneCnt:  make([]int, n),
+		inflight: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		a.slot[i] = -1
+		a.inflight[i] = -1
+		a.done[i] = make([]bool, batch)
+	}
+	return a, nil
+}
+
+// TaskState reports the state of task t.
+func (a *App) TaskState(t int) TaskState { return a.state[t] }
+
+// TaskSlot reports the slot hosting task t, or -1.
+func (a *App) TaskSlot(t int) int { return a.slot[t] }
+
+// DoneCount reports how many items task t has completed.
+func (a *App) DoneCount(t int) int { return a.doneCnt[t] }
+
+// ItemDone reports whether task t has completed item i.
+func (a *App) ItemDone(t, i int) bool { return a.done[t][i] }
+
+// InflightItem reports the item task t is currently processing, or -1.
+func (a *App) InflightItem(t int) int { return a.inflight[t] }
+
+// Retired reports whether the application has completed and retired.
+func (a *App) Retired() bool { return a.retired }
+
+// Done reports whether every task has processed every batch item.
+func (a *App) Done() bool { return a.tasksFin == a.Graph.NumTasks() }
+
+// SlotsUsed counts slots currently held (configuring or active).
+func (a *App) SlotsUsed() int {
+	n := 0
+	for _, s := range a.state {
+		if s == TaskConfiguring || s == TaskActive {
+			n++
+		}
+	}
+	return n
+}
+
+// OverConsumption is slots used beyond the policy allocation (Algorithm 2
+// line 4 of the paper).
+func (a *App) OverConsumption() int { return a.SlotsUsed() - a.SlotsAllocated }
+
+// Configurable reports whether task t may be scheduled for
+// reconfiguration: it is idle, unfinished, and every predecessor has at
+// least been scheduled (configuring, active, or done). This lets the
+// overlay hide reconfiguration latency behind predecessor compute for all
+// policies; whether the configured task may actually *start* items before
+// its predecessors finish the whole batch is the pipelining policy,
+// enforced by NextReadyItem.
+func (a *App) Configurable(t int) bool {
+	if a.state[t] != TaskIdle || a.doneCnt[t] == a.Batch {
+		return false
+	}
+	for _, p := range a.Graph.Pred(t) {
+		if a.state[p] == TaskIdle && a.doneCnt[p] < a.Batch {
+			return false
+		}
+	}
+	return true
+}
+
+// ConfigurableTasks lists configurable tasks in topological order.
+func (a *App) ConfigurableTasks() []int {
+	var out []int
+	for _, t := range a.Graph.Topo() {
+		if a.Configurable(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// NextReadyItem returns the next batch item task t can process, or -1.
+// With pipelining, item i is ready once every predecessor has finished
+// item i; without, no item is ready until every predecessor has finished
+// the entire batch (bulk processing).
+func (a *App) NextReadyItem(t int, pipelining bool) int {
+	if !pipelining {
+		for _, p := range a.Graph.Pred(t) {
+			if a.doneCnt[p] < a.Batch {
+				return -1
+			}
+		}
+	}
+	for i := 0; i < a.Batch; i++ {
+		if a.done[t][i] || a.inflight[t] == i {
+			continue
+		}
+		ready := true
+		if pipelining {
+			for _, p := range a.Graph.Pred(t) {
+				if !a.done[p][i] {
+					ready = false
+					break
+				}
+			}
+		}
+		if ready {
+			return i
+		}
+		// Items are processed in order; if the lowest incomplete item is
+		// not ready, later ones cannot be either (predecessors also
+		// process in order).
+		return -1
+	}
+	return -1
+}
+
+// RemainingEstimate is the HLS-estimated work left: sum over tasks of
+// estimate x remaining items. PREMA uses it for shortest-first selection.
+func (a *App) RemainingEstimate() sim.Duration {
+	var total sim.Duration
+	for t := 0; t < a.Graph.NumTasks(); t++ {
+		rem := a.Batch - a.doneCnt[t]
+		if rem > 0 {
+			total += a.Report.Task(t).Latency * sim.Duration(rem)
+		}
+	}
+	return total
+}
+
+// MarkConfiguring transitions task t to TaskConfiguring in the given slot.
+func (a *App) MarkConfiguring(t, slot int) error {
+	if a.state[t] != TaskIdle {
+		return fmt.Errorf("sched: %s task %d is %v, cannot configure", a.Name, t, a.state[t])
+	}
+	a.state[t] = TaskConfiguring
+	a.slot[t] = slot
+	return nil
+}
+
+// MarkActive transitions task t from configuring to active.
+func (a *App) MarkActive(t int) error {
+	if a.state[t] != TaskConfiguring {
+		return fmt.Errorf("sched: %s task %d is %v, cannot activate", a.Name, t, a.state[t])
+	}
+	a.state[t] = TaskActive
+	return nil
+}
+
+// MarkConfigFailed returns a task whose reconfiguration faulted
+// unrecoverably to idle so the policy can schedule it again.
+func (a *App) MarkConfigFailed(t int) error {
+	if a.state[t] != TaskConfiguring {
+		return fmt.Errorf("sched: %s task %d is %v, cannot fail configuration", a.Name, t, a.state[t])
+	}
+	a.state[t] = TaskIdle
+	a.slot[t] = -1
+	return nil
+}
+
+// MarkPreempted returns task t to idle, preserving batch progress.
+func (a *App) MarkPreempted(t int) error {
+	if a.state[t] != TaskActive {
+		return fmt.Errorf("sched: %s task %d is %v, cannot preempt", a.Name, t, a.state[t])
+	}
+	if a.inflight[t] >= 0 {
+		return fmt.Errorf("sched: %s task %d preempted mid-item %d", a.Name, t, a.inflight[t])
+	}
+	a.state[t] = TaskIdle
+	a.slot[t] = -1
+	return nil
+}
+
+// MarkCheckpointPreempted preempts task t mid-item: classic preemption
+// with state checkpointing (the alternative the paper rejects for
+// requiring FPGA state capture, modelled here for the design-space
+// study). The in-flight item is aborted — its saved state lets it resume
+// later — and the task returns to idle. It returns the aborted item, or
+// -1 if the task was at a batch boundary anyway.
+func (a *App) MarkCheckpointPreempted(t int) (int, error) {
+	if a.state[t] != TaskActive {
+		return -1, fmt.Errorf("sched: %s task %d is %v, cannot checkpoint-preempt", a.Name, t, a.state[t])
+	}
+	item := a.inflight[t]
+	a.inflight[t] = -1
+	a.state[t] = TaskIdle
+	a.slot[t] = -1
+	return item, nil
+}
+
+// MarkItemStarted records that task t began processing item i.
+func (a *App) MarkItemStarted(t, i int) error {
+	if a.state[t] != TaskActive {
+		return fmt.Errorf("sched: %s task %d is %v, cannot start item", a.Name, t, a.state[t])
+	}
+	if a.inflight[t] != -1 {
+		return fmt.Errorf("sched: %s task %d already processing item %d", a.Name, t, a.inflight[t])
+	}
+	if i < 0 || i >= a.Batch || a.done[t][i] {
+		return fmt.Errorf("sched: %s task %d item %d invalid or done", a.Name, t, i)
+	}
+	a.inflight[t] = i
+	return nil
+}
+
+// MarkItemDone records completion of the in-flight item. It reports
+// whether the task has now finished its whole batch; if so the task
+// transitions to TaskDone and its slot association is cleared.
+func (a *App) MarkItemDone(t, i int) (taskDone bool, err error) {
+	if a.inflight[t] != i {
+		return false, fmt.Errorf("sched: %s task %d finishing item %d but in-flight is %d", a.Name, t, i, a.inflight[t])
+	}
+	a.inflight[t] = -1
+	a.done[t][i] = true
+	a.doneCnt[t]++
+	if a.doneCnt[t] == a.Batch {
+		a.state[t] = TaskDone
+		a.slot[t] = -1
+		a.tasksFin++
+		return true, nil
+	}
+	return false, nil
+}
+
+// Retire marks the application complete.
+func (a *App) Retire() error {
+	if !a.Done() {
+		return fmt.Errorf("sched: retiring %s with %d/%d tasks done", a.Name, a.tasksFin, a.Graph.NumTasks())
+	}
+	if a.retired {
+		return fmt.Errorf("sched: %s retired twice", a.Name)
+	}
+	a.retired = true
+	return nil
+}
+
+// String summarizes the app for traces.
+func (a *App) String() string {
+	return fmt.Sprintf("%s#%d{batch=%d prio=%d arrival=%v}", a.Name, a.ID, a.Batch, a.Priority, a.Arrival)
+}

@@ -1,0 +1,168 @@
+// Package schedtest provides a lightweight fake sched.World for unit
+// testing scheduling policies without the hypervisor or the simulator.
+package schedtest
+
+import (
+	"fmt"
+	"testing"
+
+	"nimblock/internal/hls"
+	"nimblock/internal/sched"
+	"nimblock/internal/sim"
+	"nimblock/internal/taskgraph"
+)
+
+// Occ is one slot occupant.
+type Occ struct {
+	App  *sched.App
+	Task int
+}
+
+// World is a scriptable sched.World.
+type World struct {
+	Clock     sim.Time
+	Slots     int
+	Occupants map[int]Occ
+	Waiting   map[int]bool
+	Preempted map[int]bool
+	Busy      bool
+	AppList   []*sched.App
+
+	// Reconfigs records Reconfigure calls as "name#id/tN@sM".
+	Reconfigs []string
+	// Preempts records RequestPreempt slots in order.
+	Preempts []int
+}
+
+// NewWorld returns an empty world with the given slot count.
+func NewWorld(slots int) *World {
+	return &World{
+		Slots:     slots,
+		Occupants: map[int]Occ{},
+		Waiting:   map[int]bool{},
+		Preempted: map[int]bool{},
+	}
+}
+
+// Now implements sched.World.
+func (w *World) Now() sim.Time { return w.Clock }
+
+// NumSlots implements sched.World.
+func (w *World) NumSlots() int { return w.Slots }
+
+// CAPBusy implements sched.World.
+func (w *World) CAPBusy() bool { return w.Busy }
+
+// Apps implements sched.World.
+func (w *World) Apps() []*sched.App { return w.AppList }
+
+// FreeSlots implements sched.World.
+func (w *World) FreeSlots() []int {
+	var free []int
+	for s := 0; s < w.Slots; s++ {
+		if _, ok := w.Occupants[s]; !ok {
+			free = append(free, s)
+		}
+	}
+	return free
+}
+
+// SlotOccupant implements sched.World.
+func (w *World) SlotOccupant(slot int) (*sched.App, int, bool) {
+	o, ok := w.Occupants[slot]
+	return o.App, o.Task, ok
+}
+
+// SlotWaiting implements sched.World.
+func (w *World) SlotWaiting(slot int) bool { return w.Waiting[slot] }
+
+// PreemptRequested implements sched.World.
+func (w *World) PreemptRequested(slot int) bool { return w.Preempted[slot] }
+
+// RequestPreempt implements sched.World.
+func (w *World) RequestPreempt(slot int) error {
+	w.Preempted[slot] = true
+	w.Preempts = append(w.Preempts, slot)
+	return nil
+}
+
+// Reconfigure implements sched.World: it transitions the task to
+// configuring and records the call.
+func (w *World) Reconfigure(slot int, a *sched.App, task int) error {
+	if _, ok := w.Occupants[slot]; ok {
+		return fmt.Errorf("schedtest: slot %d occupied", slot)
+	}
+	if !a.Configurable(task) {
+		return fmt.Errorf("schedtest: %s task %d not configurable", a.Name, task)
+	}
+	if err := a.MarkConfiguring(task, slot); err != nil {
+		return err
+	}
+	w.Occupants[slot] = Occ{a, task}
+	w.Reconfigs = append(w.Reconfigs, fmt.Sprintf("%s#%d/t%d@s%d", a.Name, a.ID, task, slot))
+	return nil
+}
+
+// Occupy places an app's task in a slot as already active.
+func (w *World) Occupy(t *testing.T, slot int, a *sched.App, task int) {
+	t.Helper()
+	if err := a.MarkConfiguring(task, slot); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MarkActive(task); err != nil {
+		t.Fatal(err)
+	}
+	w.Occupants[slot] = Occ{a, task}
+}
+
+// ActivateConfigured flips every configuring occupant to active,
+// emulating reconfiguration completion.
+func (w *World) ActivateConfigured(t *testing.T) {
+	t.Helper()
+	for _, o := range w.Occupants {
+		if o.App.TaskState(o.Task) == sched.TaskConfiguring {
+			if err := o.App.MarkActive(o.Task); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// FinishTask drives a task through all its remaining items and frees the
+// slot, emulating bulk completion.
+func (w *World) FinishTask(t *testing.T, slot int) {
+	t.Helper()
+	o, ok := w.Occupants[slot]
+	if !ok {
+		t.Fatalf("schedtest: finish of empty slot %d", slot)
+	}
+	a, task := o.App, o.Task
+	if a.TaskState(task) == sched.TaskConfiguring {
+		if err := a.MarkActive(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for a.TaskState(task) == sched.TaskActive {
+		item := a.NextReadyItem(task, true)
+		if item < 0 {
+			t.Fatalf("schedtest: task %d of %s stuck with no ready item", task, a.Name)
+		}
+		if err := a.MarkItemStarted(task, item); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.MarkItemDone(task, item); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delete(w.Occupants, slot)
+}
+
+// NewApp builds an app over a benchmark graph.
+func NewApp(t *testing.T, id int64, g *taskgraph.Graph, batch, prio int, arrival sim.Time) *sched.App {
+	t.Helper()
+	a, err := sched.NewApp(id, g, hls.Analyze(g), batch, prio, arrival)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// EventID identifies a scheduled event so it can be cancelled.
+// The zero EventID is never issued.
+type EventID int64
+
+// event is a pending callback in the simulation.
+type event struct {
+	at    Time
+	seq   int64 // schedule order; breaks ties deterministically
+	id    EventID
+	fn    func()
+	index int // heap index
+}
+
+// eventHeap implements a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator.
+//
+// The zero value is ready to use. Engines are not safe for concurrent use;
+// the entire Nimblock simulation is deliberately single-threaded so that
+// runs are bit-for-bit reproducible.
+type Engine struct {
+	now     Time
+	pq      eventHeap
+	live    map[EventID]*event
+	nextSeq int64
+	nextID  EventID
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at time zero.
+func NewEngine() *Engine {
+	return &Engine{live: map[EventID]*event{}}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// (before Now) panics: it would silently reorder causality.
+func (e *Engine) At(at Time, fn func()) EventID {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (at=%v now=%v)", at, e.now))
+	}
+	if e.live == nil {
+		e.live = map[EventID]*event{}
+	}
+	e.nextSeq++
+	e.nextID++
+	ev := &event{at: at, seq: e.nextSeq, id: e.nextID, fn: fn}
+	heap.Push(&e.pq, ev)
+	e.live[ev.id] = ev
+	return ev.id
+}
+
+// After schedules fn to run d after the current time. Negative delays are
+// clamped to zero.
+func (e *Engine) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending (false if it already fired or was cancelled).
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.live[id]
+	if !ok {
+		return false
+	}
+	delete(e.live, id)
+	heap.Remove(&e.pq, ev.index)
+	return true
+}
+
+// Stop halts Run after the current event's callback returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the next pending event, advancing the clock to its time.
+// It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	delete(e.live, ev.id)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains or Stop is called. It returns
+// the number of events fired.
+func (e *Engine) Run() int {
+	e.stopped = false
+	n := 0
+	for !e.stopped && e.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil fires events with time <= deadline. The clock finishes at
+// min(deadline, time of last fired event); if events remain beyond the
+// deadline the clock is advanced to the deadline.
+func (e *Engine) RunUntil(deadline Time) int {
+	e.stopped = false
+	n := 0
+	for !e.stopped && len(e.pq) > 0 && e.pq[0].at <= deadline {
+		e.Step()
+		n++
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}

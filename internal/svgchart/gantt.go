@@ -1,0 +1,97 @@
+package svgchart
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Span is one busy interval on a Gantt row.
+type Span struct {
+	Row   int     // slot index
+	From  float64 // seconds
+	To    float64
+	Kind  byte // 'R' reconfiguration, '#' compute
+	Label string
+}
+
+// Gantt renders per-slot occupancy as an SVG timeline: reconfiguration
+// spans in grey, compute spans coloured per application label.
+type Gantt struct {
+	Title string
+	Rows  int
+	End   float64 // seconds
+	Spans []Span
+}
+
+// SVG renders the chart.
+func (g Gantt) SVG(w int) (string, error) {
+	if g.Rows < 1 || g.End <= 0 {
+		return "", fmt.Errorf("svgchart: gantt needs rows and a positive end time")
+	}
+	rowH := 22.0
+	h := int(marginTop + rowH*float64(g.Rows) + marginBottom)
+	plotW := float64(w) - marginLeft - marginRight
+	px := func(t float64) float64 { return marginLeft + plotW*t/g.End }
+
+	// Stable colour per label.
+	colorOf := map[string]string{}
+	next := 0
+	color := func(label string) string {
+		if c, ok := colorOf[label]; ok {
+			return c
+		}
+		c := palette[next%len(palette)]
+		colorOf[label] = c
+		next++
+		return c
+	}
+
+	var b strings.Builder
+	header(&b, w, h, g.Title)
+	for r := 0; r < g.Rows; r++ {
+		y := marginTop + rowH*float64(r)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee"/>`,
+			marginLeft, y+rowH, marginLeft+plotW, y+rowH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end" fill="#555">s%d</text>`,
+			marginLeft-6, y+rowH-6, r)
+	}
+	for _, s := range g.Spans {
+		if s.Row < 0 || s.Row >= g.Rows || s.To <= s.From {
+			return "", fmt.Errorf("svgchart: bad span %+v", s)
+		}
+		y := marginTop + rowH*float64(s.Row) + 3
+		x0, x1 := px(s.From), px(s.To)
+		if x1-x0 < 1 {
+			x1 = x0 + 1
+		}
+		fill := "#bbb" // reconfiguration
+		if s.Kind == '#' {
+			fill = color(s.Label)
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %.3f-%.3fs</title></rect>`,
+			x0, y, x1-x0, rowH-6, fill, esc(s.Label), s.From, s.To)
+	}
+	// Time axis labels.
+	for _, t := range []float64{0, g.End / 2, g.End} {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" fill="#333">%ss</text>`,
+			px(t), marginTop+rowH*float64(g.Rows)+16, trimFloat(t))
+	}
+	// Legend from compute labels.
+	var names []string
+	for label := range colorOf {
+		names = append(names, label)
+	}
+	// Deterministic legend order: first-seen order is lost in map
+	// iteration, so rebuild from spans.
+	names = names[:0]
+	seen := map[string]bool{}
+	for _, s := range g.Spans {
+		if s.Kind == '#' && !seen[s.Label] {
+			seen[s.Label] = true
+			names = append(names, s.Label)
+		}
+	}
+	legend(&b, w, h, names)
+	b.WriteString("</svg>")
+	return b.String(), nil
+}

@@ -1,0 +1,215 @@
+// Package svgchart renders minimal, dependency-free SVG charts for the
+// HTML experiment report: grouped bar charts for the figure-5/6 style
+// comparisons and line charts for the deadline sweeps.
+package svgchart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// palette cycles through series colours.
+var palette = []string{"#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#b279a2"}
+
+// BarSeries is one legend entry of a grouped bar chart.
+type BarSeries struct {
+	Name   string
+	Values []float64 // one per group
+}
+
+// BarChart is a grouped bar chart.
+type BarChart struct {
+	Title  string
+	YLabel string
+	Groups []string
+	Series []BarSeries
+}
+
+// LineSeries is one line of a line chart.
+type LineSeries struct {
+	Name string
+	Y    []float64 // sampled on the chart's X grid
+}
+
+// LineChart plots series over a shared numeric X grid.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []LineSeries
+}
+
+const (
+	marginLeft   = 60.0
+	marginRight  = 16.0
+	marginTop    = 34.0
+	marginBottom = 46.0
+)
+
+// esc escapes text nodes.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func maxOf(vals ...float64) float64 {
+	m := 0.0
+	for _, v := range vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// niceCeil rounds a positive value up to 1/2/5 x 10^k.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	exp := math.Floor(math.Log10(v))
+	base := math.Pow(10, exp)
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*base {
+			return m * base
+		}
+	}
+	return 10 * base
+}
+
+// header emits the SVG prologue with title and axes frame.
+func header(b *strings.Builder, w, h int, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`, w, h)
+	fmt.Fprintf(b, `<text x="%d" y="18" font-size="14" font-weight="bold">%s</text>`, 10, esc(title))
+}
+
+// yAxis draws gridlines and labels for [0, yMax].
+func yAxis(b *strings.Builder, w, h int, yMax float64, label string) {
+	plotW := float64(w) - marginLeft - marginRight
+	plotH := float64(h) - marginTop - marginBottom
+	ticks := 5
+	for i := 0; i <= ticks; i++ {
+		v := yMax * float64(i) / float64(ticks)
+		y := marginTop + plotH - plotH*float64(i)/float64(ticks)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`,
+			marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" text-anchor="end" fill="#555">%s</text>`,
+			marginLeft-6, y+4, esc(trimFloat(v)))
+	}
+	if label != "" {
+		fmt.Fprintf(b, `<text x="14" y="%.1f" transform="rotate(-90 14 %.1f)" text-anchor="middle" fill="#333">%s</text>`,
+			marginTop+plotH/2, marginTop+plotH/2, esc(label))
+	}
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// legend draws the series legend across the bottom.
+func legend(b *strings.Builder, w, h int, names []string) {
+	x := marginLeft
+	y := float64(h) - 12
+	for i, n := range names {
+		c := palette[i%len(palette)]
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`, x, y-9, c)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" fill="#333">%s</text>`, x+14, y, esc(n))
+		x += 14 + 7*float64(len(n)) + 18
+	}
+}
+
+// SVG renders the grouped bar chart.
+func (c BarChart) SVG(w, h int) (string, error) {
+	if len(c.Groups) == 0 || len(c.Series) == 0 {
+		return "", fmt.Errorf("svgchart: bar chart needs groups and series")
+	}
+	var all []float64
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Groups) {
+			return "", fmt.Errorf("svgchart: series %q has %d values for %d groups", s.Name, len(s.Values), len(c.Groups))
+		}
+		all = append(all, s.Values...)
+	}
+	yMax := niceCeil(maxOf(all...))
+	var b strings.Builder
+	header(&b, w, h, c.Title)
+	yAxis(&b, w, h, yMax, c.YLabel)
+	plotW := float64(w) - marginLeft - marginRight
+	plotH := float64(h) - marginTop - marginBottom
+	groupW := plotW / float64(len(c.Groups))
+	barW := groupW * 0.8 / float64(len(c.Series))
+	for gi, g := range c.Groups {
+		gx := marginLeft + groupW*float64(gi)
+		for si, s := range c.Series {
+			v := s.Values[gi]
+			bh := plotH * v / yMax
+			x := gx + groupW*0.1 + barW*float64(si)
+			y := marginTop + plotH - bh
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %s</title></rect>`,
+				x, y, barW, bh, palette[si%len(palette)], esc(g), esc(s.Name), trimFloat(v))
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" fill="#333">%s</text>`,
+			gx+groupW/2, marginTop+plotH+16, esc(g))
+	}
+	names := make([]string, len(c.Series))
+	for i, s := range c.Series {
+		names[i] = s.Name
+	}
+	legend(&b, w, h, names)
+	b.WriteString("</svg>")
+	return b.String(), nil
+}
+
+// SVG renders the line chart.
+func (c LineChart) SVG(w, h int) (string, error) {
+	if len(c.X) < 2 || len(c.Series) == 0 {
+		return "", fmt.Errorf("svgchart: line chart needs >= 2 x samples and >= 1 series")
+	}
+	var all []float64
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.X) {
+			return "", fmt.Errorf("svgchart: series %q has %d samples for %d x values", s.Name, len(s.Y), len(c.X))
+		}
+		all = append(all, s.Y...)
+	}
+	yMax := niceCeil(maxOf(all...))
+	xMin, xMax := c.X[0], c.X[len(c.X)-1]
+	if xMax <= xMin {
+		return "", fmt.Errorf("svgchart: x grid not increasing")
+	}
+	var b strings.Builder
+	header(&b, w, h, c.Title)
+	yAxis(&b, w, h, yMax, c.YLabel)
+	plotW := float64(w) - marginLeft - marginRight
+	plotH := float64(h) - marginTop - marginBottom
+	px := func(x float64) float64 { return marginLeft + plotW*(x-xMin)/(xMax-xMin) }
+	py := func(y float64) float64 { return marginTop + plotH - plotH*y/yMax }
+	for si, s := range c.Series {
+		var pts []string
+		for i, x := range c.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"><title>%s</title></polyline>`,
+			strings.Join(pts, " "), palette[si%len(palette)], esc(s.Name))
+	}
+	// X axis labels at the ends and midpoint.
+	for _, x := range []float64{xMin, (xMin + xMax) / 2, xMax} {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" fill="#333">%s</text>`,
+			px(x), marginTop+plotH+16, esc(trimFloat(x)))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" fill="#333">%s</text>`,
+			marginLeft+plotW/2, marginTop+plotH+32, esc(c.XLabel))
+	}
+	names := make([]string, len(c.Series))
+	for i, s := range c.Series {
+		names[i] = s.Name
+	}
+	legend(&b, w, h, names)
+	b.WriteString("</svg>")
+	return b.String(), nil
+}

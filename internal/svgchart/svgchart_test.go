@@ -1,0 +1,147 @@
+package svgchart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartSVG(t *testing.T) {
+	c := BarChart{
+		Title:  "Figure 5",
+		YLabel: "reduction",
+		Groups: []string{"standard", "stress"},
+		Series: []BarSeries{
+			{Name: "PREMA", Values: []float64{7.2, 7.1}},
+			{Name: "Nimblock", Values: []float64{14.2, 14.2}},
+		},
+	}
+	out, err := c.SVG(640, 320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "Figure 5", "Nimblock", "standard", "<rect"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// Two series x two groups = 4 data bars + 2 legend swatches.
+	if n := strings.Count(out, "<rect"); n != 6 {
+		t.Fatalf("%d rects, want 6", n)
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	if _, err := (BarChart{}).SVG(100, 100); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	c := BarChart{Groups: []string{"a"}, Series: []BarSeries{{Name: "s", Values: []float64{1, 2}}}}
+	if _, err := c.SVG(100, 100); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	c := LineChart{
+		Title:  "Figure 7",
+		XLabel: "Ds",
+		YLabel: "violations",
+		X:      []float64{1, 2, 3, 4},
+		Series: []LineSeries{
+			{Name: "Nimblock", Y: []float64{0.4, 0.1, 0, 0}},
+			{Name: "PREMA", Y: []float64{0.6, 0.4, 0.2, 0.1}},
+		},
+	}
+	out, err := c.SVG(640, 320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<polyline", "Ds", "Figure 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	if n := strings.Count(out, "<polyline"); n != 2 {
+		t.Fatalf("%d polylines, want 2", n)
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	if _, err := (LineChart{X: []float64{1}}).SVG(100, 100); err == nil {
+		t.Fatal("single-sample chart accepted")
+	}
+	c := LineChart{X: []float64{2, 1}, Series: []LineSeries{{Name: "s", Y: []float64{1, 2}}}}
+	if _, err := c.SVG(100, 100); err == nil {
+		t.Fatal("non-increasing x accepted")
+	}
+	c = LineChart{X: []float64{1, 2}, Series: []LineSeries{{Name: "s", Y: []float64{1}}}}
+	if _, err := c.SVG(100, 100); err == nil {
+		t.Fatal("short series accepted")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := BarChart{
+		Title:  `<script>"x"&</script>`,
+		Groups: []string{"g"},
+		Series: []BarSeries{{Name: "s", Values: []float64{1}}},
+	}
+	out, err := c.SVG(200, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "<script>") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{0.7: 1, 1: 1, 1.2: 2, 3: 5, 7: 10, 14: 20, 40: 50, 70: 100, 0: 1}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestGanttSVG(t *testing.T) {
+	g := Gantt{
+		Title: "occupancy",
+		Rows:  2,
+		End:   10,
+		Spans: []Span{
+			{Row: 0, From: 0, To: 1, Kind: 'R', Label: "app1"},
+			{Row: 0, From: 1, To: 6, Kind: '#', Label: "app1"},
+			{Row: 1, From: 2, To: 3, Kind: 'R', Label: "app2"},
+			{Row: 1, From: 3, To: 9, Kind: '#', Label: "app2"},
+		},
+	}
+	out, err := g.SVG(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"occupancy", "s0", "s1", "app1", "app2", "#bbb"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gantt missing %q", want)
+		}
+	}
+	if n := strings.Count(out, "<rect"); n != 6 { // 4 spans + 2 legend swatches
+		t.Fatalf("%d rects, want 6", n)
+	}
+}
+
+func TestGanttValidation(t *testing.T) {
+	if _, err := (Gantt{Rows: 0, End: 1}).SVG(100); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if _, err := (Gantt{Rows: 1, End: 0}).SVG(100); err == nil {
+		t.Fatal("zero end accepted")
+	}
+	g := Gantt{Rows: 1, End: 1, Spans: []Span{{Row: 5, From: 0, To: 1}}}
+	if _, err := g.SVG(100); err == nil {
+		t.Fatal("out-of-range span accepted")
+	}
+	g = Gantt{Rows: 1, End: 1, Spans: []Span{{Row: 0, From: 1, To: 0}}}
+	if _, err := g.SVG(100); err == nil {
+		t.Fatal("inverted span accepted")
+	}
+}

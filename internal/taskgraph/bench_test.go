@@ -1,0 +1,53 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"nimblock/internal/sim"
+)
+
+func benchGraph(n int) *Graph {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuilder("bench")
+	for i := 0; i < n; i++ {
+		b.AddTask("t", sim.Duration(1+rng.Intn(100))*sim.Millisecond)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n && j < i+8; j++ {
+			if rng.Intn(3) == 0 {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func BenchmarkBuild100(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchGraph(100)
+	}
+}
+
+func BenchmarkCriticalPath(b *testing.B) {
+	g := benchGraph(200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.CriticalPath() <= 0 {
+			b.Fatal("bad critical path")
+		}
+	}
+}
+
+func BenchmarkTopoRank(b *testing.B) {
+	g := benchGraph(200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(g.TopoRank()) != 200 {
+			b.Fatal("bad rank")
+		}
+	}
+}

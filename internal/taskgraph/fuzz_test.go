@@ -1,0 +1,45 @@
+package taskgraph
+
+import (
+	"testing"
+
+	"nimblock/internal/sim"
+)
+
+// FuzzBuilder decodes fuzz input into a graph-construction script and
+// verifies that whatever builds also validates: topological order
+// consistent with every edge, depths well-formed, critical path bounded
+// by total work.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 1, 2})
+	f.Add([]byte{5, 0, 1, 0, 2, 1, 3, 2, 4})
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0])%20 + 1
+		b := NewBuilder("fuzz")
+		for i := 0; i < n; i++ {
+			b.AddTask("t", sim.Duration(i+1)*sim.Millisecond)
+		}
+		for i := 1; i+1 < len(data); i += 2 {
+			from := int(data[i]) % n
+			to := int(data[i+1]) % n
+			b.AddEdge(from, to)
+		}
+		g, err := b.Build()
+		if err != nil {
+			return // rejected input (cycle, dup edge, self loop) is fine
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("built graph fails validation: %v", err)
+		}
+		if g.CriticalPath() > g.TotalWork() {
+			t.Fatalf("critical path %v exceeds total work %v", g.CriticalPath(), g.TotalWork())
+		}
+		if g.MaxWidth() < 1 || g.MaxWidth() > g.NumTasks() {
+			t.Fatalf("width %d out of range", g.MaxWidth())
+		}
+	})
+}

@@ -1,0 +1,234 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nimblock/internal/sim"
+)
+
+func chain3(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("chain")
+	a := b.AddTask("t0", 10*sim.Millisecond)
+	c := b.AddTask("t1", 20*sim.Millisecond)
+	d := b.AddTask("t2", 30*sim.Millisecond)
+	b.Chain(a, c, d)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("diamond")
+	s := b.AddTask("src", 5*sim.Millisecond)
+	l := b.AddTask("left", 10*sim.Millisecond)
+	r := b.AddTask("right", 20*sim.Millisecond)
+	k := b.AddTask("sink", 5*sim.Millisecond)
+	b.AddEdge(s, l).AddEdge(s, r).AddEdge(l, k).AddEdge(r, k)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestChainBasics(t *testing.T) {
+	g := chain3(t)
+	if g.NumTasks() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d tasks, %d edges", g.NumTasks(), g.NumEdges())
+	}
+	if got := g.Topo(); got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("topo = %v", got)
+	}
+	if g.TotalWork() != 60*sim.Millisecond {
+		t.Fatalf("TotalWork = %v", g.TotalWork())
+	}
+	if g.CriticalPath() != 60*sim.Millisecond {
+		t.Fatalf("CriticalPath = %v", g.CriticalPath())
+	}
+	if g.MaxWidth() != 1 {
+		t.Fatalf("MaxWidth = %d", g.MaxWidth())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiamondBasics(t *testing.T) {
+	g := diamond(t)
+	if g.MaxWidth() != 2 {
+		t.Fatalf("MaxWidth = %d, want 2", g.MaxWidth())
+	}
+	// Critical path goes through the slower branch.
+	if g.CriticalPath() != 30*sim.Millisecond {
+		t.Fatalf("CriticalPath = %v, want 30ms", g.CriticalPath())
+	}
+	if got := g.Sources(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Sources = %v", got)
+	}
+	if got := g.Sinks(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Sinks = %v", got)
+	}
+	if g.Depth(3) != 2 {
+		t.Fatalf("Depth(sink) = %d, want 2", g.Depth(3))
+	}
+}
+
+func TestTopoRankInverse(t *testing.T) {
+	g := diamond(t)
+	rank := g.TopoRank()
+	for pos, v := range g.Topo() {
+		if rank[v] != pos {
+			t.Fatalf("rank[%d]=%d, want %d", v, rank[v], pos)
+		}
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	b := NewBuilder("cyc")
+	a := b.AddTask("a", 1)
+	c := b.AddTask("b", 1)
+	b.AddEdge(a, c).AddEdge(c, a)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("cycle not rejected")
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	b := NewBuilder("self")
+	a := b.AddTask("a", 1)
+	b.AddEdge(a, a)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("self-loop not rejected")
+	}
+}
+
+func TestDuplicateEdgeRejected(t *testing.T) {
+	b := NewBuilder("dup")
+	a := b.AddTask("a", 1)
+	c := b.AddTask("b", 1)
+	b.AddEdge(a, c).AddEdge(a, c)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate edge not rejected")
+	}
+}
+
+func TestOutOfRangeEdgeRejected(t *testing.T) {
+	b := NewBuilder("oob")
+	a := b.AddTask("a", 1)
+	b.AddEdge(a, 99)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("out-of-range edge not rejected")
+	}
+}
+
+func TestEmptyGraphRejected(t *testing.T) {
+	if _, err := NewBuilder("empty").Build(); err == nil {
+		t.Fatal("empty graph not rejected")
+	}
+}
+
+func TestNonPositiveLatencyRejected(t *testing.T) {
+	b := NewBuilder("zero")
+	b.AddTask("a", 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("zero latency not rejected")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on invalid graph")
+		}
+	}()
+	NewBuilder("bad").MustBuild()
+}
+
+// randomDAG builds a random DAG by only adding forward edges i->j, i<j.
+func randomDAG(rng *rand.Rand, n int) *Graph {
+	b := NewBuilder("rand")
+	for i := 0; i < n; i++ {
+		b.AddTask("t", sim.Duration(1+rng.Intn(1000))*sim.Millisecond)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(4) == 0 {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Property: random forward-edge DAGs always build, validate, and have a
+// topological order consistent with every edge.
+func TestRandomDAGProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%30) + 1
+		g := randomDAG(rng, n)
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		// Critical path is at least the max single-task latency and at
+		// most the total work.
+		cp, tw := g.CriticalPath(), g.TotalWork()
+		if cp > tw {
+			return false
+		}
+		var maxTask sim.Duration
+		for i := 0; i < n; i++ {
+			if g.Task(i).Latency > maxTask {
+				maxTask = g.Task(i).Latency
+			}
+		}
+		return cp >= maxTask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: depth is 0 exactly for source nodes, and depth of a node is
+// 1 + max depth of its predecessors.
+func TestDepthProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, int(sz%25)+1)
+		for i := 0; i < g.NumTasks(); i++ {
+			if len(g.Pred(i)) == 0 {
+				if g.Depth(i) != 0 {
+					return false
+				}
+				continue
+			}
+			want := 0
+			for _, p := range g.Pred(i) {
+				if g.Depth(p)+1 > want {
+					want = g.Depth(p) + 1
+				}
+			}
+			if g.Depth(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := diamond(t)
+	want := "diamond{tasks=4 edges=4 width=2}"
+	if g.String() != want {
+		t.Fatalf("String = %q, want %q", g.String(), want)
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"nimblock/internal/sim"
+)
+
+// jsonEvent is the interchange form of an Event.
+type jsonEvent struct {
+	At    sim.Time `json:"at_us"`
+	Kind  string   `json:"kind"`
+	App   string   `json:"app"`
+	AppID int64    `json:"app_id"`
+	Task  int      `json:"task"`
+	Slot  int      `json:"slot"`
+	Item  int      `json:"item"`
+}
+
+// kindNames maps Kind to its interchange string and back.
+var kindNames = func() map[string]Kind {
+	m := map[string]Kind{}
+	for k := KindArrival; k <= KindFault; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// MarshalJSON exports the log for offline analysis or replay.
+func (l *Log) MarshalJSON() ([]byte, error) {
+	events := l.Events()
+	out := make([]jsonEvent, len(events))
+	for i, e := range events {
+		out[i] = jsonEvent{At: e.At, Kind: e.Kind.String(), App: e.App, AppID: e.AppID, Task: e.Task, Slot: e.Slot, Item: e.Item}
+	}
+	return json.Marshal(out)
+}
+
+// ParseJSON imports a log previously exported with MarshalJSON.
+func ParseJSON(data []byte) (*Log, error) {
+	var raw []jsonEvent
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("trace: parsing log: %w", err)
+	}
+	l := New()
+	for i, e := range raw {
+		kind, ok := kindNames[e.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: event %d has unknown kind %q", i, e.Kind)
+		}
+		l.Add(Event{At: e.At, Kind: kind, App: e.App, AppID: e.AppID, Task: e.Task, Slot: e.Slot, Item: e.Item})
+	}
+	return l, nil
+}

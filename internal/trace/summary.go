@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nimblock/internal/sim"
+)
+
+// AppSummary aggregates one application's activity from the trace.
+type AppSummary struct {
+	App          string
+	AppID        int64
+	Arrival      sim.Time
+	Retire       sim.Time
+	Items        int
+	ComputeTime  sim.Duration
+	Reconfigs    int
+	Preemptions  int
+	SlotsTouched int
+}
+
+// Response is retirement minus arrival.
+func (s AppSummary) Response() sim.Duration { return s.Retire.Sub(s.Arrival) }
+
+// Summarize derives per-application aggregates from the log; the
+// hypervisor's own accounting must agree with these (tests assert it).
+func (l *Log) Summarize() []AppSummary {
+	byID := map[int64]*AppSummary{}
+	slots := map[int64]map[int]bool{}
+	itemStart := map[[3]int64]sim.Time{}
+	get := func(e Event) *AppSummary {
+		s, ok := byID[e.AppID]
+		if !ok {
+			s = &AppSummary{App: e.App, AppID: e.AppID}
+			byID[e.AppID] = s
+			slots[e.AppID] = map[int]bool{}
+		}
+		return s
+	}
+	for _, e := range l.Events() {
+		switch e.Kind {
+		case KindArrival:
+			get(e).Arrival = e.At
+		case KindRetire:
+			get(e).Retire = e.At
+		case KindReconfigDone:
+			s := get(e)
+			s.Reconfigs++
+			slots[e.AppID][e.Slot] = true
+		case KindItemStart:
+			itemStart[[3]int64{e.AppID, int64(e.Task), int64(e.Item)}] = e.At
+		case KindItemDone:
+			s := get(e)
+			s.Items++
+			if from, ok := itemStart[[3]int64{e.AppID, int64(e.Task), int64(e.Item)}]; ok {
+				s.ComputeTime += e.At.Sub(from)
+			}
+		case KindPreempt:
+			get(e).Preemptions++
+		}
+	}
+	var out []AppSummary
+	for id, s := range byID {
+		s.SlotsTouched = len(slots[id])
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AppID < out[j].AppID })
+	return out
+}
+
+// SummaryTable renders the per-application aggregates as text.
+func (l *Log) SummaryTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %8s %10s %10s %6s %8s %8s %6s\n",
+		"app", "items", "response", "compute", "slots", "reconfig", "preempt", "")
+	for _, s := range l.Summarize() {
+		fmt.Fprintf(&b, "%-20s %8d %9.2fs %9.2fs %6d %8d %8d\n",
+			fmt.Sprintf("%s#%d", s.App, s.AppID), s.Items,
+			s.Response().Seconds(), s.ComputeTime.Seconds(),
+			s.SlotsTouched, s.Reconfigs, s.Preemptions)
+	}
+	return b.String()
+}

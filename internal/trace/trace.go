@@ -1,0 +1,226 @@
+// Package trace records typed execution events from the hypervisor and
+// renders them for humans (event listings and per-slot Gantt charts).
+// Traces power the examples and let tests assert scheduling behaviour
+// (e.g. "a preemption happened at a batch boundary").
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nimblock/internal/sim"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+const (
+	// KindArrival marks an application entering the pending queue.
+	KindArrival Kind = iota
+	// KindReconfigStart marks a reconfiguration request reaching the CAP queue.
+	KindReconfigStart
+	// KindReconfigDone marks user logic becoming active in a slot.
+	KindReconfigDone
+	// KindItemStart marks a task beginning one batch item.
+	KindItemStart
+	// KindItemDone marks a task finishing one batch item.
+	KindItemDone
+	// KindTaskDone marks a task finishing its whole batch.
+	KindTaskDone
+	// KindPreemptRequest marks the scheduler requesting batch-preemption.
+	KindPreemptRequest
+	// KindPreempt marks a preemption honoured at a batch boundary.
+	KindPreempt
+	// KindCheckpoint marks a classic mid-item preemption with state
+	// capture (the PreemptWithCheckpoint study mode).
+	KindCheckpoint
+	// KindRetire marks an application completing.
+	KindRetire
+	// KindFault marks a reconfiguration fault.
+	KindFault
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindArrival:
+		return "arrival"
+	case KindReconfigStart:
+		return "reconfig-start"
+	case KindReconfigDone:
+		return "reconfig-done"
+	case KindItemStart:
+		return "item-start"
+	case KindItemDone:
+		return "item-done"
+	case KindTaskDone:
+		return "task-done"
+	case KindPreemptRequest:
+		return "preempt-request"
+	case KindPreempt:
+		return "preempt"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindRetire:
+		return "retire"
+	case KindFault:
+		return "fault"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence. Fields that do not apply are -1.
+type Event struct {
+	At    sim.Time
+	Kind  Kind
+	App   string
+	AppID int64
+	Task  int
+	Slot  int
+	Item  int
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.3f  %-16s %s#%d", e.At.Seconds(), e.Kind, e.App, e.AppID)
+	if e.Task >= 0 {
+		fmt.Fprintf(&b, " task=%d", e.Task)
+	}
+	if e.Slot >= 0 {
+		fmt.Fprintf(&b, " slot=%d", e.Slot)
+	}
+	if e.Item >= 0 {
+		fmt.Fprintf(&b, " item=%d", e.Item)
+	}
+	return b.String()
+}
+
+// Log accumulates events. A nil *Log is valid and discards everything, so
+// tracing can be disabled without branching at call sites.
+type Log struct {
+	events []Event
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Add records an event. No-op on a nil log.
+func (l *Log) Add(e Event) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, e)
+}
+
+// Events returns the recorded events in order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Count tallies events of one kind.
+func (l *Log) Count(k Kind) int {
+	n := 0
+	for _, e := range l.Events() {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Filter returns events matching the predicate.
+func (l *Log) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders every event, one per line.
+func (l *Log) Dump() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// interval is a closed-open busy span in a slot.
+type interval struct {
+	from, to sim.Time
+	label    string
+	kind     byte // 'R' reconfig, '#' compute
+}
+
+// Gantt renders a per-slot occupancy chart with the given number of
+// character columns spanning [0, end]. 'R' cells are reconfiguration,
+// '#' cells are item execution, '.' is idle-or-waiting.
+func (l *Log) Gantt(slots int, end sim.Time, cols int) string {
+	if cols < 1 || end <= 0 || l.Len() == 0 {
+		return ""
+	}
+	perSlot := make([][]interval, slots)
+	openReconfig := map[int]sim.Time{}
+	openItem := map[int]sim.Time{}
+	for _, e := range l.Events() {
+		if e.Slot < 0 || e.Slot >= slots {
+			continue
+		}
+		switch e.Kind {
+		case KindReconfigStart:
+			openReconfig[e.Slot] = e.At
+		case KindReconfigDone:
+			if from, ok := openReconfig[e.Slot]; ok {
+				perSlot[e.Slot] = append(perSlot[e.Slot], interval{from, e.At, e.App, 'R'})
+				delete(openReconfig, e.Slot)
+			}
+		case KindItemStart:
+			openItem[e.Slot] = e.At
+		case KindItemDone:
+			if from, ok := openItem[e.Slot]; ok {
+				perSlot[e.Slot] = append(perSlot[e.Slot], interval{from, e.At, e.App, '#'})
+				delete(openItem, e.Slot)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "gantt 0s .. %v (%d cols, R=reconfig #=compute)\n", end, cols)
+	for s := 0; s < slots; s++ {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		ivs := perSlot[s]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].from < ivs[j].from })
+		for _, iv := range ivs {
+			lo := int(int64(iv.from) * int64(cols) / int64(end))
+			hi := int(int64(iv.to) * int64(cols) / int64(end))
+			if hi == lo {
+				hi = lo + 1
+			}
+			for i := lo; i < hi && i < cols; i++ {
+				row[i] = iv.kind
+			}
+		}
+		fmt.Fprintf(&b, "slot %2d |%s|\n", s, row)
+	}
+	return b.String()
+}

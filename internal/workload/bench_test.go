@@ -1,0 +1,25 @@
+package workload
+
+import "testing"
+
+func BenchmarkGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(Spec{Scenario: Stress}, int64(i))
+	}
+}
+
+func BenchmarkJSONRoundTrip(b *testing.B) {
+	seqs := GenerateTest(Spec{Scenario: Standard}, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := MarshalJSON(seqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ParseJSON(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

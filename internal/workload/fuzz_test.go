@@ -1,0 +1,29 @@
+package workload
+
+import "testing"
+
+// FuzzParseJSON ensures arbitrary input never panics the sequence parser
+// and that anything it accepts round-trips losslessly.
+func FuzzParseJSON(f *testing.F) {
+	seed, _ := MarshalJSON([]Sequence{Generate(Spec{Scenario: Stress, Events: 3}, 1)})
+	f.Add(seed)
+	f.Add([]byte("[]"))
+	f.Add([]byte("not json"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seqs, err := ParseJSON(data)
+		if err != nil {
+			return
+		}
+		out, err := MarshalJSON(seqs)
+		if err != nil {
+			t.Fatalf("accepted sequences failed to marshal: %v", err)
+		}
+		back, err := ParseJSON(out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(seqs) {
+			t.Fatalf("round trip changed sequence count")
+		}
+	})
+}

@@ -1,0 +1,226 @@
+// Package workload generates the event sequences used by the evaluation.
+//
+// An event is the arrival of an application at the hypervisor: an
+// application name, batch information, a priority level, and an arrival
+// time (Section 5.1). The paper's test stimuli are sequences of 20
+// randomly selected events from the six-application pool, with randomly
+// generated batch sizes (up to 30) and priorities (1/3/9), replayed
+// identically against every scheduling algorithm. Three congestion
+// scenarios set the inter-arrival gaps: standard (1500-2000 ms), stress
+// (150-200 ms), and real-time (a consistent 50 ms).
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/sched"
+	"nimblock/internal/sim"
+)
+
+// Event is one application arrival.
+type Event struct {
+	App      string   `json:"app"`
+	Batch    int      `json:"batch"`
+	Priority int      `json:"priority"`
+	Arrival  sim.Time `json:"arrival_us"`
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	return fmt.Sprintf("%v %s batch=%d prio=%d", e.Arrival, e.App, e.Batch, e.Priority)
+}
+
+// Sequence is an ordered set of events forming one test.
+type Sequence []Event
+
+// Validate checks application names and field ranges.
+func (s Sequence) Validate() error {
+	last := sim.Time(-1)
+	for i, e := range s {
+		if _, err := apps.Graph(e.App); err != nil {
+			return fmt.Errorf("workload: event %d: %w", i, err)
+		}
+		if e.Batch < 1 || e.Batch > MaxBatch {
+			return fmt.Errorf("workload: event %d: batch %d outside [1,%d]", i, e.Batch, MaxBatch)
+		}
+		ok := false
+		for _, p := range sched.PriorityLevels {
+			if e.Priority == p {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("workload: event %d: priority %d not in %v", i, e.Priority, sched.PriorityLevels)
+		}
+		if e.Arrival < last {
+			return fmt.Errorf("workload: event %d: arrivals not sorted", i)
+		}
+		last = e.Arrival
+	}
+	return nil
+}
+
+// MaxBatch is the largest batch size generated (paper: 30).
+const MaxBatch = 30
+
+// EventsPerSequence matches the paper's 20 events per sequence.
+const EventsPerSequence = 20
+
+// SequencesPerTest matches the paper's 10 distinct sequences per test.
+const SequencesPerTest = 10
+
+// Scenario is a congestion condition from Section 5.1.
+type Scenario int
+
+const (
+	// Standard emulates low demand: 1500-2000 ms between events.
+	Standard Scenario = iota
+	// Stress is a rapid stream: 150-200 ms between events.
+	Stress
+	// RealTime emulates streaming input: a consistent 50 ms gap.
+	RealTime
+)
+
+// String names the scenario as in the figures.
+func (s Scenario) String() string {
+	switch s {
+	case Standard:
+		return "standard"
+	case Stress:
+		return "stress"
+	case RealTime:
+		return "real-time"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Scenarios lists all congestion conditions in figure order.
+func Scenarios() []Scenario { return []Scenario{Standard, Stress, RealTime} }
+
+// gap draws one inter-arrival gap for the scenario.
+func (s Scenario) gap(rng *rand.Rand) sim.Duration {
+	switch s {
+	case Standard:
+		return sim.Milliseconds(1500 + 500*rng.Float64())
+	case Stress:
+		return sim.Milliseconds(150 + 50*rng.Float64())
+	default:
+		return 50 * sim.Millisecond
+	}
+}
+
+// Spec parameterizes sequence generation.
+type Spec struct {
+	// Scenario sets inter-arrival gaps.
+	Scenario Scenario
+	// Events is the sequence length (default EventsPerSequence).
+	Events int
+	// FixedBatch forces every event's batch size; 0 draws uniformly
+	// from [1, MaxBatch].
+	FixedBatch int
+	// FixedGap overrides the scenario gap when positive (e.g. the 500 ms
+	// spacing used for Table 3).
+	FixedGap sim.Duration
+	// Pool restricts application choice; nil uses the whole suite.
+	Pool []string
+	// FixedPriority forces every event's priority; 0 draws uniformly
+	// from the three levels.
+	FixedPriority int
+	// PoissonRate, when positive, draws inter-arrival gaps from an
+	// exponential distribution with this mean arrival rate (events per
+	// second) instead of the scenario's uniform gaps — the arrival
+	// process cloud providers usually assume.
+	PoissonRate float64
+}
+
+// Generate produces one deterministic random sequence for the spec.
+func Generate(spec Spec, seed int64) Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	n := spec.Events
+	if n <= 0 {
+		n = EventsPerSequence
+	}
+	pool := spec.Pool
+	if len(pool) == 0 {
+		pool = apps.Names()
+	}
+	var seq Sequence
+	at := sim.Time(0)
+	for i := 0; i < n; i++ {
+		batch := spec.FixedBatch
+		if batch <= 0 {
+			batch = 1 + rng.Intn(MaxBatch)
+		}
+		prio := spec.FixedPriority
+		if prio <= 0 {
+			prio = sched.PriorityLevels[rng.Intn(len(sched.PriorityLevels))]
+		}
+		seq = append(seq, Event{
+			App:      pool[rng.Intn(len(pool))],
+			Batch:    batch,
+			Priority: prio,
+			Arrival:  at,
+		})
+		gap := spec.FixedGap
+		if gap <= 0 && spec.PoissonRate > 0 {
+			gap = sim.Seconds(rng.ExpFloat64() / spec.PoissonRate)
+		}
+		if gap <= 0 {
+			gap = spec.Scenario.gap(rng)
+		}
+		at = at.Add(gap)
+	}
+	return seq
+}
+
+// GenerateTest produces the paper's full stimulus for one scenario:
+// SequencesPerTest sequences derived from the base seed.
+func GenerateTest(spec Spec, baseSeed int64) []Sequence {
+	out := make([]Sequence, SequencesPerTest)
+	for i := range out {
+		out[i] = Generate(spec, baseSeed+int64(i)*1_000_003)
+	}
+	return out
+}
+
+// ParseJSON decodes sequences produced by the generation tool (a JSON
+// array of sequences) and validates each one.
+func ParseJSON(data []byte) ([]Sequence, error) {
+	var seqs []Sequence
+	if err := json.Unmarshal(data, &seqs); err != nil {
+		return nil, fmt.Errorf("workload: parsing sequences: %w", err)
+	}
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("workload: no sequences in input")
+	}
+	for i, s := range seqs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: sequence %d: %w", i, err)
+		}
+	}
+	return seqs, nil
+}
+
+// MarshalJSON renders sequences in the tool's interchange format.
+func MarshalJSON(seqs []Sequence) ([]byte, error) {
+	return json.MarshalIndent(seqs, "", "  ")
+}
+
+// Names lists the distinct applications in the sequence, sorted.
+func (s Sequence) Names() []string {
+	set := map[string]bool{}
+	for _, e := range s {
+		set[e.App] = true
+	}
+	var names []string
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/sim"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	seq := Generate(Spec{Scenario: Standard}, 1)
+	if len(seq) != EventsPerSequence {
+		t.Fatalf("len = %d, want %d", len(seq), EventsPerSequence)
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if seq[0].Arrival != 0 {
+		t.Fatalf("first arrival = %v, want 0", seq[0].Arrival)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Spec{Scenario: Stress}, 42)
+	b := Generate(Spec{Scenario: Stress}, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequences diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Generate(Spec{Scenario: Stress}, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestScenarioGaps(t *testing.T) {
+	check := func(s Scenario, lo, hi sim.Duration) {
+		seq := Generate(Spec{Scenario: s, Events: 50}, 7)
+		for i := 1; i < len(seq); i++ {
+			gap := seq[i].Arrival.Sub(seq[i-1].Arrival)
+			if gap < lo || gap > hi {
+				t.Errorf("%v: gap %v outside [%v, %v]", s, gap, lo, hi)
+			}
+		}
+	}
+	check(Standard, 1500*sim.Millisecond, 2000*sim.Millisecond)
+	check(Stress, 150*sim.Millisecond, 200*sim.Millisecond)
+	check(RealTime, 50*sim.Millisecond, 50*sim.Millisecond)
+}
+
+func TestFixedOverrides(t *testing.T) {
+	seq := Generate(Spec{
+		Scenario:      Stress,
+		Events:        10,
+		FixedBatch:    5,
+		FixedGap:      500 * sim.Millisecond,
+		FixedPriority: 9,
+		Pool:          []string{apps.LeNet},
+	}, 3)
+	for i, e := range seq {
+		if e.Batch != 5 || e.Priority != 9 || e.App != apps.LeNet {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		if e.Arrival != sim.Time(i)*sim.Time(500*sim.Millisecond) {
+			t.Fatalf("event %d arrival = %v", i, e.Arrival)
+		}
+	}
+}
+
+func TestGenerateTest(t *testing.T) {
+	seqs := GenerateTest(Spec{Scenario: Standard}, 11)
+	if len(seqs) != SequencesPerTest {
+		t.Fatalf("got %d sequences", len(seqs))
+	}
+	// Distinct sequences.
+	if seqs[0][0] == seqs[1][0] && seqs[0][1] == seqs[1][1] && seqs[0][2] == seqs[1][2] {
+		t.Fatal("sequences 0 and 1 look identical")
+	}
+	for i, s := range seqs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("sequence %d: %v", i, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	bad := []Sequence{
+		{{App: "nope", Batch: 1, Priority: 1, Arrival: 0}},
+		{{App: apps.LeNet, Batch: 0, Priority: 1, Arrival: 0}},
+		{{App: apps.LeNet, Batch: MaxBatch + 1, Priority: 1, Arrival: 0}},
+		{{App: apps.LeNet, Batch: 1, Priority: 2, Arrival: 0}},
+		{
+			{App: apps.LeNet, Batch: 1, Priority: 1, Arrival: 100},
+			{App: apps.LeNet, Batch: 1, Priority: 1, Arrival: 50},
+		},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad sequence %d accepted", i)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	seq := Sequence{
+		{App: apps.LeNet, Batch: 1, Priority: 1},
+		{App: apps.AlexNet, Batch: 1, Priority: 1},
+		{App: apps.LeNet, Batch: 1, Priority: 1},
+	}
+	got := seq.Names()
+	if len(got) != 2 || got[0] != apps.AlexNet || got[1] != apps.LeNet {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestScenarioStrings(t *testing.T) {
+	for _, s := range []Scenario{Standard, Stress, RealTime, Scenario(99)} {
+		if s.String() == "" {
+			t.Fatalf("empty name for scenario %d", int(s))
+		}
+	}
+	if len(Scenarios()) != 3 {
+		t.Fatal("Scenarios() should list three conditions")
+	}
+}
+
+// Property: every generated sequence validates, for any seed and scenario.
+func TestGenerateAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64, sc uint8, fixedBatch uint8) bool {
+		spec := Spec{
+			Scenario:   Scenarios()[int(sc)%3],
+			FixedBatch: int(fixedBatch) % (MaxBatch + 1), // 0 = random
+		}
+		return Generate(spec, seed).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := GenerateTest(Spec{Scenario: Stress, Events: 5}, 9)
+	data, err := MarshalJSON(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip lost sequences: %d vs %d", len(back), len(orig))
+	}
+	for i := range orig {
+		for j := range orig[i] {
+			if back[i][j] != orig[i][j] {
+				t.Fatalf("event %d/%d changed: %v vs %v", i, j, back[i][j], orig[i][j])
+			}
+		}
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	if _, err := ParseJSON([]byte("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ParseJSON([]byte("[]")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	bad := `[[{"app":"ghost","batch":1,"priority":1,"arrival_us":0}]]`
+	if _, err := ParseJSON([]byte(bad)); err == nil {
+		t.Fatal("invalid sequence accepted")
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	spec := Spec{Scenario: Stress, Events: 400, PoissonRate: 5} // mean gap 200 ms
+	seq := Generate(spec, 17)
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var total sim.Duration
+	distinct := map[sim.Duration]bool{}
+	for i := 1; i < len(seq); i++ {
+		gap := seq[i].Arrival.Sub(seq[i-1].Arrival)
+		total += gap
+		distinct[gap] = true
+	}
+	mean := total.Seconds() / float64(len(seq)-1)
+	if mean < 0.15 || mean > 0.25 {
+		t.Fatalf("mean gap %.3fs, want ~0.2s", mean)
+	}
+	// Exponential gaps are continuous: virtually all distinct, unlike
+	// the uniform scenario draws.
+	if len(distinct) < 350 {
+		t.Fatalf("only %d distinct gaps", len(distinct))
+	}
+	// FixedGap still wins over PoissonRate.
+	fixed := Generate(Spec{Scenario: Stress, Events: 5, PoissonRate: 5, FixedGap: sim.Second}, 1)
+	if got := fixed[1].Arrival.Sub(fixed[0].Arrival); got != sim.Second {
+		t.Fatalf("FixedGap overridden: %v", got)
+	}
+}

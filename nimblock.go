@@ -1,0 +1,388 @@
+// Package nimblock is a Go reproduction of "Nimblock: Scheduling for
+// Fine-grained FPGA Sharing through Virtualization" (ISCA 2023).
+//
+// It provides a virtualized, slot-based FPGA overlay — simulated in
+// deterministic virtual time because the original requires a Xilinx
+// ZCU106 board — together with the Nimblock hypervisor and five
+// scheduling algorithms: the Nimblock algorithm itself (token-based
+// candidate selection, goal-number slot allocation, cross-batch
+// pipelining, and batch-preemption), a no-sharing baseline, FCFS,
+// task-based PREMA, and Coyote-style round-robin.
+//
+// A minimal session:
+//
+//	sys, _ := nimblock.NewSystem(nimblock.DefaultConfig())
+//	app, _ := nimblock.Benchmark(nimblock.LeNet)
+//	sys.Submit(app, 5, nimblock.PriorityHigh, 0)
+//	results, _ := sys.Run()
+//
+// Applications are slot-sized task DAGs; build custom ones with NewApp.
+// Every submission carries a batch size (independent inputs processed by
+// one request) and a priority level (1, 3, or 9).
+package nimblock
+
+import (
+	"fmt"
+	"time"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/core"
+	"nimblock/internal/hv"
+	"nimblock/internal/interconnect"
+	"nimblock/internal/sched"
+	"nimblock/internal/sched/baseline"
+	"nimblock/internal/sched/fcfs"
+	"nimblock/internal/sched/prema"
+	"nimblock/internal/sched/rr"
+	"nimblock/internal/sim"
+	"nimblock/internal/taskgraph"
+	"nimblock/internal/trace"
+)
+
+// Priority levels used throughout the paper.
+const (
+	PriorityLow    = 1
+	PriorityMedium = 3
+	PriorityHigh   = 9
+)
+
+// Benchmark names from the paper's evaluation suite.
+const (
+	LeNet            = apps.LeNet
+	AlexNet          = apps.AlexNet
+	ImageCompression = apps.ImageCompression
+	OpticalFlow      = apps.OpticalFlow
+	Rendering3D      = apps.Rendering3D
+	DigitRecognition = apps.DigitRecognition
+)
+
+// Algorithm selects a scheduling policy.
+type Algorithm string
+
+// Available scheduling algorithms.
+const (
+	// AlgoNimblock is the full Nimblock algorithm (Section 4).
+	AlgoNimblock Algorithm = "Nimblock"
+	// AlgoNimblockNoPreempt disables batch-preemption (ablation).
+	AlgoNimblockNoPreempt Algorithm = "NimblockNoPreempt"
+	// AlgoNimblockNoPipe disables cross-batch pipelining (ablation).
+	AlgoNimblockNoPipe Algorithm = "NimblockNoPipe"
+	// AlgoNimblockNoPreemptNoPipe disables both (ablation).
+	AlgoNimblockNoPreemptNoPipe Algorithm = "NimblockNoPreemptNoPipe"
+	// AlgoBaseline gives the whole board to one application at a time.
+	AlgoBaseline Algorithm = "Baseline"
+	// AlgoFCFS shares slots first-come, first-served.
+	AlgoFCFS Algorithm = "FCFS"
+	// AlgoPREMA is the task-based PREMA comparator.
+	AlgoPREMA Algorithm = "PREMA"
+	// AlgoRR is the Coyote-style round-robin comparator.
+	AlgoRR Algorithm = "RR"
+)
+
+// Algorithms lists every available algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgoBaseline, AlgoFCFS, AlgoPREMA, AlgoRR,
+		AlgoNimblock, AlgoNimblockNoPreempt, AlgoNimblockNoPipe, AlgoNimblockNoPreemptNoPipe,
+	}
+}
+
+// Config parameterizes a System.
+type Config struct {
+	// Algorithm selects the scheduling policy (default AlgoNimblock).
+	Algorithm Algorithm
+	// Slots is the number of reconfigurable slots (default 10, the
+	// ZCU106 overlay of the evaluation).
+	Slots int
+	// SchedInterval is the periodic scheduling interval (default 400 ms).
+	SchedInterval time.Duration
+	// ReconfigFaultRate injects transient reconfiguration faults with
+	// the given probability (default 0).
+	ReconfigFaultRate float64
+	// EnableTrace records a full execution trace, retrievable with
+	// System.TraceDump and System.Gantt.
+	EnableTrace bool
+	// RelocatableBitstreams stores one slot-agnostic partial bitstream
+	// per task instead of one per (task, slot), dividing bitstream
+	// storage by the slot count; scheduling behaviour is unchanged.
+	RelocatableBitstreams bool
+	// Interconnect selects the inter-slot data path: "" or "folded"
+	// (calibrated default, data movement folded into task latencies),
+	// "ps-bus" (explicit serialized transfers through the PS, as on the
+	// real overlay), or "noc" (parallel mesh, the paper's future work).
+	Interconnect string
+	// CheckpointPreemption switches batch-boundary preemption to classic
+	// mid-item checkpointing with the given state save/restore cost per
+	// side (0 keeps the paper's batch-preemption).
+	CheckpointPreemption time.Duration
+	// Horizon bounds virtual time (default ~55 hours); Run fails if
+	// applications are still pending then.
+	Horizon time.Duration
+}
+
+// DefaultConfig mirrors the paper's evaluation platform with the full
+// Nimblock algorithm.
+func DefaultConfig() Config {
+	return Config{
+		Algorithm:     AlgoNimblock,
+		Slots:         10,
+		SchedInterval: 400 * time.Millisecond,
+	}
+}
+
+// Application is a compiled task-graph ready for submission.
+type Application struct {
+	graph *taskgraph.Graph
+}
+
+// Name reports the application name.
+func (a *Application) Name() string { return a.graph.Name() }
+
+// NumTasks reports the number of slot-sized tasks.
+func (a *Application) NumTasks() int { return a.graph.NumTasks() }
+
+// NumEdges reports the number of dependency edges.
+func (a *Application) NumEdges() int { return a.graph.NumEdges() }
+
+// CriticalPath reports the per-item latency lower bound.
+func (a *Application) CriticalPath() time.Duration { return a.graph.CriticalPath().Std() }
+
+// TaskID identifies a task within an AppBuilder.
+type TaskID int
+
+// AppBuilder constructs a custom application DAG.
+type AppBuilder struct {
+	b *taskgraph.Builder
+}
+
+// NewApp starts building a custom application. Each task carries its
+// per-batch-item latency; dependencies form a DAG.
+func NewApp(name string) *AppBuilder {
+	return &AppBuilder{b: taskgraph.NewBuilder(name)}
+}
+
+// AddTask appends a slot-sized task with the given per-item latency.
+func (ab *AppBuilder) AddTask(name string, latency time.Duration) TaskID {
+	return TaskID(ab.b.AddTask(name, sim.FromStd(latency)))
+}
+
+// AddDependency makes task "to" consume the output of task "from".
+func (ab *AppBuilder) AddDependency(from, to TaskID) *AppBuilder {
+	ab.b.AddEdge(int(from), int(to))
+	return ab
+}
+
+// Chain links tasks in sequence.
+func (ab *AppBuilder) Chain(ids ...TaskID) *AppBuilder {
+	for i := 1; i < len(ids); i++ {
+		ab.AddDependency(ids[i-1], ids[i])
+	}
+	return ab
+}
+
+// Build validates and freezes the application.
+func (ab *AppBuilder) Build() (*Application, error) {
+	g, err := ab.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Application{graph: g}, nil
+}
+
+// Benchmark returns one of the paper's six evaluation applications.
+func Benchmark(name string) (*Application, error) {
+	g, err := apps.Graph(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Application{graph: g}, nil
+}
+
+// Benchmarks lists the evaluation suite names.
+func Benchmarks() []string { return apps.Names() }
+
+// Result is the per-application outcome of a run.
+type Result struct {
+	// App is the application name; ID disambiguates submissions.
+	App string
+	ID  int64
+	// Batch and Priority echo the submission.
+	Batch    int
+	Priority int
+	// Arrival, FirstLaunch, and Retire are instants in virtual time
+	// since system start.
+	Arrival     time.Duration
+	FirstLaunch time.Duration
+	Retire      time.Duration
+	// Response is Retire - Arrival, the paper's primary metric.
+	Response time.Duration
+	// Run, Reconfig, and Wait break down where time went.
+	Run      time.Duration
+	Reconfig time.Duration
+	Wait     time.Duration
+	// Preemptions counts batch-preemptions suffered.
+	Preemptions int
+	// Reconfigurations counts slot configurations performed.
+	Reconfigurations int
+}
+
+// Throughput reports batch items completed per second of response time.
+func (r Result) Throughput() float64 {
+	if r.Response <= 0 {
+		return 0
+	}
+	return float64(r.Batch) / r.Response.Seconds()
+}
+
+// System is one virtualized FPGA with a hypervisor and a scheduling
+// policy. Create with NewSystem, Submit applications, then Run.
+type System struct {
+	eng *sim.Engine
+	hv  *hv.Hypervisor
+	cfg Config
+}
+
+// newPolicy builds the scheduler for the config.
+func newPolicy(cfg Config, board hv.Config) (sched.Scheduler, error) {
+	switch cfg.Algorithm {
+	case AlgoNimblock:
+		return core.New(core.Options{Preemption: true, Pipelining: true}, board.Board), nil
+	case AlgoNimblockNoPreempt:
+		return core.New(core.Options{Pipelining: true}, board.Board), nil
+	case AlgoNimblockNoPipe:
+		return core.New(core.Options{Preemption: true}, board.Board), nil
+	case AlgoNimblockNoPreemptNoPipe:
+		return core.New(core.Options{}, board.Board), nil
+	case AlgoBaseline:
+		return baseline.New(), nil
+	case AlgoFCFS:
+		return fcfs.New(), nil
+	case AlgoPREMA:
+		return prema.New(), nil
+	case AlgoRR:
+		return rr.New(), nil
+	default:
+		return nil, fmt.Errorf("nimblock: unknown algorithm %q", cfg.Algorithm)
+	}
+}
+
+// NewSystem builds a virtualized FPGA system.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = AlgoNimblock
+	}
+	hcfg := hv.DefaultConfig()
+	if cfg.Slots > 0 {
+		hcfg.Board.Slots = cfg.Slots
+	}
+	if cfg.SchedInterval > 0 {
+		hcfg.SchedInterval = sim.FromStd(cfg.SchedInterval)
+	}
+	if cfg.ReconfigFaultRate > 0 {
+		hcfg.Board.FaultRate = cfg.ReconfigFaultRate
+		hcfg.Board.MaxRetries = 10
+	}
+	if cfg.Horizon > 0 {
+		hcfg.Horizon = sim.Time(sim.FromStd(cfg.Horizon))
+	}
+	hcfg.EnableTrace = cfg.EnableTrace
+	hcfg.RelocatableBitstreams = cfg.RelocatableBitstreams
+	switch cfg.Interconnect {
+	case "", "folded":
+		hcfg.Interconnect = interconnect.DefaultConfig()
+	case "ps-bus":
+		hcfg.Interconnect = interconnect.DefaultPSBus()
+	case "noc":
+		hcfg.Interconnect = interconnect.DefaultNoC()
+	default:
+		return nil, fmt.Errorf("nimblock: unknown interconnect %q", cfg.Interconnect)
+	}
+	if cfg.CheckpointPreemption > 0 {
+		hcfg.Preempt = hv.PreemptWithCheckpoint
+		hcfg.CheckpointSave = sim.FromStd(cfg.CheckpointPreemption)
+		hcfg.CheckpointRestore = sim.FromStd(cfg.CheckpointPreemption)
+	}
+	pol, err := newPolicy(cfg, hcfg)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	h, err := hv.New(eng, hcfg, pol)
+	if err != nil {
+		return nil, err
+	}
+	return &System{eng: eng, hv: h, cfg: cfg}, nil
+}
+
+// Submit schedules an application arrival at the given virtual time
+// offset with the given batch size and priority level.
+func (s *System) Submit(app *Application, batch, priority int, arrival time.Duration) error {
+	if app == nil {
+		return fmt.Errorf("nimblock: nil application")
+	}
+	return s.hv.Submit(app.graph, batch, priority, sim.Time(sim.FromStd(arrival)))
+}
+
+// Run executes the simulation until every submitted application retires
+// and returns per-application results in submission order.
+func (s *System) Run() ([]Result, error) {
+	raw, err := s.hv.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(raw))
+	for i, r := range raw {
+		out[i] = Result{
+			App:              r.App,
+			ID:               r.AppID,
+			Batch:            r.Batch,
+			Priority:         r.Priority,
+			Arrival:          time.Duration(r.Arrival) * time.Microsecond,
+			FirstLaunch:      time.Duration(r.FirstLaunch) * time.Microsecond,
+			Retire:           time.Duration(r.Retire) * time.Microsecond,
+			Response:         r.Response.Std(),
+			Run:              r.Run.Std(),
+			Reconfig:         r.Reconfig.Std(),
+			Wait:             r.Wait.Std(),
+			Preemptions:      r.Preemptions,
+			Reconfigurations: r.Reconfigurations,
+		}
+	}
+	return out, nil
+}
+
+// Algorithm reports the active scheduling policy name.
+func (s *System) Algorithm() string { return s.hv.Policy().Name() }
+
+// SingleSlotLatency is the latency of the application on one slot with
+// no contention — the basis of the paper's deadline analysis.
+func (s *System) SingleSlotLatency(app *Application, batch int) time.Duration {
+	return s.hv.SingleSlotLatency(app.graph, batch).Std()
+}
+
+// TraceDump returns the recorded execution trace (one event per line);
+// empty unless Config.EnableTrace was set.
+func (s *System) TraceDump() string { return s.hv.Trace().Dump() }
+
+// TraceJSON exports the execution trace for offline analysis; empty
+// unless Config.EnableTrace was set.
+func (s *System) TraceJSON() ([]byte, error) { return s.hv.Trace().MarshalJSON() }
+
+// Gantt renders per-slot occupancy over the run as ASCII art; empty
+// unless Config.EnableTrace was set. The chart spans from time zero to
+// the last recorded event.
+func (s *System) Gantt(cols int) string {
+	var end sim.Time
+	for _, e := range s.hv.Trace().Events() {
+		if e.At > end {
+			end = e.At
+		}
+	}
+	return s.hv.Trace().Gantt(s.hv.Board().NumSlots(), end, cols)
+}
+
+// Preemptions reports the total batch-preemptions performed across the
+// run; requires Config.EnableTrace.
+func (s *System) Preemptions() int {
+	return s.hv.Trace().Count(trace.KindPreempt)
+}

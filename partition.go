@@ -1,0 +1,114 @@
+package nimblock
+
+import (
+	"time"
+
+	"nimblock/internal/fpga"
+	"nimblock/internal/partition"
+	"nimblock/internal/sim"
+)
+
+// OpID identifies an operation within an OpBuilder.
+type OpID int
+
+// ResourceDemand is the synthesis footprint of one operation, as
+// fractions of one slot's capacity (0..1 per resource class). The
+// partitioner scales these onto the overlay's actual slot resources.
+type ResourceDemand struct {
+	// LUTs is the dominant sizing fraction; the remaining classes
+	// default to the same fraction when zero.
+	LUTs  float64
+	DSPs  float64
+	BRAMs float64
+}
+
+// OpBuilder constructs a fine-grained operation graph for automatic
+// partitioning into slot-sized tasks — the compilation-flow step the
+// paper performs manually for its benchmarks.
+type OpBuilder struct {
+	b *partition.Builder
+}
+
+// NewOpApp starts building an operation-level application.
+func NewOpApp(name string) *OpBuilder {
+	return &OpBuilder{b: partition.NewBuilder(name)}
+}
+
+// scaled converts fractional demand onto the slot resource vector.
+func scaled(d ResourceDemand) fpga.Resources {
+	lut := d.LUTs
+	dsp := d.DSPs
+	if dsp == 0 {
+		dsp = lut
+	}
+	bram := d.BRAMs
+	if bram == 0 {
+		bram = lut
+	}
+	s := fpga.SlotResources
+	f := func(v int, frac float64) int { return int(float64(v) * frac) }
+	return fpga.Resources{
+		DSP:    f(s.DSP, dsp),
+		LUT:    f(s.LUT, lut),
+		FF:     f(s.FF, lut),
+		Carry:  f(s.Carry, lut),
+		RAMB18: f(s.RAMB18, bram),
+		RAMB36: f(s.RAMB36, bram),
+		IOBuf:  f(s.IOBuf, lut),
+	}
+}
+
+// AddOp appends an operation with its per-item latency and resource
+// demand, returning its ID.
+func (ob *OpBuilder) AddOp(name string, latency time.Duration, demand ResourceDemand) OpID {
+	return OpID(ob.b.AddOp(partition.Op{
+		Name:    name,
+		Latency: sim.FromStd(latency),
+		Res:     scaled(demand),
+	}))
+}
+
+// AddDependency records a data dependency between operations.
+func (ob *OpBuilder) AddDependency(from, to OpID) *OpBuilder {
+	ob.b.AddEdge(int(from), int(to))
+	return ob
+}
+
+// Chain links operations in sequence.
+func (ob *OpBuilder) Chain(ids ...OpID) *OpBuilder {
+	for i := 1; i < len(ids); i++ {
+		ob.AddDependency(ids[i-1], ids[i])
+	}
+	return ob
+}
+
+// PartitionInfo describes the outcome of automatic partitioning.
+type PartitionInfo struct {
+	// Tasks is the number of slot-sized tasks produced.
+	Tasks int
+	// OpsPerTask lists member-operation counts per task.
+	OpsPerTask []int
+	// Utilization is the mean fraction of slot LUTs used per task.
+	Utilization float64
+}
+
+// Partition clusters the operations into slot-sized tasks and returns
+// the submittable application plus packing statistics.
+func (ob *OpBuilder) Partition() (*Application, PartitionInfo, error) {
+	g, err := ob.b.Build()
+	if err != nil {
+		return nil, PartitionInfo{}, err
+	}
+	r, err := partition.Partition(g, fpga.SlotResources)
+	if err != nil {
+		return nil, PartitionInfo{}, err
+	}
+	info := PartitionInfo{
+		Tasks:       r.Graph.NumTasks(),
+		Utilization: r.Utilization,
+	}
+	for _, members := range r.TaskOps {
+		info.OpsPerTask = append(info.OpsPerTask, len(members))
+	}
+	return &Application{graph: r.Graph}, info, nil
+}
