@@ -15,7 +15,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: all, table1, table2, table3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig7ablation, interconnect, scaleout, slotsweep, utilization, optimality, preempt, reconfigsweep, loadsweep, estimates")
+		exp   = flag.String("exp", "all", "experiment: all, table1, table2, table3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig7ablation, interconnect, scaleout, slotsweep, utilization, optimality, preempt, reconfigsweep, loadsweep, estimates, chaos")
 		quick = flag.Bool("quick", false, "reduced scale (2 sequences x 8 events) for fast runs")
 		seed  = flag.Int64("seed", 0, "override the base random seed")
 	)
@@ -100,6 +100,11 @@ func main() {
 	}
 	if run("optimality") {
 		f, err := experiments.Optimality(cfg)
+		fail(err)
+		fmt.Println(f.Render())
+	}
+	if run("chaos") {
+		f, err := experiments.Chaos(cfg)
 		fail(err)
 		fmt.Println(f.Render())
 	}

@@ -40,10 +40,12 @@ type Options struct {
 // DefaultOptions enables the full algorithm.
 func DefaultOptions() Options { return Options{Preemption: true, Pipelining: true} }
 
-// satKey caches saturation analyses per application shape.
+// satKey caches saturation analyses per application shape and per board
+// size, so goal numbers recompute when faults shrink the usable board.
 type satKey struct {
 	name  string
 	batch int
+	slots int
 }
 
 // Scheduler is the Nimblock policy.
@@ -93,16 +95,20 @@ func (s *Scheduler) Schedule(w sched.World, why sched.Reason) {
 	s.selectAndLaunch(w, cands)
 }
 
-// analysis returns the cached saturation analysis for the application.
-// The analysis is computed from HLS estimates only; on the real system it
-// runs in parallel with synthesis, firmly off the user flow's critical
-// path, so treating it as pre-computed here is faithful.
-func (s *Scheduler) analysis(a *sched.App) saturate.Result {
-	key := satKey{name: a.Name, batch: a.Batch}
+// analysis returns the cached saturation analysis for the application on
+// a board with the given number of usable slots. The analysis is computed
+// from HLS estimates only; on the real system it runs in parallel with
+// synthesis, firmly off the user flow's critical path, so treating it as
+// pre-computed here is faithful. Re-analysing at a reduced slot count
+// when faults quarantine part of the board is cheap for the same reason.
+func (s *Scheduler) analysis(a *sched.App, slots int) saturate.Result {
+	key := satKey{name: a.Name, batch: a.Batch, slots: slots}
 	if r, ok := s.cache[key]; ok {
 		return r
 	}
-	r, err := saturate.AnalyzeCached(a.Graph, a.Report, a.Batch, s.board, s.opts.Pipelining)
+	board := s.board
+	board.Slots = slots
+	r, err := saturate.AnalyzeCached(a.Graph, a.Report, a.Batch, board, s.opts.Pipelining)
 	if err != nil {
 		// Conservative fallback: the universally best second slot.
 		r = saturate.Result{Goal: 2, MaxUseful: a.Graph.NumTasks()}
@@ -124,7 +130,13 @@ func (s *Scheduler) reallocate(w sched.World, cands []*sched.App) {
 	for _, a := range w.Apps() {
 		a.SlotsAllocated = 0
 	}
-	remaining := w.NumSlots()
+	// Budget only the usable slots: a quarantined board degrades into a
+	// smaller one and the goal numbers below are recomputed to match.
+	usable := w.UsableSlots()
+	remaining := usable
+	if remaining == 0 {
+		return
+	}
 	// Phase 1: one slot per candidate, oldest first, so every candidate
 	// makes forward progress.
 	for _, a := range cands {
@@ -139,7 +151,7 @@ func (s *Scheduler) reallocate(w sched.World, cands []*sched.App) {
 		if remaining == 0 {
 			return
 		}
-		an := s.analysis(a)
+		an := s.analysis(a, usable)
 		a.Goal = an.Goal
 		add := an.Goal - a.SlotsAllocated
 		if add > remaining {
@@ -157,7 +169,7 @@ func (s *Scheduler) reallocate(w sched.World, cands []*sched.App) {
 		if remaining == 0 {
 			return
 		}
-		an := s.analysis(a)
+		an := s.analysis(a, usable)
 		add := an.MaxUseful - a.SlotsAllocated
 		if add > remaining {
 			add = remaining

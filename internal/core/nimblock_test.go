@@ -18,6 +18,7 @@ type fakeWorld struct {
 	occupants map[int]occ // slot -> occupant
 	waiting   map[int]bool
 	preempt   map[int]bool
+	offline   map[int]bool
 	capBusy   bool
 	apps      []*sched.App
 
@@ -36,13 +37,16 @@ func newFakeWorld(slots int) *fakeWorld {
 		occupants: map[int]occ{},
 		waiting:   map[int]bool{},
 		preempt:   map[int]bool{},
+		offline:   map[int]bool{},
 	}
 }
 
-func (w *fakeWorld) Now() sim.Time      { return w.now }
-func (w *fakeWorld) NumSlots() int      { return w.slots }
-func (w *fakeWorld) CAPBusy() bool      { return w.capBusy }
-func (w *fakeWorld) Apps() []*sched.App { return w.apps }
+func (w *fakeWorld) Now() sim.Time         { return w.now }
+func (w *fakeWorld) NumSlots() int         { return w.slots }
+func (w *fakeWorld) UsableSlots() int      { return w.slots - len(w.offline) }
+func (w *fakeWorld) SlotUsable(s int) bool { return !w.offline[s] }
+func (w *fakeWorld) CAPBusy() bool         { return w.capBusy }
+func (w *fakeWorld) Apps() []*sched.App    { return w.apps }
 
 func (w *fakeWorld) FreeSlots() []int {
 	var free []int
@@ -347,13 +351,18 @@ func TestNoPreemptOptionNeverPreempts(t *testing.T) {
 func TestAnalysisFallbackSane(t *testing.T) {
 	s := New(DefaultOptions(), board())
 	a := mkApp(t, 1, apps.AlexNet, 5, 3, 0)
-	an := s.analysis(a)
+	slots := board().Slots
+	an := s.analysis(a, slots)
 	if an.Goal < 1 || an.MaxUseful < an.Goal {
 		t.Fatalf("analysis = %+v", an)
 	}
 	// Cached result is stable.
-	an2 := s.analysis(a)
+	an2 := s.analysis(a, slots)
 	if an.Goal != an2.Goal || an.MaxUseful != an2.MaxUseful {
 		t.Fatal("analysis cache unstable")
+	}
+	// A degraded board caps the useful allocation at its usable size.
+	if deg := s.analysis(a, 2); deg.Goal > 2 || deg.MaxUseful > 2 {
+		t.Fatalf("degraded analysis = %+v, want goal and max within 2 slots", deg)
 	}
 }

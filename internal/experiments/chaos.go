@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/faults"
+	"nimblock/internal/hv"
+	"nimblock/internal/metrics"
+	"nimblock/internal/report"
+	"nimblock/internal/sim"
+	"nimblock/internal/workload"
+)
+
+// ChaosRates are the per-attempt reconfiguration fault probabilities
+// swept by the chaos experiment; 0 is the fault-free control.
+var ChaosRates = []float64{0, 0.05, 0.1, 0.2}
+
+// ChaosCell aggregates one (fault rate, policy) combination across
+// every sequence of the stimulus.
+type ChaosCell struct {
+	// MeanResponse is the mean response time in seconds; the spread
+	// against the rate-0 row is the price of the injected faults.
+	MeanResponse float64
+	// FaultsInjected, Retries, and Recovered pool the recovery
+	// accounting of all sequences.
+	FaultsInjected int
+	Retries        int
+	Recovered      int
+	// WatchdogKills and SlotsOffline count the heavier recovery paths
+	// (uniform transient faults exercise neither; plan-driven scenarios
+	// do).
+	WatchdogKills int
+	SlotsOffline  int
+	// WastedWork is fabric seconds burned on lost executions.
+	WastedWork float64
+	// EffectiveSlots is the mean time-weighted usable slot count.
+	EffectiveSlots float64
+}
+
+// ChaosResult reports the fault-rate sweep.
+type ChaosResult struct {
+	// Cells maps fault rate -> policy -> aggregate.
+	Cells map[float64]map[string]ChaosCell
+}
+
+// Chaos reruns the stress stimulus under every policy while injecting
+// uniform-random reconfiguration faults at each swept rate, with the
+// recovery stack (retries with backoff, watchdog) armed. Every run must
+// complete: the experiment demonstrates that fault handling degrades
+// response time smoothly instead of wedging any scheduler.
+func Chaos(cfg Config) (*ChaosResult, error) {
+	out := &ChaosResult{Cells: map[float64]map[string]ChaosCell{}}
+	for _, rate := range ChaosRates {
+		c := cfg
+		if rate > 0 {
+			plan := faults.Uniform(rate, cfg.Seed)
+			factory, err := plan.Factory()
+			if err != nil {
+				return nil, err
+			}
+			c.HV.Board.NewInjector = factory
+			// Enough retries that a run never fails outright at the
+			// swept rates; backoff still makes each fault cost time.
+			c.HV.Board.MaxRetries = 25
+		}
+		c.HV.WatchdogFactor = chaosWatchdogFactor
+		c.HV.WatchdogGrace = chaosWatchdogGrace
+		cells, err := runChaosPoint(c, rate)
+		if err != nil {
+			return nil, err
+		}
+		out.Cells[rate] = cells
+	}
+	return out, nil
+}
+
+const (
+	chaosWatchdogFactor = 4
+	chaosWatchdogGrace  = 50 * sim.Millisecond
+)
+
+// runChaosPoint runs every policy over the stimulus at one fault rate.
+func runChaosPoint(cfg Config, rate float64) (map[string]ChaosCell, error) {
+	spec := workload.Spec{Scenario: workload.Stress, Events: cfg.Events}
+	seqs := workload.GenerateTest(spec, cfg.Seed)
+	if cfg.Sequences < len(seqs) {
+		seqs = seqs[:cfg.Sequences]
+	}
+	cells := map[string]ChaosCell{}
+	for _, pol := range PolicyNames {
+		cell := ChaosCell{}
+		var responses []float64
+		var effective []float64
+		for si, seq := range seqs {
+			res, rec, until, err := runChaosSequence(cfg, pol, seq)
+			if err != nil {
+				return nil, fmt.Errorf("chaos rate %v, sequence %d, policy %s: %w", rate, si, pol, err)
+			}
+			for _, r := range res {
+				responses = append(responses, r.Response.Seconds())
+			}
+			cell.FaultsInjected += rec.FaultsInjected
+			cell.Retries += rec.Retries
+			cell.Recovered += rec.Recovered
+			cell.WatchdogKills += rec.WatchdogKills
+			cell.SlotsOffline += rec.SlotsOffline
+			cell.WastedWork += rec.WastedWork.Seconds()
+			effective = append(effective, metrics.EffectiveSlots(rec.Timeline, until))
+		}
+		cell.MeanResponse = metrics.Mean(responses)
+		cell.EffectiveSlots = metrics.Mean(effective)
+		cells[pol] = cell
+	}
+	return cells, nil
+}
+
+// runChaosSequence is RunSequence plus recovery statistics and the
+// retirement time of the last event (the effective-slots window).
+func runChaosSequence(cfg Config, policy string, seq workload.Sequence) ([]hv.Result, hv.RecoveryStats, sim.Time, error) {
+	if err := seq.Validate(); err != nil {
+		return nil, hv.RecoveryStats{}, 0, err
+	}
+	pol, err := NewPolicy(policy, cfg.HV.Board)
+	if err != nil {
+		return nil, hv.RecoveryStats{}, 0, err
+	}
+	eng := sim.NewEngine()
+	h, err := hv.New(eng, cfg.HV, pol)
+	if err != nil {
+		return nil, hv.RecoveryStats{}, 0, err
+	}
+	for _, ev := range seq {
+		if err := h.Submit(apps.MustGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
+			return nil, hv.RecoveryStats{}, 0, err
+		}
+	}
+	res, err := h.Run()
+	if err != nil {
+		return nil, hv.RecoveryStats{}, 0, err
+	}
+	return res, h.Recovery(), eng.Now(), nil
+}
+
+// Render prints one table per swept rate.
+func (r *ChaosResult) Render() string {
+	out := ""
+	for _, rate := range ChaosRates {
+		t := &report.Table{
+			Title: fmt.Sprintf("Chaos: fault rate %.0f%% (stress)", 100*rate),
+			Header: []string{
+				"Policy", "Mean resp", "Faults", "Recovered", "Wasted", "Eff. slots",
+			},
+		}
+		for _, pol := range PolicyNames {
+			c := r.Cells[rate][pol]
+			t.AddRow(pol,
+				report.FormatSeconds(c.MeanResponse),
+				fmt.Sprintf("%d", c.FaultsInjected),
+				fmt.Sprintf("%d", c.Recovered),
+				report.FormatSeconds(c.WastedWork),
+				fmt.Sprintf("%.1f", c.EffectiveSlots),
+			)
+		}
+		out += t.Render() + "\n"
+	}
+	return out
+}

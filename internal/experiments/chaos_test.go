@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChaosQuick(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Sequences = 1
+	cfg.Events = 6
+	r, err := Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range ChaosRates {
+		cells := r.Cells[rate]
+		if len(cells) != len(PolicyNames) {
+			t.Fatalf("rate %v: %d cells, want %d", rate, len(cells), len(PolicyNames))
+		}
+		for pol, c := range cells {
+			if c.MeanResponse <= 0 {
+				t.Errorf("rate %v policy %s: mean response %v", rate, pol, c.MeanResponse)
+			}
+			if rate == 0 && c.FaultsInjected != 0 {
+				t.Errorf("policy %s: %d faults in the fault-free control", pol, c.FaultsInjected)
+			}
+			if rate >= 0.1 && c.FaultsInjected == 0 {
+				t.Errorf("rate %v policy %s: no faults fired", rate, pol)
+			}
+			if c.FaultsInjected != c.Recovered {
+				t.Errorf("rate %v policy %s: %d faults but %d recovered — uniform transients must all recover",
+					rate, pol, c.FaultsInjected, c.Recovered)
+			}
+			if c.SlotsOffline != 0 || c.WatchdogKills != 0 {
+				t.Errorf("rate %v policy %s: uniform transients took slots offline (%d) or killed items (%d)",
+					rate, pol, c.SlotsOffline, c.WatchdogKills)
+			}
+			board := cfg.HV.Board.Slots
+			if c.EffectiveSlots != float64(board) {
+				t.Errorf("rate %v policy %s: effective slots %v, want full board %d",
+					rate, pol, c.EffectiveSlots, board)
+			}
+		}
+	}
+	// The sweep is deterministic: a faulted Nimblock run is never faster
+	// than the fault-free control on the identical stimulus.
+	if f0, f2 := r.Cells[0]["Nimblock"].MeanResponse, r.Cells[0.2]["Nimblock"].MeanResponse; f2 < f0 {
+		t.Errorf("faults sped Nimblock up: %v < %v", f2, f0)
+	}
+	dump := r.Render()
+	if !strings.Contains(dump, "Chaos: fault rate 20%") || !strings.Contains(dump, "Nimblock") {
+		t.Fatalf("render missing expected rows:\n%s", dump)
+	}
+}

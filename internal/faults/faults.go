@@ -1,0 +1,303 @@
+// Package faults provides deterministic fault injection for the virtual
+// FPGA and its hypervisor.
+//
+// A fault plan is a declarative list of fault specifications — transient
+// CRC faults, SD read errors, permanent slot failures at a known time,
+// task hangs, task slowdowns, and CAP stalls — each scoped to a slot,
+// application, task, and time window. A seedable Injector evaluates the
+// plan at the probe points exposed by fpga.Injector, so every run of a
+// plan is bit-for-bit reproducible. Plans are written either in Go or in
+// a small line-oriented DSL (see ParsePlan), which the chaos experiment
+// and examples use.
+//
+// The recovery side lives with the mechanisms: the board retries
+// transient faults with capped exponential backoff, the hypervisor
+// watchdog re-executes items lost to hangs, and slots that fail
+// permanently or exceed the quarantine threshold are taken offline while
+// the scheduler's goal numbers adapt to the reduced board.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nimblock/internal/fpga"
+	"nimblock/internal/sim"
+)
+
+// Kind is one fault mechanism.
+type Kind int
+
+const (
+	// TransientCRC fails a reconfiguration attempt with a CRC mismatch;
+	// the board retries with backoff.
+	TransientCRC Kind = iota
+	// SDReadError fails a reconfiguration attempt while staging the
+	// bitstream from SD; also retryable.
+	SDReadError
+	// PermanentSlot kills a slot outright at time From; the hypervisor
+	// takes it offline even mid-execution.
+	PermanentSlot
+	// TaskHang makes a matching item never complete; only the watchdog
+	// recovers the slot.
+	TaskHang
+	// TaskSlowdown multiplies a matching item's latency by Factor.
+	TaskSlowdown
+	// CAPStall adds Stall extra latency to a reconfiguration attempt.
+	CAPStall
+
+	numKinds
+)
+
+// keyword returns the DSL keyword for the kind.
+func (k Kind) keyword() string {
+	switch k {
+	case TransientCRC:
+		return "crc"
+	case SDReadError:
+		return "sd"
+	case PermanentSlot:
+		return "dead"
+	case TaskHang:
+		return "hang"
+	case TaskSlowdown:
+		return "slow"
+	case CAPStall:
+		return "stall"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// String names the kind.
+func (k Kind) String() string { return k.keyword() }
+
+// AnySlot and AnyTask are wildcard scopes.
+const (
+	AnySlot = -1
+	AnyTask = -1
+)
+
+// Fault is one fault specification. Zero scope fields mean "match
+// everything": Slot/Task of -1, empty App, and an open time window.
+type Fault struct {
+	Kind Kind
+	// Slot scopes the fault to one reconfigurable region (AnySlot for
+	// all). PermanentSlot requires an explicit slot.
+	Slot int
+	// App and Task scope execution faults (TaskHang, TaskSlowdown) to
+	// one application name and/or task index.
+	App  string
+	Task int
+	// From and Until bound the active window. Until of 0 leaves the
+	// window open-ended. PermanentSlot fires exactly at From.
+	From  sim.Time
+	Until sim.Time
+	// Prob is the per-opportunity trigger probability in [0,1].
+	// PermanentSlot ignores it (the failure is certain).
+	Prob float64
+	// Factor is the TaskSlowdown latency multiplier (> 1).
+	Factor float64
+	// Stall is the CAPStall extra latency.
+	Stall sim.Duration
+}
+
+// active reports whether the window covers now.
+func (f Fault) active(now sim.Time) bool {
+	return now >= f.From && (f.Until == 0 || now < f.Until)
+}
+
+// matchSlot reports whether the fault applies to the slot.
+func (f Fault) matchSlot(slot int) bool { return f.Slot == AnySlot || f.Slot == slot }
+
+// matchExec reports whether the fault applies to the (app, task) pair.
+func (f Fault) matchExec(app string, task int) bool {
+	return (f.App == "" || f.App == app) && (f.Task == AnyTask || f.Task == task)
+}
+
+// validate checks one fault.
+func (f Fault) validate(i int) error {
+	if f.Kind < 0 || f.Kind >= numKinds {
+		return fmt.Errorf("faults: fault %d: unknown kind %d", i, int(f.Kind))
+	}
+	if !(f.Prob >= 0 && f.Prob <= 1) { // also rejects NaN
+		return fmt.Errorf("faults: fault %d: probability %v outside [0,1]", i, f.Prob)
+	}
+	if f.Slot < AnySlot {
+		return fmt.Errorf("faults: fault %d: slot %d invalid", i, f.Slot)
+	}
+	if f.Task < AnyTask {
+		return fmt.Errorf("faults: fault %d: task %d invalid", i, f.Task)
+	}
+	if f.From < 0 || f.Until < 0 {
+		return fmt.Errorf("faults: fault %d: negative window", i)
+	}
+	if f.Until != 0 && f.Until <= f.From {
+		return fmt.Errorf("faults: fault %d: empty window [%v,%v)", i, f.From, f.Until)
+	}
+	switch f.Kind {
+	case PermanentSlot:
+		if f.Slot == AnySlot {
+			return fmt.Errorf("faults: fault %d: permanent failure needs an explicit slot", i)
+		}
+	case TaskSlowdown:
+		if !(f.Factor > 1 && f.Factor <= 1e6) { // also rejects NaN and Inf
+			return fmt.Errorf("faults: fault %d: slowdown factor %v outside (1,1e6]", i, f.Factor)
+		}
+	case CAPStall:
+		if f.Stall <= 0 {
+			return fmt.Errorf("faults: fault %d: stall duration %v must be positive", i, f.Stall)
+		}
+	}
+	if f.Kind != TaskSlowdown && f.Factor != 0 {
+		return fmt.Errorf("faults: fault %d: factor only applies to slow", i)
+	}
+	if f.Kind != CAPStall && f.Stall != 0 {
+		return fmt.Errorf("faults: fault %d: delay only applies to stall", i)
+	}
+	if f.Kind == PermanentSlot {
+		if f.Prob != 0 {
+			return fmt.Errorf("faults: fault %d: dead is unconditional, prob does not apply", i)
+		}
+	} else if f.Prob == 0 {
+		return fmt.Errorf("faults: fault %d: %v fault with zero probability never fires", i, f.Kind)
+	}
+	return nil
+}
+
+// Plan is a complete fault scenario.
+type Plan struct {
+	// Seed derives every random decision the plan makes.
+	Seed int64
+	// Faults are evaluated in order at every probe point.
+	Faults []Fault
+}
+
+// Validate checks every fault in the plan.
+func (p Plan) Validate() error {
+	for i, f := range p.Faults {
+		if err := f.validate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Uniform is the convenience constructor replacing the board's ad-hoc
+// FaultRate knob: every reconfiguration attempt faults CRC with the
+// given probability.
+func Uniform(rate float64, seed int64) Plan {
+	return Plan{Seed: seed, Faults: []Fault{{
+		Kind: TransientCRC, Slot: AnySlot, Task: AnyTask, Prob: rate,
+	}}}
+}
+
+// Injector evaluates a plan deterministically. It implements
+// fpga.Injector. Reconfiguration and execution probes draw from
+// independent random streams so adding execution faults to a plan never
+// perturbs its reconfiguration fault sequence (and vice versa).
+type Injector struct {
+	plan     Plan
+	reconfig *rand.Rand
+	exec     *rand.Rand
+}
+
+// New builds an injector for the plan.
+func New(plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		plan:     plan,
+		reconfig: rand.New(rand.NewSource(plan.Seed)),
+		exec:     rand.New(rand.NewSource(plan.Seed ^ 0x5e3779b97f4a7c15)),
+	}, nil
+}
+
+// Factory adapts the plan to fpga.Config.NewInjector; each board built
+// from the config gets a fresh, identically seeded injector.
+func (p Plan) Factory() (func() fpga.Injector, error) {
+	if _, err := New(p); err != nil {
+		return nil, err
+	}
+	return func() fpga.Injector {
+		in, _ := New(p)
+		return in
+	}, nil
+}
+
+// MustFactory is Factory for statically known-good plans.
+func (p Plan) MustFactory() func() fpga.Injector {
+	f, err := p.Factory()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ReconfigAttempt implements fpga.Injector. The first triggered
+// transient or fatal fault decides the class; CAP stalls accumulate
+// independently.
+func (in *Injector) ReconfigAttempt(now sim.Time, slot, attempt int) fpga.ReconfigOutcome {
+	out := fpga.ReconfigOutcome{}
+	for _, f := range in.plan.Faults {
+		if !f.active(now) || !f.matchSlot(slot) {
+			continue
+		}
+		switch f.Kind {
+		case TransientCRC, SDReadError:
+			// One draw per matching fault keeps the stream aligned
+			// regardless of earlier outcomes.
+			hit := in.reconfig.Float64() < f.Prob
+			if hit && out.Class == fpga.FaultNone {
+				if f.Kind == TransientCRC {
+					out.Class = fpga.FaultCRC
+				} else {
+					out.Class = fpga.FaultSD
+				}
+			}
+		case PermanentSlot:
+			// An attempt on a slot that is past its failure time dies
+			// fatally even if the hypervisor has not reaped it yet.
+			out.Class = fpga.FaultFatal
+		case CAPStall:
+			if in.reconfig.Float64() < f.Prob {
+				out.Stall += f.Stall
+			}
+		}
+	}
+	return out
+}
+
+// Exec implements fpga.Injector. Hangs dominate slowdowns; concurrent
+// slowdowns multiply.
+func (in *Injector) Exec(now sim.Time, app string, task, slot int) fpga.ExecOutcome {
+	out := fpga.ExecOutcome{Factor: 1}
+	for _, f := range in.plan.Faults {
+		if !f.active(now) || !f.matchExec(app, task) || !f.matchSlot(slot) {
+			continue
+		}
+		switch f.Kind {
+		case TaskHang:
+			if in.exec.Float64() < f.Prob {
+				out.Hang = true
+			}
+		case TaskSlowdown:
+			if in.exec.Float64() < f.Prob {
+				out.Factor *= f.Factor
+			}
+		}
+	}
+	return out
+}
+
+// PermanentFailures implements fpga.Injector.
+func (in *Injector) PermanentFailures() []fpga.SlotFailure {
+	var out []fpga.SlotFailure
+	for _, f := range in.plan.Faults {
+		if f.Kind == PermanentSlot {
+			out = append(out, fpga.SlotFailure{Slot: f.Slot, At: f.From})
+		}
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzPlan checks the canonical-form property: any text that parses into
+// a plan must render to a string that parses back into the same plan.
+func FuzzPlan(f *testing.F) {
+	f.Add("seed 42\ncrc prob=0.1 slot=3 from=1s until=10s")
+	f.Add("sd prob=0.05\ndead slot=7 at=2.5s")
+	f.Add("hang prob=0.01 app=LeNet task=2\nslow prob=0.02 factor=3.5")
+	f.Add("stall prob=0.1 delay=20ms # comment")
+	f.Add("crc prob=1e-3\nseed -9000")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := ParsePlan(text)
+		if err != nil {
+			return
+		}
+		canon := p.String()
+		back, err := ParsePlan(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not parse: %v", canon, text, err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("round trip changed plan:\ninput %q\nfirst %+v\nsecond %+v", text, p, back)
+		}
+		if again := back.String(); again != canon {
+			t.Fatalf("canonical form is not a fixed point: %q then %q", canon, again)
+		}
+		// Every parseable plan must build an injector.
+		if _, err := New(p); err != nil {
+			t.Fatalf("parsed plan %q rejected by New: %v", text, err)
+		}
+	})
+}

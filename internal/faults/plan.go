@@ -1,0 +1,209 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"nimblock/internal/sim"
+)
+
+// The plan DSL is line-oriented: one fault per line, introduced by the
+// fault keyword, followed by key=value fields in any order. Blank lines
+// and '#' comments are ignored. A 'seed N' line seeds the random
+// streams.
+//
+//	seed 42
+//	crc   prob=0.1 slot=3 from=1s until=10s   # transient CRC faults
+//	sd    prob=0.05                           # SD read errors, any slot
+//	dead  slot=7 at=2.5s                      # permanent slot failure
+//	hang  prob=0.01 app=LeNet task=2          # kernel hang
+//	slow  prob=0.02 factor=3.5                # 3.5x slowdown
+//	stall prob=0.1 delay=20ms                 # CAP stall
+//
+// String renders the canonical form; ParsePlan(p.String()) reproduces p.
+
+// ParsePlan parses the DSL into a validated plan.
+func ParsePlan(text string) (Plan, error) {
+	p := Plan{}
+	seenSeed := false
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "seed" {
+			if seenSeed {
+				return Plan{}, fmt.Errorf("faults: line %d: duplicate seed", ln+1)
+			}
+			if len(fields) != 2 {
+				return Plan{}, fmt.Errorf("faults: line %d: seed takes one value", ln+1)
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("faults: line %d: bad seed %q", ln+1, fields[1])
+			}
+			p.Seed = v
+			seenSeed = true
+			continue
+		}
+		f, err := parseFault(fields)
+		if err != nil {
+			return Plan{}, fmt.Errorf("faults: line %d: %w", ln+1, err)
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// MustParsePlan parses a statically known-good plan.
+func MustParsePlan(text string) Plan {
+	p, err := ParsePlan(text)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var keywordKinds = map[string]Kind{}
+
+func init() {
+	for k := Kind(0); k < numKinds; k++ {
+		keywordKinds[k.keyword()] = k
+	}
+}
+
+func parseFault(fields []string) (Fault, error) {
+	kind, ok := keywordKinds[fields[0]]
+	if !ok {
+		return Fault{}, fmt.Errorf("unknown fault kind %q", fields[0])
+	}
+	f := Fault{Kind: kind, Slot: AnySlot, Task: AnyTask}
+	seen := map[string]bool{}
+	for _, kv := range fields[1:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok || val == "" {
+			return Fault{}, fmt.Errorf("field %q is not key=value", kv)
+		}
+		if seen[key] {
+			return Fault{}, fmt.Errorf("duplicate field %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "slot":
+			f.Slot, err = parseInt(val, 0)
+		case "app":
+			f.App = val
+		case "task":
+			f.Task, err = parseInt(val, 0)
+		case "prob":
+			f.Prob, err = strconv.ParseFloat(val, 64)
+		case "factor":
+			f.Factor, err = strconv.ParseFloat(val, 64)
+		case "delay":
+			var d sim.Duration
+			d, err = parseDuration(val)
+			f.Stall = d
+		case "at", "from":
+			if key == "at" && kind != PermanentSlot {
+				return Fault{}, fmt.Errorf("field at= only applies to dead")
+			}
+			if key == "from" && kind == PermanentSlot {
+				return Fault{}, fmt.Errorf("dead uses at=, not from=")
+			}
+			var d sim.Duration
+			d, err = parseDuration(val)
+			f.From = sim.Time(d)
+		case "until":
+			var d sim.Duration
+			d, err = parseDuration(val)
+			f.Until = sim.Time(d)
+		default:
+			return Fault{}, fmt.Errorf("unknown field %q", key)
+		}
+		if err != nil {
+			return Fault{}, fmt.Errorf("field %q: %v", kv, err)
+		}
+	}
+	if kind == PermanentSlot && !seen["at"] {
+		return Fault{}, fmt.Errorf("dead needs at=")
+	}
+	return f, nil
+}
+
+func parseInt(s string, min int) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if v < min {
+		return 0, fmt.Errorf("value %d below %d", v, min)
+	}
+	return v, nil
+}
+
+func parseDuration(s string) (sim.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %v", d)
+	}
+	return sim.FromStd(d), nil
+}
+
+// String renders the plan in canonical DSL form.
+func (p Plan) String() string {
+	var b strings.Builder
+	if p.Seed != 0 {
+		fmt.Fprintf(&b, "seed %d\n", p.Seed)
+	}
+	for _, f := range p.Faults {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders one fault as a canonical DSL line.
+func (f Fault) String() string {
+	var parts []string
+	parts = append(parts, f.Kind.keyword())
+	if f.Slot != AnySlot {
+		parts = append(parts, fmt.Sprintf("slot=%d", f.Slot))
+	}
+	if f.App != "" {
+		parts = append(parts, "app="+f.App)
+	}
+	if f.Task != AnyTask {
+		parts = append(parts, fmt.Sprintf("task=%d", f.Task))
+	}
+	if f.Prob != 0 {
+		parts = append(parts, "prob="+strconv.FormatFloat(f.Prob, 'g', -1, 64))
+	}
+	if f.Factor != 0 {
+		parts = append(parts, "factor="+strconv.FormatFloat(f.Factor, 'g', -1, 64))
+	}
+	if f.Stall != 0 {
+		parts = append(parts, "delay="+f.Stall.String())
+	}
+	if f.Kind == PermanentSlot {
+		parts = append(parts, "at="+sim.Duration(f.From).String())
+	} else if f.From != 0 {
+		parts = append(parts, "from="+sim.Duration(f.From).String())
+	}
+	if f.Until != 0 {
+		parts = append(parts, "until="+sim.Duration(f.Until).String())
+	}
+	return strings.Join(parts, " ")
+}

@@ -2,7 +2,6 @@ package fpga
 
 import (
 	"fmt"
-	"math/rand"
 
 	"nimblock/internal/bitstream"
 	"nimblock/internal/sim"
@@ -21,6 +20,10 @@ const (
 	// SlotLoaded means user logic is configured and attached to the
 	// memory-mapped control and data interfaces.
 	SlotLoaded
+	// SlotOffline means the region has permanently left service — a
+	// fatal hardware fault or a hypervisor quarantine. It is never free
+	// and never schedulable again.
+	SlotOffline
 )
 
 // String names the state for traces.
@@ -32,6 +35,8 @@ func (s SlotState) String() string {
 		return "reconfiguring"
 	case SlotLoaded:
 		return "loaded"
+	case SlotOffline:
+		return "offline"
 	default:
 		return fmt.Sprintf("SlotState(%d)", int(s))
 	}
@@ -59,13 +64,31 @@ type Config struct {
 	// reconfiguration pipeline.
 	SDBytesPerSec float64
 	// FaultRate, if positive, is the probability that a reconfiguration
-	// attempt fails CRC and must be retried (fault injection for tests).
+	// attempt fails CRC and must be retried — the convenience knob for a
+	// uniform-random fault process. Ignored when NewInjector is set;
+	// richer fault plans live in internal/faults.
 	FaultRate float64
 	// FaultSeed seeds the fault process.
 	FaultSeed int64
+	// NewInjector, when non-nil, constructs the fault injector for this
+	// board instance. A factory (rather than an instance) keeps replayed
+	// runs independent: every board gets a fresh, identically seeded
+	// injector.
+	NewInjector func() Injector
 	// MaxRetries bounds reconfiguration retries before reporting an
 	// error (0 means a single attempt).
 	MaxRetries int
+	// RetryBackoff is the base delay before the first retry of a faulted
+	// reconfiguration; each further retry doubles it (capped by
+	// RetryBackoffCap). Zero retries immediately.
+	RetryBackoff sim.Duration
+	// RetryBackoffCap bounds the exponential backoff. Zero with a
+	// positive RetryBackoff means uncapped.
+	RetryBackoffCap sim.Duration
+	// OnFault, when non-nil, is invoked for every injected
+	// reconfiguration fault before the board mutates slot state — the
+	// hypervisor uses it to trace retries and drive quarantine.
+	OnFault func(FaultEvent)
 	// AllowRelocation accepts slot-agnostic partial bitstreams
 	// (Header.Slot < 0): the loader patches frame addresses for the
 	// target slot before streaming.
@@ -76,10 +99,12 @@ type Config struct {
 // partial reconfiguration (SD load ~16 ms + CAP write ~64 ms).
 func DefaultConfig() Config {
 	return Config{
-		Slots:          10,
-		CAPBytesPerSec: 117.3e6, // ~64 ms for a slot image
-		SDBytesPerSec:  469.0e6, // ~16 ms for a slot image
-		MaxRetries:     3,
+		Slots:           10,
+		CAPBytesPerSec:  117.3e6, // ~64 ms for a slot image
+		SDBytesPerSec:   469.0e6, // ~16 ms for a slot image
+		MaxRetries:      3,
+		RetryBackoff:    5 * sim.Millisecond,
+		RetryBackoffCap: 80 * sim.Millisecond,
 	}
 }
 
@@ -88,7 +113,22 @@ type Stats struct {
 	Reconfigurations int
 	ReconfigTime     sim.Duration
 	Faults           int
-	Releases         int
+	// Retries counts faulted attempts that were streamed again.
+	Retries int
+	// Recovered counts faults absorbed by retrying: every fault on a
+	// request that eventually configured successfully.
+	Recovered int
+	// Offline counts slots permanently removed from service.
+	Offline  int
+	Releases int
+}
+
+// SlotStats aggregates per-slot health counters; the hypervisor's
+// quarantine policy keys off Faults.
+type SlotStats struct {
+	Reconfigurations int
+	Faults           int
+	Retries          int
 }
 
 // reconfigRequest is one queued CAP operation.
@@ -103,13 +143,15 @@ type reconfigRequest struct {
 // engine: Reconfigure enqueues work on the single CAP, and completion is
 // delivered by callback in virtual time.
 type Board struct {
-	eng   *sim.Engine
-	cfg   Config
-	slots []*Slot
-	queue []reconfigRequest
-	busy  bool
-	rng   *rand.Rand
-	stats Stats
+	eng         *sim.Engine
+	cfg         Config
+	slots       []*Slot
+	queue       []reconfigRequest
+	busy        bool
+	inj         Injector
+	stats       Stats
+	slotStats   []SlotStats
+	failPending []bool // permanent failure arrived while reconfiguring
 }
 
 // NewBoard programs the static region and returns a board with all slots
@@ -124,19 +166,32 @@ func NewBoard(eng *sim.Engine, cfg Config) (*Board, error) {
 	if cfg.SDBytesPerSec <= 0 {
 		return nil, fmt.Errorf("fpga: SD bandwidth must be positive")
 	}
-	if cfg.FaultRate < 0 || cfg.FaultRate >= 1 {
-		return nil, fmt.Errorf("fpga: fault rate %v outside [0,1)", cfg.FaultRate)
+	if cfg.FaultRate < 0 || cfg.FaultRate > 1 {
+		return nil, fmt.Errorf("fpga: fault rate %v outside [0,1]", cfg.FaultRate)
+	}
+	if cfg.RetryBackoff < 0 || cfg.RetryBackoffCap < 0 {
+		return nil, fmt.Errorf("fpga: negative retry backoff")
 	}
 	b := &Board{
-		eng: eng,
-		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.FaultSeed)),
+		eng:         eng,
+		cfg:         cfg,
+		slotStats:   make([]SlotStats, cfg.Slots),
+		failPending: make([]bool, cfg.Slots),
+	}
+	switch {
+	case cfg.NewInjector != nil:
+		b.inj = cfg.NewInjector()
+	case cfg.FaultRate > 0:
+		b.inj = NewUniformInjector(cfg.FaultRate, cfg.FaultSeed)
 	}
 	for i := 0; i < cfg.Slots; i++ {
 		b.slots = append(b.slots, &Slot{ID: i})
 	}
 	return b, nil
 }
+
+// Injector returns the active fault injector, or nil on a healthy board.
+func (b *Board) Injector() Injector { return b.inj }
 
 // NumSlots reports the number of reconfigurable regions.
 func (b *Board) NumSlots() int { return len(b.slots) }
@@ -153,6 +208,9 @@ func (b *Board) CAPQueueLen() int { return len(b.queue) }
 
 // Stats returns a copy of the board counters.
 func (b *Board) Stats() Stats { return b.stats }
+
+// SlotStats returns a copy of slot i's health counters.
+func (b *Board) SlotStats(i int) SlotStats { return b.slotStats[i] }
 
 // ReconfigTime reports how long one configuration of the given image
 // takes end to end (SD load + CAP write), excluding queueing.
@@ -198,21 +256,70 @@ func (b *Board) pump() {
 	req := b.queue[0]
 	b.queue = b.queue[1:]
 	b.busy = true
+	b.stream(req, 0)
+}
+
+// stream charges one attempt (plus backoff and any injected CAP stall)
+// to the busy CAP and schedules its completion. The fault outcome is
+// drawn up front — exactly one injector consultation per attempt.
+func (b *Board) stream(req reconfigRequest, backoff sim.Duration) {
 	d := b.ReconfigTime(req.img)
-	b.eng.After(d, func() { b.finish(req, d) })
+	out := ReconfigOutcome{}
+	if b.inj != nil {
+		out = b.inj.ReconfigAttempt(b.eng.Now(), req.slot, req.tries)
+	}
+	b.eng.After(backoff+d+out.Stall, func() { b.finish(req, out, d+out.Stall) })
+}
+
+// backoffFor is the capped exponential delay before retry n (n >= 1).
+func (b *Board) backoffFor(n int) sim.Duration {
+	if b.cfg.RetryBackoff <= 0 {
+		return 0
+	}
+	d := b.cfg.RetryBackoff
+	for i := 1; i < n; i++ {
+		d *= 2
+		if b.cfg.RetryBackoffCap > 0 && d >= b.cfg.RetryBackoffCap {
+			return b.cfg.RetryBackoffCap
+		}
+	}
+	if b.cfg.RetryBackoffCap > 0 && d > b.cfg.RetryBackoffCap {
+		d = b.cfg.RetryBackoffCap
+	}
+	return d
+}
+
+func (b *Board) notifyFault(slot, attempt int, class FaultClass, willRetry bool) {
+	if b.cfg.OnFault != nil {
+		b.cfg.OnFault(FaultEvent{Slot: slot, Attempt: attempt, Class: class, WillRetry: willRetry})
+	}
 }
 
 // finish completes (or retries) the active reconfiguration.
-func (b *Board) finish(req reconfigRequest, d sim.Duration) {
+func (b *Board) finish(req reconfigRequest, out ReconfigOutcome, d sim.Duration) {
 	b.stats.ReconfigTime += d
-	if b.cfg.FaultRate > 0 && b.rng.Float64() < b.cfg.FaultRate {
+	if b.failPending[req.slot] {
+		// The region died while the stream was in flight; the attempt is
+		// lost regardless of its own outcome.
+		b.failPending[req.slot] = false
+		out = ReconfigOutcome{Class: FaultFatal}
+	}
+	switch out.Class {
+	case FaultCRC, FaultSD:
 		b.stats.Faults++
+		b.slotStats[req.slot].Faults++
 		if req.tries < b.cfg.MaxRetries {
 			req.tries++
-			// Retry: stream the image again; CAP stays busy.
-			b.eng.After(d, func() { b.finish(req, d) })
+			b.stats.Retries++
+			b.slotStats[req.slot].Retries++
+			b.notifyFault(req.slot, req.tries-1, out.Class, true)
+			// Retry: stream the image again after backoff; the CAP stays
+			// busy — the single reconfiguration pipeline is blocked on
+			// the faulted stream.
+			b.stream(req, b.backoffFor(req.tries))
 			return
 		}
+		b.notifyFault(req.slot, req.tries, out.Class, false)
 		// Unrecoverable: free the slot and report the error.
 		s := b.slots[req.slot]
 		s.State = SlotFree
@@ -223,8 +330,23 @@ func (b *Board) finish(req reconfigRequest, d sim.Duration) {
 			req.onDone(fmt.Errorf("fpga: reconfiguration of slot %d failed after %d retries", req.slot, req.tries))
 		}
 		return
+	case FaultFatal:
+		b.stats.Faults++
+		b.slotStats[req.slot].Faults++
+		b.notifyFault(req.slot, req.tries, FaultFatal, false)
+		b.takeOffline(req.slot)
+		b.busy = false
+		b.pump()
+		if req.onDone != nil {
+			req.onDone(fmt.Errorf("fpga: slot %d failed permanently during reconfiguration", req.slot))
+		}
+		return
 	}
 	b.stats.Reconfigurations++
+	b.slotStats[req.slot].Reconfigurations++
+	if req.tries > 0 {
+		b.stats.Recovered += req.tries
+	}
 	s := b.slots[req.slot]
 	s.State = SlotLoaded
 	s.Image = req.img
@@ -233,6 +355,63 @@ func (b *Board) finish(req reconfigRequest, d sim.Duration) {
 	if req.onDone != nil {
 		req.onDone(nil)
 	}
+}
+
+// takeOffline transitions a slot to SlotOffline unconditionally.
+func (b *Board) takeOffline(slot int) {
+	s := b.slots[slot]
+	s.State = SlotOffline
+	s.Image = nil
+	b.stats.Offline++
+}
+
+// SetOffline permanently removes a slot from service (fatal fault or
+// hypervisor quarantine). A free slot goes offline immediately; a
+// reconfiguring slot is marked so the in-flight stream fails on
+// completion. A loaded slot must be released (its occupant killed) by
+// the caller first. Idempotent for slots already offline.
+func (b *Board) SetOffline(slot int) error {
+	if slot < 0 || slot >= len(b.slots) {
+		return fmt.Errorf("fpga: slot %d out of range", slot)
+	}
+	s := b.slots[slot]
+	switch s.State {
+	case SlotOffline:
+		return nil
+	case SlotFree:
+		b.takeOffline(slot)
+		return nil
+	case SlotReconfiguring:
+		b.failPending[slot] = true
+		return nil
+	default:
+		return fmt.Errorf("fpga: slot %d is %v, release it before taking it offline", slot, s.State)
+	}
+}
+
+// SlotUsable reports whether slot i is still in service.
+func (b *Board) SlotUsable(i int) bool { return b.slots[i].State != SlotOffline }
+
+// UsableSlots counts slots still in service.
+func (b *Board) UsableSlots() int {
+	n := 0
+	for _, s := range b.slots {
+		if s.State != SlotOffline {
+			n++
+		}
+	}
+	return n
+}
+
+// OfflineSlots lists the IDs of slots permanently out of service.
+func (b *Board) OfflineSlots() []int {
+	var off []int
+	for _, s := range b.slots {
+		if s.State == SlotOffline {
+			off = append(off, s.ID)
+		}
+	}
+	return off
 }
 
 // Release decouples and frees a loaded slot. The hypervisor calls this

@@ -176,15 +176,196 @@ func TestFaultInjectionExhaustsRetries(t *testing.T) {
 	if b.Stats().Faults != 3 {
 		t.Fatalf("faults = %d, want 3 (initial + 2 retries)", b.Stats().Faults)
 	}
+	if b.Stats().Retries != 2 {
+		t.Fatalf("retries = %d, want 2", b.Stats().Retries)
+	}
+	if ss := b.SlotStats(0); ss.Faults != 3 || ss.Retries != 2 || ss.Reconfigurations != 0 {
+		t.Fatalf("slot 0 stats = %+v", ss)
+	}
 	// The CAP must recover for subsequent work.
 	ok := false
-	cfg2 := b.cfg
-	_ = cfg2
-	b.cfg.FaultRate = 0
+	b.inj = nil // heal the injected fault process
 	b.Reconfigure(1, image(1), func(err error) { ok = err == nil })
 	eng.Run()
 	if !ok {
 		t.Fatal("CAP did not recover after a failed reconfiguration")
+	}
+}
+
+// Retried streams are distinguishable in Stats: Retries counts re-streamed
+// attempts, Recovered counts faults absorbed by eventual success, and the
+// per-slot counters attribute them to the faulting region.
+func TestRetryAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FaultRate = 0.5
+	cfg.FaultSeed = 42
+	cfg.MaxRetries = 10
+	eng, b := newBoard(t, cfg)
+	if err := b.Reconfigure(0, image(0), nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	st := b.Stats()
+	if st.Reconfigurations != 1 {
+		t.Fatalf("reconfigurations = %d, want 1", st.Reconfigurations)
+	}
+	if st.Faults == 0 {
+		t.Fatal("seed 42 at rate 0.5 should fault at least once")
+	}
+	if st.Retries != st.Faults {
+		t.Fatalf("retries = %d, faults = %d; every fault of a recovered stream is a retry", st.Retries, st.Faults)
+	}
+	if st.Recovered != st.Faults {
+		t.Fatalf("recovered = %d, want %d (the stream eventually succeeded)", st.Recovered, st.Faults)
+	}
+	ss := b.SlotStats(0)
+	if ss.Faults != st.Faults || ss.Retries != st.Retries || ss.Reconfigurations != 1 {
+		t.Fatalf("slot stats %+v disagree with board stats %+v", ss, st)
+	}
+	if other := b.SlotStats(1); other != (SlotStats{}) {
+		t.Fatalf("healthy slot accrued stats %+v", other)
+	}
+}
+
+// Retries back off exponentially with a cap: attempt n waits
+// min(RetryBackoff << (n-1), RetryBackoffCap) before re-streaming.
+func TestRetryBackoffTiming(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRetries = 4
+	cfg.RetryBackoff = 10 * sim.Millisecond
+	cfg.RetryBackoffCap = 25 * sim.Millisecond
+	faults := 3 // fail the first three attempts, then succeed
+	cfg.NewInjector = func() Injector {
+		return scriptedInjector{reconfig: func(attempt int) ReconfigOutcome {
+			if attempt < faults {
+				return ReconfigOutcome{Class: FaultCRC}
+			}
+			return ReconfigOutcome{}
+		}}
+	}
+	eng, b := newBoard(t, cfg)
+	var doneAt sim.Time
+	if err := b.Reconfigure(0, image(0), func(err error) {
+		if err != nil {
+			t.Errorf("unexpected error: %v", err)
+		}
+		doneAt = eng.Now()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	d := b.ReconfigTime(image(0))
+	// 4 attempts + backoffs of 10, 20, min(40,25)=25 ms.
+	want := sim.Time(0).Add(4*d + 10*sim.Millisecond + 20*sim.Millisecond + 25*sim.Millisecond)
+	if doneAt != want {
+		t.Fatalf("completion at %v, want %v", doneAt, want)
+	}
+	if b.Stats().Retries != 3 || b.Stats().Recovered != 3 {
+		t.Fatalf("stats = %+v", b.Stats())
+	}
+}
+
+// scriptedInjector drives deterministic outcomes per attempt index.
+type scriptedInjector struct {
+	reconfig func(attempt int) ReconfigOutcome
+}
+
+func (s scriptedInjector) ReconfigAttempt(now sim.Time, slot, attempt int) ReconfigOutcome {
+	return s.reconfig(attempt)
+}
+func (s scriptedInjector) Exec(now sim.Time, app string, task, slot int) ExecOutcome {
+	return ExecOutcome{}
+}
+func (s scriptedInjector) PermanentFailures() []SlotFailure { return nil }
+
+// A fatal fault takes the slot offline; the board keeps serving the
+// remaining regions and reports the reduced usable count.
+func TestFatalFaultTakesSlotOffline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NewInjector = func() Injector {
+		return scriptedInjector{reconfig: func(attempt int) ReconfigOutcome {
+			return ReconfigOutcome{Class: FaultFatal}
+		}}
+	}
+	eng, b := newBoard(t, cfg)
+	var gotErr error
+	b.Reconfigure(4, image(4), func(err error) { gotErr = err })
+	eng.Run()
+	if gotErr == nil {
+		t.Fatal("fatal fault reported no error")
+	}
+	if b.Slot(4).State != SlotOffline {
+		t.Fatalf("slot state = %v, want offline", b.Slot(4).State)
+	}
+	if b.UsableSlots() != b.NumSlots()-1 {
+		t.Fatalf("usable = %d, want %d", b.UsableSlots(), b.NumSlots()-1)
+	}
+	if off := b.OfflineSlots(); len(off) != 1 || off[0] != 4 {
+		t.Fatalf("offline = %v", off)
+	}
+	if b.SlotUsable(4) || !b.SlotUsable(3) {
+		t.Fatal("SlotUsable disagrees with slot state")
+	}
+	// Offline slots are not free and cannot be reconfigured or released.
+	for _, s := range b.FreeSlots() {
+		if s == 4 {
+			t.Fatal("offline slot listed free")
+		}
+	}
+	if err := b.Reconfigure(4, image(4), nil); err == nil {
+		t.Fatal("reconfigure of offline slot accepted")
+	}
+	if err := b.Release(4); err == nil {
+		t.Fatal("release of offline slot accepted")
+	}
+}
+
+// SetOffline handles all slot states: free goes down immediately,
+// reconfiguring fails the in-flight stream, loaded must be released
+// first, and the call is idempotent.
+func TestSetOffline(t *testing.T) {
+	eng, b := newBoard(t, DefaultConfig())
+	if err := b.SetOffline(0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Slot(0).State != SlotOffline {
+		t.Fatalf("state = %v", b.Slot(0).State)
+	}
+	if err := b.SetOffline(0); err != nil {
+		t.Fatalf("SetOffline not idempotent: %v", err)
+	}
+	// Mid-reconfiguration: the stream completes with a fatal error.
+	var gotErr error
+	if err := b.Reconfigure(1, image(1), func(err error) { gotErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetOffline(1); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if gotErr == nil {
+		t.Fatal("in-flight stream on a dying slot reported no error")
+	}
+	if b.Slot(1).State != SlotOffline {
+		t.Fatalf("state = %v, want offline", b.Slot(1).State)
+	}
+	// Loaded: the occupant must be released first.
+	b.Reconfigure(2, image(2), nil)
+	eng.Run()
+	if err := b.SetOffline(2); err == nil {
+		t.Fatal("SetOffline of a loaded slot accepted")
+	}
+	if err := b.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetOffline(2); err != nil {
+		t.Fatal(err)
+	}
+	if b.UsableSlots() != b.NumSlots()-3 {
+		t.Fatalf("usable = %d", b.UsableSlots())
+	}
+	if b.Stats().Offline != 3 {
+		t.Fatalf("offline stat = %d, want 3", b.Stats().Offline)
 	}
 }
 

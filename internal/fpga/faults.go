@@ -1,0 +1,121 @@
+package fpga
+
+import (
+	"math/rand"
+
+	"nimblock/internal/sim"
+)
+
+// FaultClass classifies the outcome of one reconfiguration attempt.
+type FaultClass int
+
+const (
+	// FaultNone means the attempt succeeded.
+	FaultNone FaultClass = iota
+	// FaultCRC is a transient CRC mismatch on the configuration stream;
+	// the attempt is retryable.
+	FaultCRC
+	// FaultSD is a transient SD-card read error while staging the
+	// bitstream into DDR; the attempt is retryable.
+	FaultSD
+	// FaultFatal is a permanent failure of the reconfigurable region;
+	// the slot goes offline and never returns.
+	FaultFatal
+)
+
+// String names the class for traces and errors.
+func (c FaultClass) String() string {
+	switch c {
+	case FaultNone:
+		return "none"
+	case FaultCRC:
+		return "crc"
+	case FaultSD:
+		return "sd-read"
+	case FaultFatal:
+		return "fatal"
+	default:
+		return "unknown"
+	}
+}
+
+// ReconfigOutcome is the injector's verdict on one reconfiguration
+// attempt.
+type ReconfigOutcome struct {
+	// Class is the fault injected, or FaultNone.
+	Class FaultClass
+	// Stall is extra CAP latency charged to the attempt (a stalled or
+	// congested configuration port). Applies to faulted attempts too.
+	Stall sim.Duration
+}
+
+// ExecOutcome is the injector's verdict on one task-item execution.
+type ExecOutcome struct {
+	// Hang makes the item never complete on its own; only a hypervisor
+	// watchdog can recover the slot.
+	Hang bool
+	// Factor > 1 multiplies the item's execution latency (a degraded or
+	// thermally throttled kernel). Values <= 1 mean nominal speed.
+	Factor float64
+}
+
+// SlotFailure is a pre-planned permanent slot failure.
+type SlotFailure struct {
+	Slot int
+	At   sim.Time
+}
+
+// Injector is the fault-decision surface consulted by the virtual
+// hardware (per reconfiguration attempt) and by the hypervisor (per
+// item launch, plus scheduled permanent failures). Implementations must
+// be deterministic functions of their seed and the probe sequence so
+// simulations stay bit-for-bit reproducible.
+type Injector interface {
+	// ReconfigAttempt is consulted once per attempt (attempt 0 is the
+	// first try) before the stream is charged to the CAP.
+	ReconfigAttempt(now sim.Time, slot, attempt int) ReconfigOutcome
+	// Exec is consulted once per item launch.
+	Exec(now sim.Time, app string, task, slot int) ExecOutcome
+	// PermanentFailures lists slot failures scheduled at known times so
+	// the hypervisor can take the slots down even while they run.
+	PermanentFailures() []SlotFailure
+}
+
+// FaultEvent notifies the board owner of one injected reconfiguration
+// fault, before the board mutates slot state for it.
+type FaultEvent struct {
+	Slot    int
+	Attempt int
+	Class   FaultClass
+	// WillRetry reports whether the board is about to retry the attempt
+	// (false when retries are exhausted or the fault is fatal).
+	WillRetry bool
+}
+
+// NewUniformInjector builds the legacy FaultRate process explicitly —
+// used by tests that disable or rebuild fault injection mid-scenario.
+func NewUniformInjector(rate float64, seed int64) Injector {
+	return &uniformInjector{rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// uniformInjector is the legacy FaultRate behaviour: every
+// reconfiguration attempt fails CRC with fixed probability. It draws
+// exactly one random number per attempt, preserving the fault sequences
+// of pre-injector seeds.
+type uniformInjector struct {
+	rate float64
+	rng  *rand.Rand
+}
+
+func (u *uniformInjector) ReconfigAttempt(now sim.Time, slot, attempt int) ReconfigOutcome {
+	if u.rng.Float64() < u.rate {
+		return ReconfigOutcome{Class: FaultCRC}
+	}
+	return ReconfigOutcome{}
+}
+
+func (u *uniformInjector) Exec(now sim.Time, app string, task, slot int) ExecOutcome {
+	return ExecOutcome{}
+}
+
+func (u *uniformInjector) PermanentFailures() []SlotFailure { return nil }

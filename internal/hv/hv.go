@@ -60,6 +60,19 @@ type Config struct {
 	// restore costs under PreemptWithCheckpoint.
 	CheckpointSave    sim.Duration
 	CheckpointRestore sim.Duration
+	// WatchdogFactor arms a per-item watchdog: an item still running
+	// after WatchdogFactor x its HLS latency estimate (plus
+	// WatchdogGrace) is killed and re-executed from scratch. Zero
+	// disables the watchdog; without it a hung kernel wedges its slot
+	// until the horizon.
+	WatchdogFactor float64
+	// WatchdogGrace is a fixed allowance added to every watchdog
+	// deadline, absorbing short estimate misses on tiny items.
+	WatchdogGrace sim.Duration
+	// QuarantineThreshold takes a slot offline once its injected fault
+	// count reaches the threshold, trading capacity for not burning
+	// retries on a degrading region. Zero disables quarantine.
+	QuarantineThreshold int
 }
 
 // PreemptMode selects how preemption requests are honoured.
@@ -121,6 +134,38 @@ func (r Result) Throughput() float64 {
 	return float64(r.Batch) / r.Response.Seconds()
 }
 
+// SlotSample records the usable slot count at one instant. A run's
+// timeline starts with one sample at construction and gains one each
+// time a slot leaves service.
+type SlotSample struct {
+	At     sim.Time
+	Usable int
+}
+
+// RecoveryStats aggregates fault-injection and recovery activity over a
+// run (see Recovery).
+type RecoveryStats struct {
+	// FaultsInjected counts faults that fired: reconfiguration faults
+	// from the board plus execution hangs and slowdowns.
+	FaultsInjected int
+	// Retries and Recovered mirror the board's reconfiguration retry
+	// accounting: faulted attempts retried, and requests that
+	// eventually succeeded after at least one retry.
+	Retries   int
+	Recovered int
+	// WatchdogKills counts items killed for running past their deadline.
+	WatchdogKills int
+	// Quarantined counts slots removed by the fault-threshold policy.
+	// SlotsOffline additionally includes permanent hardware failures.
+	Quarantined  int
+	SlotsOffline int
+	// WastedWork is fabric time consumed by executions whose results
+	// were lost — hung or killed items that re-execute from scratch.
+	WastedWork sim.Duration
+	// Timeline tracks the effective board size over the run.
+	Timeline []SlotSample
+}
+
 // slotRuntime is the hypervisor's view of one slot.
 type slotRuntime struct {
 	app       *sched.App
@@ -129,7 +174,9 @@ type slotRuntime struct {
 	curItem   int  // item in flight, -1 if waiting at a batch boundary
 	preempt   bool // preemption requested
 	saving    bool // checkpoint save in progress
+	hung      bool // injected hang: no completion event is coming
 	itemEv    sim.EventID
+	wdEv      sim.EventID
 	itemStart sim.Time
 	itemLat   sim.Duration
 }
@@ -164,6 +211,11 @@ type Hypervisor struct {
 	results  []Result
 	nextID   int64
 
+	// rec accumulates hypervisor-side recovery counters (exec faults,
+	// watchdog kills, quarantines, wasted work, the slot timeline);
+	// Recovery() merges in the board's reconfiguration-side numbers.
+	rec RecoveryStats
+
 	tickPending bool
 	err         error
 }
@@ -185,9 +237,11 @@ func New(eng *sim.Engine, cfg Config, policy sched.Scheduler) (*Hypervisor, erro
 	if cfg.RelocatableBitstreams {
 		cfg.Board.AllowRelocation = true
 	}
-	board, err := fpga.NewBoard(eng, cfg.Board)
-	if err != nil {
-		return nil, err
+	if cfg.WatchdogFactor < 0 || cfg.WatchdogGrace < 0 {
+		return nil, fmt.Errorf("hv: negative watchdog parameters")
+	}
+	if cfg.QuarantineThreshold < 0 {
+		return nil, fmt.Errorf("hv: negative quarantine threshold")
 	}
 	mm, err := mem.NewManager(cfg.MemCapacity)
 	if err != nil {
@@ -198,21 +252,34 @@ func New(eng *sim.Engine, cfg Config, policy sched.Scheduler) (*Hypervisor, erro
 		return nil, err
 	}
 	h := &Hypervisor{
-		eng:      eng,
-		cfg:      cfg,
-		board:    board,
-		store:    bitstream.NewStore(),
-		mem:      mm,
-		policy:   policy,
-		slots:    make([]slotRuntime, board.NumSlots()),
-		acct:     map[int64]*Result{},
-		bufOut:   map[int64]map[int]int64{},
-		ic:       ic,
-		handoff:  map[int64]map[[3]int]sim.Time{},
-		prodAt:   map[int64]map[[2]int]prodInfo{},
-		ckpt:     map[int64]map[[2]int]sim.Duration{},
-		slotBusy: make([]sim.Duration, board.NumSlots()),
+		eng:     eng,
+		store:   bitstream.NewStore(),
+		mem:     mm,
+		policy:  policy,
+		acct:    map[int64]*Result{},
+		bufOut:  map[int64]map[int]int64{},
+		ic:      ic,
+		handoff: map[int64]map[[3]int]sim.Time{},
+		prodAt:  map[int64]map[[2]int]prodInfo{},
+		ckpt:    map[int64]map[[2]int]sim.Duration{},
 	}
+	// Observe every board fault for retry tracing and accounting,
+	// chaining any caller-provided hook.
+	userFault := cfg.Board.OnFault
+	cfg.Board.OnFault = func(ev fpga.FaultEvent) {
+		h.onFault(ev)
+		if userFault != nil {
+			userFault(ev)
+		}
+	}
+	board, err := fpga.NewBoard(eng, cfg.Board)
+	if err != nil {
+		return nil, err
+	}
+	h.cfg = cfg
+	h.board = board
+	h.slots = make([]slotRuntime, board.NumSlots())
+	h.slotBusy = make([]sim.Duration, board.NumSlots())
 	if cfg.Preempt == PreemptWithCheckpoint && (cfg.CheckpointSave < 0 || cfg.CheckpointRestore < 0) {
 		return nil, fmt.Errorf("hv: negative checkpoint costs")
 	}
@@ -221,6 +288,18 @@ func New(eng *sim.Engine, cfg Config, policy sched.Scheduler) (*Hypervisor, erro
 	}
 	for i := range h.slots {
 		h.slots[i].curItem = -1
+	}
+	h.rec.Timeline = []SlotSample{{At: eng.Now(), Usable: board.UsableSlots()}}
+	// Plan-known permanent failures are driven from here rather than the
+	// board so a failure can kill a slot even while a task runs in it.
+	if inj := board.Injector(); inj != nil {
+		for _, f := range inj.PermanentFailures() {
+			if f.Slot < 0 || f.Slot >= board.NumSlots() {
+				return nil, fmt.Errorf("hv: fault plan kills slot %d, board has %d slots", f.Slot, board.NumSlots())
+			}
+			f := f
+			eng.At(f.At, func() { h.forceOffline(f.Slot) })
+		}
 	}
 	return h, nil
 }
@@ -246,6 +325,20 @@ func (h *Hypervisor) Store() *bitstream.Store { return h.store }
 // Err reports the first mechanical error encountered (policy contract
 // violations surface here and abort the run).
 func (h *Hypervisor) Err() error { return h.err }
+
+// Recovery reports the run's fault-injection and recovery statistics,
+// merging the board's reconfiguration-side accounting with the
+// hypervisor's execution-side counters.
+func (h *Hypervisor) Recovery() RecoveryStats {
+	out := h.rec
+	bs := h.board.Stats()
+	out.FaultsInjected += bs.Faults
+	out.Retries = bs.Retries
+	out.Recovered = bs.Recovered
+	out.SlotsOffline = bs.Offline
+	out.Timeline = append([]SlotSample(nil), h.rec.Timeline...)
+	return out
+}
 
 // Submit schedules an application arrival. The graph's bitstreams are
 // registered with the store (one per task per slot) and the application
@@ -334,6 +427,114 @@ func (h *Hypervisor) fail(err error) error {
 
 func (h *Hypervisor) trace(e trace.Event) { h.log.Add(e) }
 
+// onFault observes every injected reconfiguration fault on the board.
+// Retried attempts are traced here; a request's terminal failure is
+// traced as KindFault on the reconfigDone error path.
+func (h *Hypervisor) onFault(ev fpga.FaultEvent) {
+	if !ev.WillRetry {
+		return
+	}
+	e := trace.Event{At: h.eng.Now(), Kind: trace.KindRetry, AppID: -1, Task: -1, Slot: ev.Slot, Item: -1}
+	if rt := &h.slots[ev.Slot]; rt.app != nil {
+		e.App, e.AppID, e.Task = rt.app.Name, rt.app.ID, rt.task
+	}
+	h.trace(e)
+}
+
+// noteOffline traces a slot's departure and extends the slot timeline.
+func (h *Hypervisor) noteOffline(slot int) {
+	h.trace(trace.Event{At: h.eng.Now(), Kind: trace.KindSlotOffline, AppID: -1, Task: -1, Slot: slot, Item: -1})
+	h.rec.Timeline = append(h.rec.Timeline, SlotSample{At: h.eng.Now(), Usable: h.board.UsableSlots()})
+}
+
+// quarantine retires a free slot whose fault count crossed the
+// threshold; the policy's goal numbers adapt to the smaller board at the
+// next scheduling opportunity.
+func (h *Hypervisor) quarantine(slot int) {
+	h.trace(trace.Event{At: h.eng.Now(), Kind: trace.KindQuarantine, AppID: -1, Task: -1, Slot: slot, Item: -1})
+	if err := h.board.SetOffline(slot); err != nil {
+		h.fail(err)
+		return
+	}
+	h.rec.Quarantined++
+	h.noteOffline(slot)
+}
+
+// forceOffline is the permanent-failure path: the slot dies at a
+// plan-known time regardless of what it is doing. A running occupant is
+// killed — its lost item re-executes elsewhere — and the slot leaves
+// service for good.
+func (h *Hypervisor) forceOffline(slot int) {
+	if h.err != nil || !h.board.SlotUsable(slot) {
+		return
+	}
+	rt := &h.slots[slot]
+	if rt.app != nil && rt.active {
+		a, task := rt.app, rt.task
+		h.eng.Cancel(rt.itemEv)
+		h.eng.Cancel(rt.wdEv)
+		if rt.curItem >= 0 && !rt.saving {
+			// Progress on the dying item is lost. A mid-save checkpoint
+			// was already booked as run time at save start.
+			consumed := h.eng.Now().Sub(rt.itemStart)
+			h.rec.WastedWork += consumed
+			h.slotBusy[slot] += consumed
+		}
+		if _, err := a.MarkKilled(task); err != nil {
+			h.fail(err)
+			return
+		}
+		if err := h.board.Release(slot); err != nil {
+			h.fail(err)
+			return
+		}
+		h.slots[slot] = slotRuntime{curItem: -1}
+	}
+	// A reconfiguring slot cannot be released mid-stream; SetOffline
+	// instead arranges for the in-flight stream to fail fatally, which
+	// funnels through the reconfigDone error path (including its
+	// noteOffline call).
+	if err := h.board.SetOffline(slot); err != nil {
+		h.fail(err)
+		return
+	}
+	if !h.board.SlotUsable(slot) {
+		h.noteOffline(slot)
+	}
+	h.wake(sched.ReasonSlotFree)
+}
+
+// watchdogFire kills a task whose in-flight item outlived its deadline.
+// The slot is released, the lost progress is accounted as wasted work,
+// and the item re-executes from scratch when the task is rescheduled.
+func (h *Hypervisor) watchdogFire(slot int, a *sched.App, task, item int) {
+	rt := &h.slots[slot]
+	if rt.app != a || rt.task != task || rt.curItem != item || rt.saving {
+		return // stale timer: the item completed or the slot moved on
+	}
+	h.eng.Cancel(rt.itemEv)
+	consumed := h.eng.Now().Sub(rt.itemStart)
+	h.rec.WatchdogKills++
+	h.rec.WastedWork += consumed
+	h.slotBusy[slot] += consumed
+	aborted, err := a.MarkKilled(task)
+	if err != nil {
+		h.fail(err)
+		return
+	}
+	if aborted != item {
+		h.fail(fmt.Errorf("hv: watchdog on slot %d aborted item %d, expected %d", slot, aborted, item))
+		return
+	}
+	if err := h.board.Release(slot); err != nil {
+		h.fail(err)
+		return
+	}
+	h.trace(trace.Event{At: h.eng.Now(), Kind: trace.KindWatchdog, App: a.Name, AppID: a.ID, Task: task, Slot: slot, Item: item})
+	h.slots[slot] = slotRuntime{curItem: -1}
+	h.wake(sched.ReasonSlotFree)
+}
+
 // ---- sched.World implementation ----
 
 // Now implements sched.World.
@@ -341,6 +542,12 @@ func (h *Hypervisor) Now() sim.Time { return h.eng.Now() }
 
 // NumSlots implements sched.World.
 func (h *Hypervisor) NumSlots() int { return h.board.NumSlots() }
+
+// UsableSlots implements sched.World.
+func (h *Hypervisor) UsableSlots() int { return h.board.UsableSlots() }
+
+// SlotUsable implements sched.World.
+func (h *Hypervisor) SlotUsable(slot int) bool { return h.board.SlotUsable(slot) }
 
 // FreeSlots implements sched.World.
 func (h *Hypervisor) FreeSlots() []int { return h.board.FreeSlots() }
@@ -408,6 +615,12 @@ func (h *Hypervisor) reconfigDone(slot int, a *sched.App, task int, img *bitstre
 			return
 		}
 		h.slots[slot] = slotRuntime{curItem: -1}
+		if !h.board.SlotUsable(slot) {
+			// The fault was fatal: the board already retired the slot.
+			h.noteOffline(slot)
+		} else if th := h.cfg.QuarantineThreshold; th > 0 && h.board.SlotStats(slot).Faults >= th {
+			h.quarantine(slot)
+		}
 		h.poke(sched.ReasonSlotFree)
 		return
 	}
@@ -490,6 +703,7 @@ func (h *Hypervisor) startCheckpoint(slot int) {
 	}
 	rt.saving = true
 	h.eng.Cancel(rt.itemEv)
+	h.eng.Cancel(rt.wdEv)
 	a, task, item := rt.app, rt.task, rt.curItem
 	consumed := h.eng.Now().Sub(rt.itemStart)
 	remaining := rt.itemLat - consumed
@@ -500,6 +714,9 @@ func (h *Hypervisor) startCheckpoint(slot int) {
 	h.acct[a.ID].Run += consumed
 	h.slotBusy[slot] += consumed
 	h.eng.After(h.cfg.CheckpointSave, func() {
+		if cur := &h.slots[slot]; cur.app != a || cur.task != task || !cur.saving {
+			return // slot was reclaimed mid-save (permanent failure)
+		}
 		aborted, err := a.MarkCheckpointPreempted(task)
 		if err != nil {
 			h.fail(err)
@@ -586,9 +803,32 @@ func (h *Hypervisor) tryStart(slot int) {
 			delete(m, [2]int{task, item})
 		}
 	}
+	// Execution faults: a hang never completes (only the watchdog or a
+	// permanent slot failure recovers the slot); a slowdown stretches
+	// the item past its estimate, possibly into watchdog range.
+	hung := false
+	if inj := h.board.Injector(); inj != nil {
+		out := inj.Exec(h.eng.Now(), a.Name, task, slot)
+		if out.Hang {
+			hung = true
+			h.rec.FaultsInjected++
+		} else if out.Factor > 1 {
+			lat = sim.Duration(float64(lat) * out.Factor)
+			h.rec.FaultsInjected++
+		}
+	}
 	rt.itemStart = h.eng.Now()
 	rt.itemLat = lat
-	rt.itemEv = h.eng.After(lat, func() { h.itemDone(slot, a, task, item, lat) })
+	rt.hung = hung
+	if hung {
+		rt.itemEv = 0
+	} else {
+		rt.itemEv = h.eng.After(lat, func() { h.itemDone(slot, a, task, item, lat) })
+	}
+	if h.cfg.WatchdogFactor > 0 {
+		deadline := sim.Duration(float64(a.Report.Task(task).Latency)*h.cfg.WatchdogFactor) + h.cfg.WatchdogGrace
+		rt.wdEv = h.eng.After(deadline, func() { h.watchdogFire(slot, a, task, item) })
+	}
 }
 
 func (h *Hypervisor) itemDone(slot int, a *sched.App, task, item int, lat sim.Duration) {
@@ -597,6 +837,8 @@ func (h *Hypervisor) itemDone(slot int, a *sched.App, task, item int, lat sim.Du
 		h.fail(fmt.Errorf("hv: item completion for %s task %d item %d does not match slot %d state", a.Name, task, item, slot))
 		return
 	}
+	h.eng.Cancel(rt.wdEv)
+	rt.wdEv = 0
 	rt.curItem = -1
 	taskDone, err := a.MarkItemDone(task, item)
 	if err != nil {

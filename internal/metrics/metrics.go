@@ -175,6 +175,29 @@ func ErrorPoint(points []DeadlinePoint, threshold float64) float64 {
 	return -1
 }
 
+// EffectiveSlots is the time-weighted average usable slot count over
+// [0, until], integrated from a recovery timeline (hv.RecoveryStats).
+// With no slot losses it equals the board size; each failure bends the
+// average down in proportion to how long the run continued without the
+// slot. Samples after the window are ignored.
+func EffectiveSlots(timeline []hv.SlotSample, until sim.Time) float64 {
+	if len(timeline) == 0 || until <= 0 {
+		return 0
+	}
+	var weighted float64
+	for i, s := range timeline {
+		if s.At >= until {
+			break
+		}
+		end := until
+		if i+1 < len(timeline) && timeline[i+1].At < end {
+			end = timeline[i+1].At
+		}
+		weighted += float64(s.Usable) * float64(end.Sub(s.At))
+	}
+	return weighted / float64(until)
+}
+
 // Responses extracts response times in seconds.
 func Responses(rs []hv.Result) []float64 {
 	out := make([]float64, len(rs))

@@ -98,7 +98,10 @@ func Makespan(g *taskgraph.Graph, report *hls.Report, batch, k int, board fpga.C
 	cfg := hv.DefaultConfig()
 	cfg.Board = board
 	cfg.Board.Slots = k
-	cfg.Board.FaultRate = 0 // analysis assumes fault-free hardware
+	// Analysis assumes fault-free hardware: strip every injection knob.
+	cfg.Board.FaultRate = 0
+	cfg.Board.NewInjector = nil
+	cfg.Board.OnFault = nil
 	h, err := hv.New(eng, cfg, &greedy{pipe: pipelining})
 	if err != nil {
 		return 0, err
@@ -126,6 +129,8 @@ func ActualMakespan(g *taskgraph.Graph, batch, k int, board fpga.Config, pipelin
 	cfg.Board = board
 	cfg.Board.Slots = k
 	cfg.Board.FaultRate = 0
+	cfg.Board.NewInjector = nil
+	cfg.Board.OnFault = nil
 	h, err := hv.New(eng, cfg, &greedy{pipe: pipelining})
 	if err != nil {
 		return 0, err

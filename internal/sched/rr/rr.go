@@ -45,6 +45,7 @@ func (s *Scheduler) Schedule(w sched.World, why sched.Reason) {
 	if s.queues == nil {
 		s.queues = make([][]entry, w.NumSlots())
 	}
+	s.reroute(w)
 	// Dispatching a task can make its successors configurable and
 	// therefore issuable; iterate to a fixpoint.
 	for {
@@ -54,6 +55,46 @@ func (s *Scheduler) Schedule(w sched.World, why sched.Reason) {
 			return
 		}
 	}
+}
+
+// reroute drains queues of slots that went offline, re-issuing their
+// entries to the shortest usable queue. Without it the original
+// no-rebalancing rule would strand tasks behind a dead slot forever. If
+// the whole board is offline the entries stay put until a slot returns.
+func (s *Scheduler) reroute(w sched.World) {
+	if w.UsableSlots() == 0 {
+		return
+	}
+	var orphans []entry
+	for slot := range s.queues {
+		if w.SlotUsable(slot) || len(s.queues[slot]) == 0 {
+			continue
+		}
+		orphans = append(orphans, s.queues[slot]...)
+		s.queues[slot] = nil
+	}
+	for _, e := range orphans {
+		s.enqueue(w, e)
+	}
+}
+
+// enqueue appends the entry to the shortest usable queue, keeping the
+// queue ordered by priority (high first) then issue order. It reports
+// false when no usable slot exists.
+func (s *Scheduler) enqueue(w sched.World, e entry) bool {
+	q := s.shortestQueue(w)
+	if q < 0 {
+		return false
+	}
+	s.queues[q] = append(s.queues[q], e)
+	sort.SliceStable(s.queues[q], func(i, j int) bool {
+		ei, ej := s.queues[q][i], s.queues[q][j]
+		if ei.app.Priority != ej.app.Priority {
+			return ei.app.Priority > ej.app.Priority
+		}
+		return ei.seq < ej.seq
+	})
+	return true
 }
 
 // issue sends newly ready tasks to the shortest slot queue, returning how
@@ -70,27 +111,22 @@ func (s *Scheduler) issue(w sched.World) int {
 			if m[t] {
 				continue
 			}
+			s.seq++
+			if !s.enqueue(w, entry{app: a, task: t, seq: s.seq}) {
+				// Board fully offline; retry at the next opportunity.
+				return n
+			}
 			m[t] = true
 			n++
-			q := s.shortestQueue(w)
-			s.seq++
-			s.queues[q] = append(s.queues[q], entry{app: a, task: t, seq: s.seq})
-			// Keep the queue ordered by priority (high first), then issue order.
-			sort.SliceStable(s.queues[q], func(i, j int) bool {
-				ei, ej := s.queues[q][i], s.queues[q][j]
-				if ei.app.Priority != ej.app.Priority {
-					return ei.app.Priority > ej.app.Priority
-				}
-				return ei.seq < ej.seq
-			})
 		}
 	}
 	return n
 }
 
-// shortestQueue returns the slot whose queue holds the fewest waiting
-// tasks, counting an occupied slot's running task as one waiting unit so
-// issuance spreads across the board.
+// shortestQueue returns the usable slot whose queue holds the fewest
+// waiting tasks, counting an occupied slot's running task as one waiting
+// unit so issuance spreads across the board. It returns -1 when every
+// slot is offline.
 func (s *Scheduler) shortestQueue(w sched.World) int {
 	length := func(slot int) int {
 		n := len(s.queues[slot])
@@ -99,9 +135,12 @@ func (s *Scheduler) shortestQueue(w sched.World) int {
 		}
 		return n
 	}
-	best, bestLen := 0, length(0)
-	for i := 1; i < len(s.queues); i++ {
-		if l := length(i); l < bestLen {
+	best, bestLen := -1, 0
+	for i := 0; i < len(s.queues); i++ {
+		if !w.SlotUsable(i) {
+			continue
+		}
+		if l := length(i); best < 0 || l < bestLen {
 			best, bestLen = i, l
 		}
 	}

@@ -74,9 +74,18 @@ type Scheduler interface {
 type World interface {
 	// Now is the current virtual time.
 	Now() sim.Time
-	// NumSlots is the number of reconfigurable slots on the board.
+	// NumSlots is the number of reconfigurable slots on the board. Slots
+	// are always addressed by index in [0, NumSlots), even when some are
+	// offline.
 	NumSlots() int
-	// FreeSlots lists slots with no logic configured or in flight.
+	// UsableSlots counts slots that are not offline. Policies size their
+	// allocations against this so they degrade gracefully when faults
+	// quarantine part of the board.
+	UsableSlots() int
+	// SlotUsable reports whether the slot is online (it may still be
+	// occupied; see FreeSlots for availability).
+	SlotUsable(slot int) bool
+	// FreeSlots lists usable slots with no logic configured or in flight.
 	FreeSlots() []int
 	// CAPBusy reports whether a reconfiguration is streaming right now.
 	CAPBusy() bool
@@ -367,6 +376,22 @@ func (a *App) MarkPreempted(t int) error {
 func (a *App) MarkCheckpointPreempted(t int) (int, error) {
 	if a.state[t] != TaskActive {
 		return -1, fmt.Errorf("sched: %s task %d is %v, cannot checkpoint-preempt", a.Name, t, a.state[t])
+	}
+	item := a.inflight[t]
+	a.inflight[t] = -1
+	a.state[t] = TaskIdle
+	a.slot[t] = -1
+	return item, nil
+}
+
+// MarkKilled aborts task t after a watchdog kill or a permanent slot
+// failure. Unlike MarkCheckpointPreempted there is no saved state: the
+// in-flight item's progress is lost and the item will be re-executed from
+// scratch when the task is rescheduled. It returns the aborted item, or
+// -1 if the task was between items.
+func (a *App) MarkKilled(t int) (int, error) {
+	if a.state[t] != TaskActive {
+		return -1, fmt.Errorf("sched: %s task %d is %v, cannot kill", a.Name, t, a.state[t])
 	}
 	item := a.inflight[t]
 	a.inflight[t] = -1

@@ -25,6 +25,7 @@ type World struct {
 	Occupants map[int]Occ
 	Waiting   map[int]bool
 	Preempted map[int]bool
+	Offline   map[int]bool
 	Busy      bool
 	AppList   []*sched.App
 
@@ -41,6 +42,7 @@ func NewWorld(slots int) *World {
 		Occupants: map[int]Occ{},
 		Waiting:   map[int]bool{},
 		Preempted: map[int]bool{},
+		Offline:   map[int]bool{},
 	}
 }
 
@@ -49,6 +51,12 @@ func (w *World) Now() sim.Time { return w.Clock }
 
 // NumSlots implements sched.World.
 func (w *World) NumSlots() int { return w.Slots }
+
+// UsableSlots implements sched.World.
+func (w *World) UsableSlots() int { return w.Slots - len(w.Offline) }
+
+// SlotUsable implements sched.World.
+func (w *World) SlotUsable(slot int) bool { return !w.Offline[slot] }
 
 // CAPBusy implements sched.World.
 func (w *World) CAPBusy() bool { return w.Busy }
@@ -60,7 +68,7 @@ func (w *World) Apps() []*sched.App { return w.AppList }
 func (w *World) FreeSlots() []int {
 	var free []int
 	for s := 0; s < w.Slots; s++ {
-		if _, ok := w.Occupants[s]; !ok {
+		if _, ok := w.Occupants[s]; !ok && !w.Offline[s] {
 			free = append(free, s)
 		}
 	}
@@ -91,6 +99,9 @@ func (w *World) RequestPreempt(slot int) error {
 func (w *World) Reconfigure(slot int, a *sched.App, task int) error {
 	if _, ok := w.Occupants[slot]; ok {
 		return fmt.Errorf("schedtest: slot %d occupied", slot)
+	}
+	if w.Offline[slot] {
+		return fmt.Errorf("schedtest: slot %d offline", slot)
 	}
 	if !a.Configurable(task) {
 		return fmt.Errorf("schedtest: %s task %d not configurable", a.Name, task)

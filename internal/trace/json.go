@@ -18,10 +18,12 @@ type jsonEvent struct {
 	Item  int      `json:"item"`
 }
 
-// kindNames maps Kind to its interchange string and back.
+// kindNames maps Kind to its interchange string and back. Iterating up
+// to the kindCount sentinel guarantees newly added kinds are always part
+// of the interchange vocabulary.
 var kindNames = func() map[string]Kind {
 	m := map[string]Kind{}
-	for k := KindArrival; k <= KindFault; k++ {
+	for k := Kind(0); k < kindCount; k++ {
 		m[k.String()] = k
 	}
 	return m

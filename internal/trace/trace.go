@@ -39,7 +39,28 @@ const (
 	KindRetire
 	// KindFault marks a reconfiguration fault.
 	KindFault
+	// KindRetry marks a faulted reconfiguration attempt being retried
+	// (with backoff) on the CAP.
+	KindRetry
+	// KindWatchdog marks the hypervisor watchdog killing a task whose
+	// in-flight item ran past its deadline (k x the HLS estimate); the
+	// lost item is re-executed later.
+	KindWatchdog
+	// KindQuarantine marks a slot being quarantined after exceeding the
+	// fault threshold; a KindSlotOffline event follows.
+	KindQuarantine
+	// KindSlotOffline marks a slot leaving service permanently (hardware
+	// failure or quarantine); the usable slot count drops by one.
+	KindSlotOffline
+
+	// kindCount is a sentinel one past the last valid Kind. Every new
+	// kind MUST be added above it so iteration (JSON interchange, tests)
+	// cannot silently drop events.
+	kindCount
 )
+
+// NumKinds reports the number of defined event kinds.
+func NumKinds() int { return int(kindCount) }
 
 // String names the kind.
 func (k Kind) String() string {
@@ -66,6 +87,14 @@ func (k Kind) String() string {
 		return "retire"
 	case KindFault:
 		return "fault"
+	case KindRetry:
+		return "retry"
+	case KindWatchdog:
+		return "watchdog"
+	case KindQuarantine:
+		return "quarantine"
+	case KindSlotOffline:
+		return "slot-offline"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -27,8 +27,10 @@ import (
 
 	"nimblock/internal/apps"
 	"nimblock/internal/core"
+	"nimblock/internal/faults"
 	"nimblock/internal/hv"
 	"nimblock/internal/interconnect"
+	"nimblock/internal/metrics"
 	"nimblock/internal/sched"
 	"nimblock/internal/sched/baseline"
 	"nimblock/internal/sched/fcfs"
@@ -97,8 +99,27 @@ type Config struct {
 	// SchedInterval is the periodic scheduling interval (default 400 ms).
 	SchedInterval time.Duration
 	// ReconfigFaultRate injects transient reconfiguration faults with
-	// the given probability (default 0).
+	// the given probability (default 0). For richer scenarios use
+	// FaultPlan, which overrides this knob.
 	ReconfigFaultRate float64
+	// FaultPlan is a deterministic fault scenario in the faults DSL:
+	// one fault per line, e.g.
+	//
+	//	seed 42
+	//	crc  prob=0.1 slot=3     # transient CRC faults on slot 3
+	//	dead slot=7 at=2.5s      # permanent failure mid-run
+	//	hang prob=0.01 app=LeNet # kernel hang (needs WatchdogFactor)
+	//
+	// See package internal/faults for the full grammar.
+	FaultPlan string
+	// WatchdogFactor arms the hypervisor watchdog: an item running past
+	// WatchdogFactor x its HLS estimate is killed and re-executed.
+	// Required to recover from injected hangs (default 0, disabled).
+	WatchdogFactor float64
+	// QuarantineThreshold takes a slot offline after that many injected
+	// faults; schedulers re-plan for the smaller board (default 0,
+	// disabled).
+	QuarantineThreshold int
 	// EnableTrace records a full execution trace, retrievable with
 	// System.TraceDump and System.Gantt.
 	EnableTrace bool
@@ -282,6 +303,23 @@ func NewSystem(cfg Config) (*System, error) {
 		hcfg.Board.FaultRate = cfg.ReconfigFaultRate
 		hcfg.Board.MaxRetries = 10
 	}
+	if cfg.FaultPlan != "" {
+		plan, err := faults.ParsePlan(cfg.FaultPlan)
+		if err != nil {
+			return nil, err
+		}
+		factory, err := plan.Factory()
+		if err != nil {
+			return nil, err
+		}
+		hcfg.Board.NewInjector = factory
+		hcfg.Board.MaxRetries = 10
+	}
+	if cfg.WatchdogFactor > 0 {
+		hcfg.WatchdogFactor = cfg.WatchdogFactor
+		hcfg.WatchdogGrace = 50 * sim.Millisecond
+	}
+	hcfg.QuarantineThreshold = cfg.QuarantineThreshold
 	if cfg.Horizon > 0 {
 		hcfg.Horizon = sim.Time(sim.FromStd(cfg.Horizon))
 	}
@@ -385,4 +423,43 @@ func (s *System) Gantt(cols int) string {
 // run; requires Config.EnableTrace.
 func (s *System) Preemptions() int {
 	return s.hv.Trace().Count(trace.KindPreempt)
+}
+
+// RecoveryStats summarizes fault injection and recovery over a run.
+type RecoveryStats struct {
+	// FaultsInjected counts faults that fired (reconfiguration faults,
+	// hangs, slowdowns); Retries and Recovered track the board's retry
+	// machinery.
+	FaultsInjected int
+	Retries        int
+	Recovered      int
+	// WatchdogKills counts items killed past their deadline and
+	// re-executed.
+	WatchdogKills int
+	// Quarantined and SlotsOffline count slots lost to the fault
+	// threshold and to all causes respectively.
+	Quarantined  int
+	SlotsOffline int
+	// WastedWork is fabric time burned on executions whose results were
+	// lost.
+	WastedWork time.Duration
+	// EffectiveSlots is the time-weighted average usable slot count —
+	// the board size the run actually had.
+	EffectiveSlots float64
+}
+
+// Recovery reports fault-injection and recovery statistics; all zero
+// when no faults were configured.
+func (s *System) Recovery() RecoveryStats {
+	rec := s.hv.Recovery()
+	return RecoveryStats{
+		FaultsInjected: rec.FaultsInjected,
+		Retries:        rec.Retries,
+		Recovered:      rec.Recovered,
+		WatchdogKills:  rec.WatchdogKills,
+		Quarantined:    rec.Quarantined,
+		SlotsOffline:   rec.SlotsOffline,
+		WastedWork:     rec.WastedWork.Std(),
+		EffectiveSlots: metrics.EffectiveSlots(rec.Timeline, s.eng.Now()),
+	}
 }
