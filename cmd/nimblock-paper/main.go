@@ -7,6 +7,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 
 	"nimblock/internal/experiments"
@@ -15,9 +18,13 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: all, table1, table2, table3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig7ablation, interconnect, scaleout, slotsweep, utilization, optimality, preempt, reconfigsweep, loadsweep, estimates, chaos")
-		quick = flag.Bool("quick", false, "reduced scale (2 sequences x 8 events) for fast runs")
-		seed  = flag.Int64("seed", 0, "override the base random seed")
+		exp        = flag.String("exp", "all", "experiment: all, table1, table2, table3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig7ablation, interconnect, scaleout, slotsweep, utilization, optimality, preempt, reconfigsweep, loadsweep, estimates, chaos")
+		quick      = flag.Bool("quick", false, "reduced scale (2 sequences x 8 events) for fast runs")
+		seed       = flag.Int64("seed", 0, "override the base random seed")
+		workers    = flag.Int("workers", 0, "worker pool size for independent runs (0: NIMBLOCK_PARALLEL or GOMAXPROCS; 1: serial)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -27,6 +34,35 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	cfg.Workers = *workers
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			fail(f.Close())
+		}()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		fail(err)
+		fail(trace.Start(f))
+		defer func() {
+			trace.Stop()
+			fail(f.Close())
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			fail(err)
+			runtime.GC() // settle allocations so the profile reflects live heap
+			fail(pprof.WriteHeapProfile(f))
+			fail(f.Close())
+		}()
 	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {

@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"nimblock/internal/apps"
 	"nimblock/internal/faults"
 	"nimblock/internal/hv"
 	"nimblock/internal/metrics"
@@ -48,10 +48,13 @@ type ChaosResult struct {
 // uniform-random reconfiguration faults at each swept rate, with the
 // recovery stack (retries with backoff, watchdog) armed. Every run must
 // complete: the experiment demonstrates that fault handling degrades
-// response time smoothly instead of wedging any scheduler.
+// response time smoothly instead of wedging any scheduler. All (rate,
+// policy, sequence) runs fan across the worker pool; each run builds its
+// own engine and injector, and aggregation follows input order so the
+// sweep is byte-identical to the serial path.
 func Chaos(cfg Config) (*ChaosResult, error) {
-	out := &ChaosResult{Cells: map[float64]map[string]ChaosCell{}}
-	for _, rate := range ChaosRates {
+	cfgs := make([]Config, len(ChaosRates))
+	for i, rate := range ChaosRates {
 		c := cfg
 		if rate > 0 {
 			plan := faults.Uniform(rate, cfg.Seed)
@@ -66,9 +69,67 @@ func Chaos(cfg Config) (*ChaosResult, error) {
 		}
 		c.HV.WatchdogFactor = chaosWatchdogFactor
 		c.HV.WatchdogGrace = chaosWatchdogGrace
-		cells, err := runChaosPoint(c, rate)
-		if err != nil {
-			return nil, err
+		cfgs[i] = c
+	}
+
+	spec := workload.Spec{Scenario: workload.Stress, Events: cfg.Events}
+	seqs := workload.GenerateTest(spec, cfg.Seed)
+	if cfg.Sequences < len(seqs) {
+		seqs = seqs[:cfg.Sequences]
+	}
+
+	type chaosRun struct {
+		res   []hv.Result
+		rec   hv.RecoveryStats
+		until sim.Time
+	}
+	var jobs []func(context.Context) (chaosRun, error)
+	for rj, rate := range ChaosRates {
+		c, rate := cfgs[rj], rate
+		for _, pol := range PolicyNames {
+			pol := pol
+			for si, seq := range seqs {
+				si, seq := si, seq
+				jobs = append(jobs, func(context.Context) (chaosRun, error) {
+					res, rec, until, err := runChaosSequence(c, pol, seq)
+					if err != nil {
+						return chaosRun{}, fmt.Errorf("chaos rate %v, sequence %d, policy %s: %w", rate, si, pol, err)
+					}
+					return chaosRun{res: res, rec: rec, until: until}, nil
+				})
+			}
+		}
+	}
+	results, err := runJobs(cfg.workers(), jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ChaosResult{Cells: map[float64]map[string]ChaosCell{}}
+	ji := 0
+	for _, rate := range ChaosRates {
+		cells := map[string]ChaosCell{}
+		for _, pol := range PolicyNames {
+			cell := ChaosCell{}
+			var responses []float64
+			var effective []float64
+			for range seqs {
+				run := results[ji]
+				ji++
+				for _, r := range run.res {
+					responses = append(responses, r.Response.Seconds())
+				}
+				cell.FaultsInjected += run.rec.FaultsInjected
+				cell.Retries += run.rec.Retries
+				cell.Recovered += run.rec.Recovered
+				cell.WatchdogKills += run.rec.WatchdogKills
+				cell.SlotsOffline += run.rec.SlotsOffline
+				cell.WastedWork += run.rec.WastedWork.Seconds()
+				effective = append(effective, metrics.EffectiveSlots(run.rec.Timeline, run.until))
+			}
+			cell.MeanResponse = metrics.Mean(responses)
+			cell.EffectiveSlots = metrics.Mean(effective)
+			cells[pol] = cell
 		}
 		out.Cells[rate] = cells
 	}
@@ -79,41 +140,6 @@ const (
 	chaosWatchdogFactor = 4
 	chaosWatchdogGrace  = 50 * sim.Millisecond
 )
-
-// runChaosPoint runs every policy over the stimulus at one fault rate.
-func runChaosPoint(cfg Config, rate float64) (map[string]ChaosCell, error) {
-	spec := workload.Spec{Scenario: workload.Stress, Events: cfg.Events}
-	seqs := workload.GenerateTest(spec, cfg.Seed)
-	if cfg.Sequences < len(seqs) {
-		seqs = seqs[:cfg.Sequences]
-	}
-	cells := map[string]ChaosCell{}
-	for _, pol := range PolicyNames {
-		cell := ChaosCell{}
-		var responses []float64
-		var effective []float64
-		for si, seq := range seqs {
-			res, rec, until, err := runChaosSequence(cfg, pol, seq)
-			if err != nil {
-				return nil, fmt.Errorf("chaos rate %v, sequence %d, policy %s: %w", rate, si, pol, err)
-			}
-			for _, r := range res {
-				responses = append(responses, r.Response.Seconds())
-			}
-			cell.FaultsInjected += rec.FaultsInjected
-			cell.Retries += rec.Retries
-			cell.Recovered += rec.Recovered
-			cell.WatchdogKills += rec.WatchdogKills
-			cell.SlotsOffline += rec.SlotsOffline
-			cell.WastedWork += rec.WastedWork.Seconds()
-			effective = append(effective, metrics.EffectiveSlots(rec.Timeline, until))
-		}
-		cell.MeanResponse = metrics.Mean(responses)
-		cell.EffectiveSlots = metrics.Mean(effective)
-		cells[pol] = cell
-	}
-	return cells, nil
-}
 
 // runChaosSequence is RunSequence plus recovery statistics and the
 // retirement time of the last event (the effective-slots window).
@@ -131,7 +157,7 @@ func runChaosSequence(cfg Config, policy string, seq workload.Sequence) ([]hv.Re
 		return nil, hv.RecoveryStats{}, 0, err
 	}
 	for _, ev := range seq {
-		if err := h.Submit(apps.MustGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
+		if err := h.Submit(cachedGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
 			return nil, hv.RecoveryStats{}, 0, err
 		}
 	}

@@ -6,7 +6,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"nimblock/internal/apps"
 	"nimblock/internal/core"
@@ -18,6 +20,7 @@ import (
 	"nimblock/internal/sched/prema"
 	"nimblock/internal/sched/rr"
 	"nimblock/internal/sim"
+	"nimblock/internal/taskgraph"
 	"nimblock/internal/workload"
 )
 
@@ -31,6 +34,11 @@ type Config struct {
 	Sequences int
 	// Events per sequence (paper: 20).
 	Events int
+	// Workers bounds the worker pool fanning independent runs across
+	// goroutines: 0 consults NIMBLOCK_PARALLEL then defaults to
+	// GOMAXPROCS; 1 forces the serial reference path. Output is
+	// byte-identical at any setting.
+	Workers int
 }
 
 // DefaultConfig reproduces the paper's scale.
@@ -86,6 +94,42 @@ func NewPolicy(name string, board fpga.Config) (sched.Scheduler, error) {
 	}
 }
 
+// graphMemo caches benchmark task-graphs by name. apps.MustGraph builds a
+// fresh graph on every call; the harness submits the same six benchmarks
+// tens of thousands of times, so it shares one immutable Graph per name
+// instead (Graphs are frozen at Build and safe for concurrent readers).
+var graphMemo sync.Map // string -> *taskgraph.Graph
+
+func cachedGraph(name string) *taskgraph.Graph {
+	if g, ok := graphMemo.Load(name); ok {
+		return g.(*taskgraph.Graph)
+	}
+	g, _ := graphMemo.LoadOrStore(name, apps.MustGraph(name))
+	return g.(*taskgraph.Graph)
+}
+
+// ssKey identifies one single-slot latency: the board bandwidths are the
+// only board parameters SingleSlotLatencyFor reads.
+type ssKey struct {
+	app   string
+	batch int
+	capBW float64
+	sdBW  float64
+}
+
+var ssMemo sync.Map // ssKey -> sim.Duration
+
+// cachedSingleSlot memoizes hv.SingleSlotLatencyFor per (app, batch,
+// board-bandwidth) configuration across scenarios, sweeps, and runs.
+func cachedSingleSlot(board fpga.Config, app string, batch int) sim.Duration {
+	key := ssKey{app: app, batch: batch, capBW: board.CAPBytesPerSec, sdBW: board.SDBytesPerSec}
+	if d, ok := ssMemo.Load(key); ok {
+		return d.(sim.Duration)
+	}
+	d, _ := ssMemo.LoadOrStore(key, hv.SingleSlotLatencyFor(board, cachedGraph(app), batch))
+	return d.(sim.Duration)
+}
+
 // RunSequence replays one event sequence under one policy and returns
 // per-event results (AppIDs follow event order, starting at 1).
 func RunSequence(cfg Config, policy string, seq workload.Sequence) ([]hv.Result, error) {
@@ -102,7 +146,7 @@ func RunSequence(cfg Config, policy string, seq workload.Sequence) ([]hv.Result,
 		return nil, err
 	}
 	for _, ev := range seq {
-		if err := h.Submit(apps.MustGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
+		if err := h.Submit(cachedGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
 			return nil, err
 		}
 	}
@@ -137,32 +181,84 @@ func RunScenario(cfg Config, scenario workload.Scenario, policyNames []string) (
 }
 
 func runSpec(cfg Config, spec workload.Spec, scenario workload.Scenario, policyNames []string) (*ScenarioData, error) {
-	data := &ScenarioData{
-		Scenario:    scenario,
-		Results:     map[string][]hv.Result{},
-		PerSequence: map[string][][]hv.Result{},
-		SingleSlot:  map[int64]sim.Duration{},
+	out, err := runSpecs([]specRun{{cfg: cfg, spec: spec, scenario: scenario, policies: policyNames}})
+	if err != nil {
+		return nil, err
 	}
-	seqs := workload.GenerateTest(spec, cfg.Seed)
-	if cfg.Sequences < len(seqs) {
-		seqs = seqs[:cfg.Sequences]
-	}
-	for si, seq := range seqs {
-		for _, pol := range policyNames {
-			res, err := RunSequence(cfg, pol, seq)
-			if err != nil {
-				return nil, fmt.Errorf("scenario %v, sequence %d, policy %s: %w", scenario, si, pol, err)
-			}
-			for i := range res {
-				res[i].AppID += int64(si) * idOffset
-			}
-			data.Results[pol] = append(data.Results[pol], res...)
-			data.PerSequence[pol] = append(data.PerSequence[pol], res)
+	return out[0], nil
+}
+
+// specRun is one stimulus to replay: a (config, spec, policy-set) triple.
+// Batch runners (ablation, sweeps) submit several at once so every
+// underlying (sequence, policy) simulation lands in one worker pool.
+type specRun struct {
+	cfg      Config
+	spec     workload.Spec
+	scenario workload.Scenario
+	policies []string
+}
+
+// runSpecs replays every spec under every one of its policies, fanning
+// all independent (spec, sequence, policy) simulations across the worker
+// pool and assembling each ScenarioData in the exact order the serial
+// loops produced it, so downstream statistics see identical inputs.
+func runSpecs(runs []specRun) ([]*ScenarioData, error) {
+	// Generate stimuli up front (cheap, deterministic) so job closures
+	// capture ready-made sequences.
+	seqsByRun := make([][]workload.Sequence, len(runs))
+	for ri, run := range runs {
+		seqs := workload.GenerateTest(run.spec, run.cfg.Seed)
+		if run.cfg.Sequences < len(seqs) {
+			seqs = seqs[:run.cfg.Sequences]
 		}
-		for i, ev := range seq {
-			id := int64(i+1) + int64(si)*idOffset
-			data.SingleSlot[id] = hv.SingleSlotLatencyFor(cfg.HV.Board, apps.MustGraph(ev.App), ev.Batch)
+		seqsByRun[ri] = seqs
+	}
+	var jobs []func(context.Context) ([]hv.Result, error)
+	for ri, run := range runs {
+		run := run
+		for si, seq := range seqsByRun[ri] {
+			si, seq := si, seq
+			for _, pol := range run.policies {
+				pol := pol
+				jobs = append(jobs, func(context.Context) ([]hv.Result, error) {
+					res, err := RunSequence(run.cfg, pol, seq)
+					if err != nil {
+						return nil, fmt.Errorf("scenario %v, sequence %d, policy %s: %w", run.scenario, si, pol, err)
+					}
+					for i := range res {
+						res[i].AppID += int64(si) * idOffset
+					}
+					return res, nil
+				})
+			}
 		}
 	}
-	return data, nil
+	results, err := runJobs(runs[0].cfg.workers(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*ScenarioData, len(runs))
+	ji := 0
+	for ri, run := range runs {
+		data := &ScenarioData{
+			Scenario:    run.scenario,
+			Results:     map[string][]hv.Result{},
+			PerSequence: map[string][][]hv.Result{},
+			SingleSlot:  map[int64]sim.Duration{},
+		}
+		for si, seq := range seqsByRun[ri] {
+			for _, pol := range run.policies {
+				res := results[ji]
+				ji++
+				data.Results[pol] = append(data.Results[pol], res...)
+				data.PerSequence[pol] = append(data.PerSequence[pol], res)
+			}
+			for i, ev := range seq {
+				id := int64(i+1) + int64(si)*idOffset
+				data.SingleSlot[id] = cachedSingleSlot(run.cfg.HV.Board, ev.App, ev.Batch)
+			}
+		}
+		out[ri] = data
+	}
+	return out, nil
 }

@@ -260,16 +260,22 @@ type AblationData struct {
 }
 
 // RunAblation executes the ablation stimulus: stress-test arrival gaps,
-// random benchmarks and priorities, fixed batch size per run.
+// random benchmarks and priorities, fixed batch size per run. All batch
+// sizes are submitted to the worker pool together, so every (batch,
+// sequence, variant) simulation runs in parallel.
 func RunAblation(cfg Config) (*AblationData, error) {
-	out := &AblationData{PerBatch: map[int]map[string][]hv.Result{}}
+	runs := make([]specRun, 0, len(AblationBatchSizes))
 	for _, batch := range AblationBatchSizes {
 		spec := workload.Spec{Scenario: workload.Stress, Events: cfg.Events, FixedBatch: batch}
-		data, err := runSpec(cfg, spec, workload.Stress, AblationNames)
-		if err != nil {
-			return nil, err
-		}
-		out.PerBatch[batch] = data.Results
+		runs = append(runs, specRun{cfg: cfg, spec: spec, scenario: workload.Stress, policies: AblationNames})
+	}
+	datas, err := runSpecs(runs)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationData{PerBatch: map[int]map[string][]hv.Result{}}
+	for i, batch := range AblationBatchSizes {
+		out.PerBatch[batch] = datas[i].Results
 	}
 	return out, nil
 }

@@ -25,8 +25,9 @@ var loadSweepPolicies = []string{"FCFS", "PREMA", "RR", "Nimblock"}
 
 // LoadSweep generates Poisson stimuli at each arrival rate (batch capped
 // at 8 so the system can drain) and measures every sharing algorithm.
+// Every rate point is submitted to the worker pool together.
 func LoadSweep(cfg Config) (*LoadSweepResult, error) {
-	out := &LoadSweepResult{MeanResponse: map[float64]map[string]float64{}}
+	runs := make([]specRun, 0, len(LoadPoints))
 	for _, rate := range LoadPoints {
 		spec := workload.Spec{
 			Scenario:    workload.Stress, // unused when PoissonRate set
@@ -37,13 +38,17 @@ func LoadSweep(cfg Config) (*LoadSweepResult, error) {
 				"LeNet", "ImageCompression", "3DRendering", "OpticalFlow", "AlexNet",
 			},
 		}
-		data, err := runSpec(cfg, spec, workload.Stress, loadSweepPolicies)
-		if err != nil {
-			return nil, fmt.Errorf("load sweep rate %v: %w", rate, err)
-		}
+		runs = append(runs, specRun{cfg: cfg, spec: spec, scenario: workload.Stress, policies: loadSweepPolicies})
+	}
+	datas, err := runSpecs(runs)
+	if err != nil {
+		return nil, fmt.Errorf("load sweep: %w", err)
+	}
+	out := &LoadSweepResult{MeanResponse: map[float64]map[string]float64{}}
+	for i, rate := range LoadPoints {
 		out.MeanResponse[rate] = map[string]float64{}
 		for _, pol := range loadSweepPolicies {
-			out.MeanResponse[rate][pol] = meanResponse(data.Results[pol])
+			out.MeanResponse[rate][pol] = meanResponse(datas[i].Results[pol])
 		}
 	}
 	return out, nil

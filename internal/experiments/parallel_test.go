@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nimblock/internal/workload"
+)
+
+func TestPoolPreservesInputOrder(t *testing.T) {
+	jobs := make([]func(context.Context) (int, error), 50)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			if i%7 == 0 {
+				time.Sleep(time.Millisecond) // scramble completion order
+			}
+			return i * i, nil
+		}
+	}
+	for _, workers := range []int{1, 4, 64} {
+		got, err := runJobs(workers, jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestPoolPropagatesLowestIndexError(t *testing.T) {
+	jobs := make([]func(context.Context) (int, error), 20)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			return 0, fmt.Errorf("job %d failed", i)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := runJobs(workers, jobs)
+		if err == nil {
+			t.Fatalf("workers=%d: no error propagated", workers)
+		}
+		// Job 0 is claimed first and always runs; among all observed
+		// failures the lowest index wins, so the error is deterministic.
+		if got := err.Error(); got != "job 0 failed" {
+			t.Fatalf("workers=%d: got error %q, want job 0's", workers, got)
+		}
+	}
+}
+
+func TestPoolCancelsStragglers(t *testing.T) {
+	boom := errors.New("boom")
+	var executed atomic.Int64
+	jobs := make([]func(context.Context) (int, error), 200)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			executed.Add(1)
+			if i == 0 {
+				return 0, boom
+			}
+			time.Sleep(time.Millisecond)
+			return i, nil
+		}
+	}
+	if _, err := runJobs(2, jobs); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if n := executed.Load(); n >= 200 {
+		t.Fatalf("all %d jobs executed despite early failure", n)
+	}
+	// The serial path must stop exactly at the failing job.
+	executed.Store(0)
+	if _, err := runJobs(1, jobs); !errors.Is(err, boom) {
+		t.Fatalf("serial: got %v, want boom", err)
+	}
+	if n := executed.Load(); n != 1 {
+		t.Fatalf("serial path executed %d jobs after failure, want 1", n)
+	}
+}
+
+func TestConfigWorkersResolution(t *testing.T) {
+	c := quick()
+	c.Workers = 3
+	if got := c.workers(); got != 3 {
+		t.Fatalf("explicit Workers: got %d, want 3", got)
+	}
+	c.Workers = 0
+	t.Setenv(EnvParallel, "5")
+	if got := c.workers(); got != 5 {
+		t.Fatalf("env override: got %d, want 5", got)
+	}
+	t.Setenv(EnvParallel, "bogus")
+	if got := c.workers(); got < 1 {
+		t.Fatalf("fallback: got %d, want >= 1", got)
+	}
+}
+
+// The headline determinism guarantee: the parallel runner's ScenarioData
+// is deep-equal to the serial reference across every scenario, and the
+// figures rendered from it are byte-identical.
+func TestParallelMatchesSerial(t *testing.T) {
+	serialCfg := quick()
+	serialCfg.Workers = 1
+	parallelCfg := quick()
+	parallelCfg.Workers = 8
+
+	serialData := map[workload.Scenario]*ScenarioData{}
+	parallelData := map[workload.Scenario]*ScenarioData{}
+	for _, sc := range workload.Scenarios() {
+		s, err := RunScenario(serialCfg, sc, PolicyNames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := RunScenario(parallelCfg, sc, PolicyNames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s.Results, p.Results) {
+			t.Fatalf("%v: pooled Results diverge between serial and parallel", sc)
+		}
+		if !reflect.DeepEqual(s.PerSequence, p.PerSequence) {
+			t.Fatalf("%v: PerSequence diverges between serial and parallel", sc)
+		}
+		if !reflect.DeepEqual(s.SingleSlot, p.SingleSlot) {
+			t.Fatalf("%v: SingleSlot diverges between serial and parallel", sc)
+		}
+		serialData[sc] = s
+		parallelData[sc] = p
+	}
+
+	renderAll := func(data map[workload.Scenario]*ScenarioData) string {
+		f5, err := Fig5(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f6, err := Fig6(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f7, err := Fig7(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f8, err := Fig8(data[workload.Standard])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f5.Render() + f6.Render() + f7.Render() + f8.Render()
+	}
+	if renderAll(serialData) != renderAll(parallelData) {
+		t.Fatal("rendered figures differ between serial and parallel runs")
+	}
+}
+
+func TestAblationParallelMatchesSerial(t *testing.T) {
+	serialCfg := quick()
+	serialCfg.Workers = 1
+	parallelCfg := quick()
+	parallelCfg.Workers = 8
+	s, err := RunAblation(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RunAblation(parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.PerBatch, p.PerBatch) {
+		t.Fatal("ablation results diverge between serial and parallel")
+	}
+}
+
+func TestScaleOutParallelMatchesSerial(t *testing.T) {
+	serialCfg := quick()
+	serialCfg.Workers = 1
+	parallelCfg := quick()
+	parallelCfg.Workers = 8
+	s, err := ScaleOut(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ScaleOut(parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.MeanResponse, p.MeanResponse) {
+		t.Fatal("scale-out results diverge between serial and parallel")
+	}
+}
+
+func TestChaosParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is the most expensive driver; skipped in -short mode")
+	}
+	serialCfg := quick()
+	serialCfg.Workers = 1
+	parallelCfg := quick()
+	parallelCfg.Workers = 8
+	s, err := Chaos(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Chaos(parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Cells, p.Cells) {
+		t.Fatal("chaos results diverge between serial and parallel")
+	}
+}
+
+// A failing run surfaces the error through the pool rather than hanging
+// or panicking workers.
+func TestParallelPropagatesRunError(t *testing.T) {
+	cfg := quick()
+	cfg.Workers = 4
+	cfg.HV.Board.Slots = 0 // invalid board: hv.New fails inside every job
+	if _, err := RunScenario(cfg, workload.Stress, PolicyNames); err == nil {
+		t.Fatal("invalid board accepted by parallel runner")
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// The simulator stays deliberately single-threaded (bit-for-bit
+// reproducible runs); parallelism lives here, one layer up. Every
+// (scenario, sequence, policy) run builds its own sim.Engine and is fully
+// independent, so the harness fans runs across a GOMAXPROCS-bounded
+// worker pool and assembles results in deterministic input order —
+// byte-identical tables and figures to the serial path.
+
+// EnvParallel is the environment variable overriding the worker count
+// when Config.Workers is zero. Set NIMBLOCK_PARALLEL=1 to force the
+// serial path; unset (or invalid) means one worker per GOMAXPROCS.
+const EnvParallel = "NIMBLOCK_PARALLEL"
+
+// workers resolves the worker count for this config: Workers if positive,
+// else NIMBLOCK_PARALLEL, else GOMAXPROCS.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	if s := os.Getenv(EnvParallel); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runJobs executes the jobs across at most workers goroutines and returns
+// their results in input order, regardless of completion order. The first
+// error (lowest job index among failures) is returned and cancels the
+// shared context so workers stop pulling new jobs; in-flight simulations
+// run to completion (a sim.Engine cannot be interrupted mid-run, and its
+// result is simply discarded).
+//
+// With workers <= 1 the jobs run serially on the calling goroutine — the
+// reference path the determinism tests compare against.
+func runJobs[T any](workers int, jobs []func(context.Context) (T, error)) ([]T, error) {
+	results := make([]T, len(jobs))
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	if workers <= 1 {
+		for i, job := range jobs {
+			r, err := job(ctx)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		next    atomic.Int64 // index of the next unclaimed job
+		mu      sync.Mutex
+		failIdx = -1
+		failErr error
+		wg      sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if failIdx == -1 || i < failIdx {
+			failIdx, failErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || ctx.Err() != nil {
+					return
+				}
+				r, err := jobs[i](ctx)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if failErr != nil {
+		return nil, failErr
+	}
+	return results, nil
+}

@@ -37,23 +37,29 @@ type ReconfigSweepResult struct {
 
 // ReconfigSweep reruns the stress stimulus with scaled reconfiguration
 // latencies for PREMA and Nimblock (the masking-capable algorithm).
+// Every latency point is submitted to the worker pool together.
 func ReconfigSweep(cfg Config) (*ReconfigSweepResult, error) {
-	out := &ReconfigSweepResult{
-		MeanResponse:      map[string]map[string]float64{},
-		NimblockOverPrema: map[string]float64{},
-	}
 	pols := []string{"PREMA", "Nimblock"}
+	runs := make([]specRun, 0, len(ReconfigPoints))
 	for _, pt := range ReconfigPoints {
 		c := cfg
 		c.HV.Board.CAPBytesPerSec = cfg.HV.Board.CAPBytesPerSec / pt.Scale
 		c.HV.Board.SDBytesPerSec = cfg.HV.Board.SDBytesPerSec / pt.Scale
-		data, err := RunScenario(c, workload.Stress, pols)
-		if err != nil {
-			return nil, fmt.Errorf("reconfig sweep %s: %w", pt.Name, err)
-		}
+		spec := workload.Spec{Scenario: workload.Stress, Events: c.Events}
+		runs = append(runs, specRun{cfg: c, spec: spec, scenario: workload.Stress, policies: pols})
+	}
+	datas, err := runSpecs(runs)
+	if err != nil {
+		return nil, fmt.Errorf("reconfig sweep: %w", err)
+	}
+	out := &ReconfigSweepResult{
+		MeanResponse:      map[string]map[string]float64{},
+		NimblockOverPrema: map[string]float64{},
+	}
+	for i, pt := range ReconfigPoints {
 		out.MeanResponse[pt.Name] = map[string]float64{}
 		for _, pol := range pols {
-			out.MeanResponse[pt.Name][pol] = meanResponse(data.Results[pol])
+			out.MeanResponse[pt.Name][pol] = meanResponse(datas[i].Results[pol])
 		}
 		nim := out.MeanResponse[pt.Name]["Nimblock"]
 		if nim > 0 {

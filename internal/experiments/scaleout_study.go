@@ -1,12 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"nimblock/internal/hv"
 
-	"nimblock/internal/apps"
 	"nimblock/internal/cluster"
 	"nimblock/internal/core"
+	"nimblock/internal/hv"
 	"nimblock/internal/metrics"
 	"nimblock/internal/report"
 	"nimblock/internal/sched"
@@ -31,38 +31,62 @@ type ScaleOutResult struct {
 }
 
 // ScaleOut sweeps cluster sizes and dispatch policies over the stress
-// stimulus.
+// stimulus. Every (cluster size, dispatch, sequence) cluster simulation
+// is independent and fans across the worker pool; per-cell responses are
+// reassembled in sequence order so the means are byte-identical to the
+// serial path.
 func ScaleOut(cfg Config) (*ScaleOutResult, error) {
-	out := &ScaleOutResult{MeanResponse: map[int]map[cluster.Dispatch]float64{}}
 	seqs := workload.GenerateTest(workload.Spec{Scenario: workload.Stress, Events: cfg.Events}, cfg.Seed)
 	if cfg.Sequences < len(seqs) {
 		seqs = seqs[:cfg.Sequences]
 	}
+	var jobs []func(context.Context) ([]float64, error)
+	for _, boards := range ScaleOutBoards {
+		boards := boards
+		for _, d := range scaleOutDispatches {
+			d := d
+			for si, seq := range seqs {
+				si, seq := si, seq
+				jobs = append(jobs, func(context.Context) ([]float64, error) {
+					eng := sim.NewEngine()
+					ccfg := cluster.Config{Boards: boards, HV: cfg.HV, Dispatch: d, Seed: cfg.Seed}
+					cl, err := cluster.New(eng, ccfg, func(b hv.Config) sched.Scheduler {
+						return core.New(core.DefaultOptions(), b.Board)
+					})
+					if err != nil {
+						return nil, err
+					}
+					for _, ev := range seq {
+						if err := cl.Submit(cachedGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
+							return nil, err
+						}
+					}
+					res, err := cl.Run()
+					if err != nil {
+						return nil, fmt.Errorf("scale-out %d boards, %v, sequence %d: %w", boards, d, si, err)
+					}
+					resp := make([]float64, len(res))
+					for i, r := range res {
+						resp[i] = r.Response.Seconds()
+					}
+					return resp, nil
+				})
+			}
+		}
+	}
+	results, err := runJobs(cfg.workers(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &ScaleOutResult{MeanResponse: map[int]map[cluster.Dispatch]float64{}}
+	ji := 0
 	for _, boards := range ScaleOutBoards {
 		out.MeanResponse[boards] = map[cluster.Dispatch]float64{}
 		for _, d := range scaleOutDispatches {
 			var all []float64
-			for si, seq := range seqs {
-				eng := sim.NewEngine()
-				ccfg := cluster.Config{Boards: boards, HV: cfg.HV, Dispatch: d, Seed: cfg.Seed}
-				cl, err := cluster.New(eng, ccfg, func(b hv.Config) sched.Scheduler {
-					return core.New(core.DefaultOptions(), b.Board)
-				})
-				if err != nil {
-					return nil, err
-				}
-				for _, ev := range seq {
-					if err := cl.Submit(apps.MustGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
-						return nil, err
-					}
-				}
-				res, err := cl.Run()
-				if err != nil {
-					return nil, fmt.Errorf("scale-out %d boards, %v, sequence %d: %w", boards, d, si, err)
-				}
-				for _, r := range res {
-					all = append(all, r.Response.Seconds())
-				}
+			for range seqs {
+				all = append(all, results[ji]...)
+				ji++
 			}
 			out.MeanResponse[boards][d] = metrics.Mean(all)
 		}

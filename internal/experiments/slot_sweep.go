@@ -22,19 +22,24 @@ type SlotSweepResult struct {
 // SlotSweep reruns the stress stimulus on boards of different sizes.
 // Nimblock is "flexible across different numbers of slots" (Section
 // 2.1); the sweep quantifies that and shows where each algorithm
-// saturates.
+// saturates. Every board size is submitted to the worker pool together.
 func SlotSweep(cfg Config) (*SlotSweepResult, error) {
-	out := &SlotSweepResult{MeanResponse: map[int]map[string]float64{}}
+	runs := make([]specRun, 0, len(SlotSweepCounts))
 	for _, slots := range SlotSweepCounts {
 		c := cfg
 		c.HV.Board.Slots = slots
-		data, err := RunScenario(c, workload.Stress, PolicyNames)
-		if err != nil {
-			return nil, fmt.Errorf("slot sweep %d: %w", slots, err)
-		}
+		spec := workload.Spec{Scenario: workload.Stress, Events: c.Events}
+		runs = append(runs, specRun{cfg: c, spec: spec, scenario: workload.Stress, policies: PolicyNames})
+	}
+	datas, err := runSpecs(runs)
+	if err != nil {
+		return nil, fmt.Errorf("slot sweep: %w", err)
+	}
+	out := &SlotSweepResult{MeanResponse: map[int]map[string]float64{}}
+	for i, slots := range SlotSweepCounts {
 		out.MeanResponse[slots] = map[string]float64{}
 		for _, pol := range PolicyNames {
-			out.MeanResponse[slots][pol] = meanResponse(data.Results[pol])
+			out.MeanResponse[slots][pol] = meanResponse(datas[i].Results[pol])
 		}
 	}
 	return out, nil

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"nimblock/internal/apps"
 	"nimblock/internal/hv"
 	"nimblock/internal/metrics"
 	"nimblock/internal/report"
@@ -48,7 +47,7 @@ func UtilizationStudy(cfg Config) (*UtilizationResult, error) {
 				return nil, err
 			}
 			for _, ev := range seq {
-				if err := h.Submit(apps.MustGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
+				if err := h.Submit(cachedGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
 					return nil, err
 				}
 			}

@@ -823,11 +823,11 @@ func (h *Hypervisor) tryStart(slot int) {
 	if hung {
 		rt.itemEv = 0
 	} else {
-		rt.itemEv = h.eng.After(lat, func() { h.itemDone(slot, a, task, item, lat) })
+		rt.itemEv = h.eng.AfterCancellable(lat, func() { h.itemDone(slot, a, task, item, lat) })
 	}
 	if h.cfg.WatchdogFactor > 0 {
 		deadline := sim.Duration(float64(a.Report.Task(task).Latency)*h.cfg.WatchdogFactor) + h.cfg.WatchdogGrace
-		rt.wdEv = h.eng.After(deadline, func() { h.watchdogFire(slot, a, task, item) })
+		rt.wdEv = h.eng.AfterCancellable(deadline, func() { h.watchdogFire(slot, a, task, item) })
 	}
 }
 

@@ -1,6 +1,7 @@
 package saturate
 
 import (
+	"hash/fnv"
 	"sync"
 
 	"nimblock/internal/fpga"
@@ -8,11 +9,14 @@ import (
 	"nimblock/internal/taskgraph"
 )
 
-// cacheKey identifies one analysis. Applications are keyed by name: the
-// compilation flow produces one task-graph per application, so the name
-// determines the shape and the estimates.
+// cacheKey identifies one analysis. Applications are keyed by the
+// structural fingerprint of their task-graph plus a hash of the HLS
+// estimates the analysis consumes — never by name alone, so two graphs
+// sharing a name (e.g. a rebuilt or synthetic variant) can never return
+// each other's saturation results.
 type cacheKey struct {
-	name       string
+	graphFP    uint64
+	reportFP   uint64
 	batch      int
 	pipelining bool
 	slots      int
@@ -25,13 +29,29 @@ var (
 	cache   = map[cacheKey]Result{}
 )
 
+// reportFingerprint hashes the per-task latency estimates: the only part
+// of the HLS report the analysis reads.
+func reportFingerprint(report *hls.Report) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < report.NumTasks(); i++ {
+		lat := uint64(report.Task(i).Latency)
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(lat >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
 // AnalyzeCached is Analyze with a process-wide cache. On the real system
 // the analysis runs once per application during compilation (in parallel
 // with synthesis and place-and-route); caching reproduces that "computed
 // ahead of time" property across scheduler instances.
 func AnalyzeCached(g *taskgraph.Graph, report *hls.Report, batch int, board fpga.Config, pipelining bool) (Result, error) {
 	key := cacheKey{
-		name:       g.Name(),
+		graphFP:    g.Fingerprint(),
+		reportFP:   reportFingerprint(report),
 		batch:      batch,
 		pipelining: pipelining,
 		slots:      board.Slots,

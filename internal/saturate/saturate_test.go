@@ -159,6 +159,28 @@ func TestAnalyzeCached(t *testing.T) {
 	}
 }
 
+// Two structurally different graphs sharing a name must not return each
+// other's cached results (regression: the cache used to key by name).
+func TestAnalyzeCachedNameCollision(t *testing.T) {
+	short := apps.Synthetic("collide", 2, 10*sim.Millisecond)
+	long := apps.Synthetic("collide", 8, 900*sim.Millisecond)
+	a, err := AnalyzeCached(short, hls.Analyze(short), 5, board(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnalyzeCached(long, hls.Analyze(long), 5, board(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Makespans) == len(b.Makespans) {
+		t.Fatalf("colliding-name graphs returned same sweep length %d", len(a.Makespans))
+	}
+	if b.Makespans[0] <= a.Makespans[0] {
+		t.Fatalf("8x900ms chain (%v) not slower than 2x10ms chain (%v): cache collision",
+			b.Makespans[0], a.Makespans[0])
+	}
+}
+
 func TestMakespanMatchesSingleSlotIntuition(t *testing.T) {
 	// With one slot, the makespan is roughly tasks x reconfig + batch x work.
 	g := apps.MustGraph(apps.Rendering3D)

@@ -3,19 +3,33 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync"
 )
 
-// EventID identifies a scheduled event so it can be cancelled.
-// The zero EventID is never issued.
+// EventID identifies a cancellable scheduled event. The zero EventID is
+// never issued.
 type EventID int64
 
 // event is a pending callback in the simulation.
 type event struct {
-	at    Time
-	seq   int64 // schedule order; breaks ties deterministically
-	id    EventID
-	fn    func()
-	index int // heap index
+	at      Time
+	seq     int64 // schedule order; breaks ties deterministically
+	id      EventID
+	fn      func()
+	index   int  // heap index
+	tracked bool // registered in live (cancellable)
+}
+
+// eventPool recycles event structs across engines and runs. A full
+// experiment sweep schedules millions of events, nearly all of which are
+// short-lived; pooling removes them from the allocation hot path.
+var eventPool = sync.Pool{New: func() any { return new(event) }}
+
+// release returns an event to the pool, dropping the callback reference so
+// the pool does not retain closures (and whatever they capture).
+func release(ev *event) {
+	*ev = event{}
+	eventPool.Put(ev)
 }
 
 // eventHeap implements a min-heap ordered by (at, seq).
@@ -54,13 +68,15 @@ func (h *eventHeap) Pop() any {
 
 // Engine is a single-threaded discrete-event simulator.
 //
-// The zero value is ready to use. Engines are not safe for concurrent use;
-// the entire Nimblock simulation is deliberately single-threaded so that
-// runs are bit-for-bit reproducible.
+// The zero value is ready to use and behaves identically to NewEngine().
+// Engines are not safe for concurrent use; the entire Nimblock simulation
+// is deliberately single-threaded so that runs are bit-for-bit
+// reproducible. Parallelism lives one layer up: independent runs each own
+// an engine (see internal/experiments).
 type Engine struct {
 	now     Time
 	pq      eventHeap
-	live    map[EventID]*event
+	live    map[EventID]*event // cancellable events only; lazily created
 	nextSeq int64
 	nextID  EventID
 	stopped bool
@@ -68,7 +84,7 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at time zero.
 func NewEngine() *Engine {
-	return &Engine{live: map[EventID]*event{}}
+	return &Engine{}
 }
 
 // Now reports the current virtual time.
@@ -77,37 +93,63 @@ func (e *Engine) Now() Time { return e.now }
 // Pending reports the number of events waiting to fire.
 func (e *Engine) Pending() int { return len(e.pq) }
 
-// At schedules fn to run at absolute time at. Scheduling in the past
-// (before Now) panics: it would silently reorder causality.
-func (e *Engine) At(at Time, fn func()) EventID {
+// schedule validates and enqueues one event.
+func (e *Engine) schedule(at Time, fn func(), tracked bool) *event {
 	if fn == nil {
 		panic("sim: At called with nil callback")
 	}
 	if at < e.now {
 		panic(fmt.Sprintf("sim: event scheduled in the past (at=%v now=%v)", at, e.now))
 	}
+	e.nextSeq++
+	ev := eventPool.Get().(*event)
+	ev.at, ev.seq, ev.fn, ev.tracked = at, e.nextSeq, fn, tracked
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// At schedules fn to run at absolute time at. The event cannot be
+// cancelled — the common case, which skips all cancellation bookkeeping;
+// use AtCancellable when a handle is needed. Scheduling in the past
+// (before Now) panics: it would silently reorder causality.
+func (e *Engine) At(at Time, fn func()) {
+	e.schedule(at, fn, false)
+}
+
+// After schedules fn to run d after the current time. Negative delays are
+// clamped to zero. Like At, the event cannot be cancelled.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// AtCancellable schedules fn at absolute time at and returns a handle that
+// Cancel accepts. It costs one map insert over At; reserve it for events
+// that may actually be cancelled (timeouts, watchdogs, preemptable work).
+func (e *Engine) AtCancellable(at Time, fn func()) EventID {
+	ev := e.schedule(at, fn, true)
+	e.nextID++
+	ev.id = e.nextID
 	if e.live == nil {
 		e.live = map[EventID]*event{}
 	}
-	e.nextSeq++
-	e.nextID++
-	ev := &event{at: at, seq: e.nextSeq, id: e.nextID, fn: fn}
-	heap.Push(&e.pq, ev)
 	e.live[ev.id] = ev
 	return ev.id
 }
 
-// After schedules fn to run d after the current time. Negative delays are
-// clamped to zero.
-func (e *Engine) After(d Duration, fn func()) EventID {
+// AfterCancellable schedules fn to run d after the current time and
+// returns a cancellation handle. Negative delays are clamped to zero.
+func (e *Engine) AfterCancellable(d Duration, fn func()) EventID {
 	if d < 0 {
 		d = 0
 	}
-	return e.At(e.now.Add(d), fn)
+	return e.AtCancellable(e.now.Add(d), fn)
 }
 
-// Cancel removes a pending event. It reports whether the event was still
-// pending (false if it already fired or was cancelled).
+// Cancel removes a pending cancellable event. It reports whether the event
+// was still pending (false if it already fired or was cancelled).
 func (e *Engine) Cancel(id EventID) bool {
 	ev, ok := e.live[id]
 	if !ok {
@@ -115,6 +157,7 @@ func (e *Engine) Cancel(id EventID) bool {
 	}
 	delete(e.live, id)
 	heap.Remove(&e.pq, ev.index)
+	release(ev)
 	return true
 }
 
@@ -128,9 +171,13 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.pq).(*event)
-	delete(e.live, ev.id)
+	if ev.tracked {
+		delete(e.live, ev.id)
+	}
 	e.now = ev.at
-	ev.fn()
+	fn := ev.fn
+	release(ev)
+	fn()
 	return true
 }
 

@@ -89,7 +89,7 @@ func TestEngineAfterClampsNegative(t *testing.T) {
 func TestEngineCancel(t *testing.T) {
 	e := NewEngine()
 	fired := false
-	id := e.At(10, func() { fired = true })
+	id := e.AtCancellable(10, func() { fired = true })
 	if !e.Cancel(id) {
 		t.Fatal("Cancel reported event not pending")
 	}
@@ -102,13 +102,43 @@ func TestEngineCancel(t *testing.T) {
 	}
 }
 
+// Cancellable and plain events share one queue and one deterministic
+// (time, schedule-order) ordering.
+func TestEngineMixedTrackingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(10, func() { order = append(order, 0) })
+	e.AtCancellable(10, func() { order = append(order, 1) })
+	e.After(0, func() { order = append(order, 2) })
+	e.AfterCancellable(0, func() { order = append(order, 3) })
+	e.Run()
+	want := []int{2, 3, 0, 1}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineCancelAfterFireReportsFalse(t *testing.T) {
+	e := NewEngine()
+	id := e.AtCancellable(10, func() {})
+	e.Run()
+	if e.Cancel(id) {
+		t.Fatal("Cancel of a fired event reported success")
+	}
+}
+
 func TestEngineCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine()
 	var got []int
 	ids := make([]EventID, 10)
 	for i := 0; i < 10; i++ {
 		i := i
-		ids[i] = e.At(Time(i*10), func() { got = append(got, i) })
+		ids[i] = e.AtCancellable(Time(i*10), func() { got = append(got, i) })
 	}
 	e.Cancel(ids[3])
 	e.Cancel(ids[7])
@@ -211,6 +241,21 @@ func TestEngineZeroValueUsable(t *testing.T) {
 	}
 }
 
+// A zero-value engine must behave identically to NewEngine() for the
+// cancellation path too (pooled engines are re-created as zero values).
+func TestEngineZeroValueCancellable(t *testing.T) {
+	var e Engine
+	fired := false
+	id := e.AfterCancellable(5, func() { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("zero-value engine could not cancel")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired on zero-value engine")
+	}
+}
+
 // Property: for any set of scheduled times, events fire in nondecreasing
 // time order and the engine drains completely.
 func TestEngineOrderingProperty(t *testing.T) {
@@ -247,7 +292,7 @@ func TestEngineCancelProperty(t *testing.T) {
 		ids := make([]EventID, count)
 		for i := 0; i < count; i++ {
 			i := i
-			ids[i] = e.At(Time(rng.Intn(100)), func() { fired[i] = true })
+			ids[i] = e.AtCancellable(Time(rng.Intn(100)), func() { fired[i] = true })
 		}
 		cancelled := map[int]bool{}
 		for i := 0; i < count; i++ {

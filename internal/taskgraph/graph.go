@@ -9,7 +9,9 @@
 package taskgraph
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"nimblock/internal/sim"
@@ -33,6 +35,7 @@ type Graph struct {
 	pred  [][]int // reverse adjacency
 	topo  []int   // one valid topological order
 	depth []int   // longest path (in edges) from any source to each node
+	fp    uint64  // structural fingerprint, computed once in Build
 }
 
 // Builder incrementally constructs a Graph.
@@ -106,7 +109,45 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	g.topo = topo
 	g.depth = computeDepths(g.pred, topo)
+	g.fp = fingerprint(g)
 	return g, nil
+}
+
+// fingerprint hashes the complete graph structure — name, task names,
+// ground-truth latencies, and every edge — with FNV-1a. Two graphs share
+// a fingerprint iff they are structurally identical, so it is a safe
+// cache key where the name alone is not (anyone can build a second graph
+// under an existing name).
+func fingerprint(g *Graph) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	h.Write([]byte(g.name))
+	writeInt(int64(len(g.tasks)))
+	for _, t := range g.tasks {
+		h.Write([]byte(t.Name))
+		writeInt(int64(t.Latency))
+	}
+	var edges [][2]int
+	for from, succs := range g.succ {
+		for _, to := range succs {
+			edges = append(edges, [2]int{from, to})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		writeInt(int64(e[0]))
+		writeInt(int64(e[1]))
+	}
+	return h.Sum64()
 }
 
 // MustBuild is Build that panics on error; for statically known graphs.
@@ -169,6 +210,12 @@ func computeDepths(pred [][]int, topo []int) []int {
 
 // Name reports the application name this graph belongs to.
 func (g *Graph) Name() string { return g.name }
+
+// Fingerprint reports a structural hash of the graph (name, tasks,
+// latencies, edges). Structurally identical graphs share a fingerprint
+// regardless of build order; use it to key caches that must not confuse
+// distinct graphs sharing a name.
+func (g *Graph) Fingerprint() uint64 { return g.fp }
 
 // NumTasks reports the number of tasks (nodes).
 func (g *Graph) NumTasks() int { return len(g.tasks) }
