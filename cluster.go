@@ -92,6 +92,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Horizon > 0 {
 		hcfg.Horizon = sim.Time(sim.FromStd(cfg.Horizon))
 	}
+	// One observer watches every board; events carry board-local app IDs,
+	// so observers aggregating per-app state should key on (App, AppID).
+	hcfg.Observer = wrapObserver(cfg.Observer)
 	eng := sim.NewEngine()
 	mk := func(board hv.Config) sched.Scheduler {
 		p, err := newPolicy(cfg.Config, board)

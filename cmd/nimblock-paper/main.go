@@ -6,13 +6,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
 
 	"nimblock/internal/experiments"
+	"nimblock/internal/obs"
 	"nimblock/internal/workload"
 )
 
@@ -25,6 +28,7 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
+		serve      = flag.String("serve", "", "serve live aggregate metrics over HTTP on this address (e.g. :9090) while experiments run; Prometheus text at /metrics, JSON at /metrics.json; blocks after the run until interrupted")
 	)
 	flag.Parse()
 
@@ -36,6 +40,22 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+
+	var reg *obs.Registry
+	if *serve != "" {
+		// One registry aggregates every simulation the harness fans out;
+		// each run gets its own Metrics sink so pairing state stays
+		// run-local while the instruments (shared, atomic) accumulate.
+		reg = obs.NewRegistry()
+		slots := cfg.HV.Board.Slots
+		cfg.NewObserver = func() obs.Sink { return obs.NewMetrics(reg, slots) }
+		go func() {
+			if err := http.ListenAndServe(*serve, reg.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -190,6 +210,13 @@ func main() {
 			fail(err)
 			fmt.Println(f.Render())
 		}
+	}
+
+	if *serve != "" {
+		fmt.Printf("serving metrics on %s (/metrics, /metrics.json); Ctrl-C to exit\n", *serve)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
 	}
 }
 

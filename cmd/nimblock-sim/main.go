@@ -7,12 +7,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 
 	"nimblock/internal/apps"
 	"nimblock/internal/experiments"
 	"nimblock/internal/hv"
 	"nimblock/internal/metrics"
+	"nimblock/internal/obs"
 	"nimblock/internal/report"
 	"nimblock/internal/sim"
 	"nimblock/internal/svgchart"
@@ -22,17 +25,20 @@ import (
 
 func main() {
 	var (
-		algo     = flag.String("algo", "Nimblock", "scheduling algorithm: Baseline, FCFS, PREMA, RR, Nimblock[NoPreempt|NoPipe|NoPreemptNoPipe]")
-		scenario = flag.String("scenario", "stress", "congestion scenario when generating events: standard, stress, real-time")
-		events   = flag.Int("events", workload.EventsPerSequence, "events to generate")
-		seed     = flag.Int64("seed", 1, "random seed for event generation")
-		batch    = flag.Int("batch", 0, "fixed batch size (0 = random)")
-		in       = flag.String("in", "", "JSON event file from nimblock-events (overrides generation; first sequence used)")
-		gantt    = flag.Bool("gantt", false, "render a per-slot Gantt chart")
-		dump     = flag.Bool("trace", false, "dump the full execution trace")
-		summary  = flag.Bool("summary", false, "print trace-derived per-application aggregates")
-		csv      = flag.Bool("csv", false, "emit the result table as CSV")
-		ganttSVG = flag.String("gantt-svg", "", "write an SVG slot-occupancy timeline to this file")
+		algo      = flag.String("algo", "Nimblock", "scheduling algorithm: Baseline, FCFS, PREMA, RR, Nimblock[NoPreempt|NoPipe|NoPreemptNoPipe]")
+		scenario  = flag.String("scenario", "stress", "congestion scenario when generating events: standard, stress, real-time")
+		events    = flag.Int("events", workload.EventsPerSequence, "events to generate")
+		seed      = flag.Int64("seed", 1, "random seed for event generation")
+		batch     = flag.Int("batch", 0, "fixed batch size (0 = random)")
+		in        = flag.String("in", "", "JSON event file from nimblock-events (overrides generation; first sequence used)")
+		gantt     = flag.Bool("gantt", false, "render a per-slot Gantt chart")
+		dump      = flag.Bool("trace", false, "dump the full execution trace")
+		summary   = flag.Bool("summary", false, "print trace-derived per-application aggregates")
+		csv       = flag.Bool("csv", false, "emit the result table as CSV")
+		ganttSVG  = flag.String("gantt-svg", "", "write an SVG slot-occupancy timeline to this file")
+		serve     = flag.String("serve", "", "serve live metrics over HTTP on this address (e.g. :9090); Prometheus text at /metrics, JSON at /metrics.json; blocks after the run until interrupted")
+		traceJSON = flag.String("trace-json", "", "write the execution trace as JSON to this file (consumable by nimblock-events -spans)")
+		jsonl     = flag.String("jsonl", "", "stream trace events live to this file as JSON Lines")
 	)
 	flag.Parse()
 
@@ -49,7 +55,36 @@ func main() {
 		return
 	}
 	cfg := experiments.DefaultConfig()
-	cfg.HV.EnableTrace = *gantt || *dump || *summary || *ganttSVG != ""
+	cfg.HV.EnableTrace = *gantt || *dump || *summary || *ganttSVG != "" || *traceJSON != ""
+
+	// Live observability: a metrics registry for -serve and a JSONL
+	// stream for -jsonl, fanned out from the trace emission point.
+	var sinks []obs.Sink
+	var reg *obs.Registry
+	if *serve != "" {
+		reg = obs.NewRegistry()
+		sinks = append(sinks, obs.NewMetrics(reg, cfg.HV.Board.Slots))
+	}
+	var stream *obs.JSONL
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		stream = obs.NewJSONL(f)
+		sinks = append(sinks, stream)
+	}
+	cfg.HV.Observer = obs.Tee(sinks...)
+
+	if *serve != "" {
+		go func() {
+			if err := http.ListenAndServe(*serve, reg.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	pol, err := experiments.NewPolicy(*algo, cfg.HV.Board)
 	if err != nil {
@@ -128,6 +163,31 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *ganttSVG)
+	}
+	if *traceJSON != "" {
+		data, err := h.Trace().MarshalJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*traceJSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *traceJSON)
+	}
+	if stream != nil {
+		if err := stream.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonl)
+	}
+	if *serve != "" {
+		fmt.Printf("serving metrics on %s (/metrics, /metrics.json); Ctrl-C to exit\n", *serve)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
 	}
 }
 

@@ -88,6 +88,7 @@ func NewPlatform(cfg ServerlessConfig) (*Platform, error) {
 	if cfg.Horizon > 0 {
 		hcfg.Horizon = sim.Time(sim.FromStd(cfg.Horizon))
 	}
+	hcfg.Observer = wrapObserver(cfg.Observer)
 	if _, err := newPolicy(cfg.Config, hcfg); err != nil {
 		return nil, err
 	}

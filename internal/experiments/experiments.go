@@ -14,6 +14,7 @@ import (
 	"nimblock/internal/core"
 	"nimblock/internal/fpga"
 	"nimblock/internal/hv"
+	"nimblock/internal/obs"
 	"nimblock/internal/sched"
 	"nimblock/internal/sched/baseline"
 	"nimblock/internal/sched/fcfs"
@@ -39,6 +40,13 @@ type Config struct {
 	// GOMAXPROCS; 1 forces the serial reference path. Output is
 	// byte-identical at any setting.
 	Workers int
+	// NewObserver, when non-nil, is called once per simulation run to
+	// build that run's live observer (it is teed with any HV.Observer
+	// already set). Runs execute concurrently under the worker pool, so
+	// per-run sinks keep pairing state (app IDs, slot windows) local
+	// while still aggregating into shared, concurrency-safe state — the
+	// pattern obs.NewMetrics over one shared Registry is built for.
+	NewObserver func() obs.Sink
 }
 
 // DefaultConfig reproduces the paper's scale.
@@ -141,7 +149,11 @@ func RunSequence(cfg Config, policy string, seq workload.Sequence) ([]hv.Result,
 		return nil, err
 	}
 	eng := sim.NewEngine()
-	h, err := hv.New(eng, cfg.HV, pol)
+	hcfg := cfg.HV
+	if cfg.NewObserver != nil {
+		hcfg.Observer = obs.Tee(hcfg.Observer, cfg.NewObserver())
+	}
+	h, err := hv.New(eng, hcfg, pol)
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,7 @@ import (
 	"nimblock/internal/hls"
 	"nimblock/internal/interconnect"
 	"nimblock/internal/mem"
+	"nimblock/internal/obs"
 	"nimblock/internal/sched"
 	"nimblock/internal/sim"
 	"nimblock/internal/taskgraph"
@@ -73,6 +74,14 @@ type Config struct {
 	// count reaches the threshold, trading capacity for not burning
 	// retries on a degrading region. Zero disables quarantine.
 	QuarantineThreshold int
+	// Observer receives every trace event live, as it is emitted,
+	// independent of EnableTrace (which retains the full log in memory).
+	// Attach sinks from internal/obs to watch a run in flight: metrics
+	// registries, JSONL streams, span builders, invariant checkers. A
+	// nil observer costs one pointer test per event — nothing allocates.
+	// The observer must be safe for concurrent use if the same value is
+	// shared across parallel runs (internal/experiments does this).
+	Observer obs.Sink
 }
 
 // PreemptMode selects how preemption requests are honoured.
@@ -197,6 +206,7 @@ type Hypervisor struct {
 	mem    *mem.Manager
 	policy sched.Scheduler
 	log    *trace.Log
+	obs    obs.Sink
 
 	apps     []*sched.App
 	pending  []*sched.App
@@ -286,6 +296,7 @@ func New(eng *sim.Engine, cfg Config, policy sched.Scheduler) (*Hypervisor, erro
 	if cfg.EnableTrace {
 		h.log = trace.New()
 	}
+	h.obs = cfg.Observer
 	for i := range h.slots {
 		h.slots[i].curItem = -1
 	}
@@ -425,7 +436,16 @@ func (h *Hypervisor) fail(err error) error {
 	return err
 }
 
-func (h *Hypervisor) trace(e trace.Event) { h.log.Add(e) }
+// trace records an event in the in-memory log (when enabled) and fans
+// it out to the live observer (when attached). The disabled path — nil
+// log, nil observer — must stay allocation-free: it runs once per event
+// on the simulator hot path (a test in this package enforces it).
+func (h *Hypervisor) trace(e trace.Event) {
+	h.log.Add(e)
+	if h.obs != nil {
+		h.obs.Observe(e)
+	}
+}
 
 // onFault observes every injected reconfiguration fault on the board.
 // Retried attempts are traced here; a request's terminal failure is

@@ -11,6 +11,7 @@ import (
 	"nimblock/internal/core"
 	"nimblock/internal/hv"
 	"nimblock/internal/sched"
+	"nimblock/internal/sched/schedtest"
 	"nimblock/internal/sim"
 	"nimblock/internal/trace"
 	"nimblock/internal/workload"
@@ -39,123 +40,16 @@ func traceRun(t *testing.T, mk func() sched.Scheduler, seq workload.Sequence) ([
 	return res, h.Trace()
 }
 
-// checkTraceInvariants verifies structural properties that must hold for
-// every policy and workload:
-//
-//  1. CAP serialization: reconfiguration intervals never overlap, even
-//     across different slots.
-//  2. Slot exclusivity: a slot hosts at most one activity at a time
-//     (reconfig or item), and items only run on configured slots.
-//  3. Item conservation: every (app, task, item) starts exactly once and
-//     finishes exactly once.
-//  4. Preemptions happen only at batch boundaries (no open item).
-//  5. Every application arrival has a matching retire, in causal order.
+// checkTraceInvariants delegates to the reusable streaming checker in
+// internal/sched/schedtest; see its documentation for the invariant
+// catalogue (CAP serialization is checked separately where wanted, so
+// the gap check is disabled here to match the historical behaviour).
 func checkTraceInvariants(t *testing.T, lg *trace.Log, results []hv.Result) {
 	t.Helper()
-	type slotState struct {
-		reconfiguring bool
-		loaded        bool
-		itemOpen      bool
-	}
-	slots := map[int]*slotState{}
-	st := func(s int) *slotState {
-		if slots[s] == nil {
-			slots[s] = &slotState{}
-		}
-		return slots[s]
-	}
-	type itemKey struct {
-		app        int64
-		task, item int
-	}
-	started := map[itemKey]int{}
-	finished := map[itemKey]int{}
-	arrived := map[int64]sim.Time{}
-	retired := map[int64]sim.Time{}
-
-	for _, e := range lg.Events() {
-		switch e.Kind {
-		case trace.KindArrival:
-			arrived[e.AppID] = e.At
-		case trace.KindRetire:
-			if _, ok := arrived[e.AppID]; !ok {
-				t.Fatalf("retire before arrival: %v", e)
-			}
-			retired[e.AppID] = e.At
-		case trace.KindReconfigStart:
-			s := st(e.Slot)
-			if s.reconfiguring || s.loaded || s.itemOpen {
-				t.Fatalf("reconfig start on busy slot: %v", e)
-			}
-			s.reconfiguring = true
-		case trace.KindReconfigDone:
-			s := st(e.Slot)
-			if !s.reconfiguring {
-				t.Fatalf("reconfig done without start: %v", e)
-			}
-			s.reconfiguring = false
-			s.loaded = true
-		case trace.KindItemStart:
-			s := st(e.Slot)
-			if !s.loaded {
-				t.Fatalf("item start on unconfigured slot: %v", e)
-			}
-			if s.itemOpen {
-				t.Fatalf("two items in flight on slot %d: %v", e.Slot, e)
-			}
-			s.itemOpen = true
-			started[itemKey{e.AppID, e.Task, e.Item}]++
-		case trace.KindItemDone:
-			s := st(e.Slot)
-			if !s.itemOpen {
-				t.Fatalf("item done without start: %v", e)
-			}
-			s.itemOpen = false
-			finished[itemKey{e.AppID, e.Task, e.Item}]++
-		case trace.KindPreempt:
-			s := st(e.Slot)
-			if s.itemOpen {
-				t.Fatalf("preemption mid-item: %v", e)
-			}
-			if !s.loaded {
-				t.Fatalf("preemption of unloaded slot: %v", e)
-			}
-			s.loaded = false
-		case trace.KindTaskDone:
-			s := st(e.Slot)
-			if s.itemOpen {
-				t.Fatalf("task done with item in flight: %v", e)
-			}
-			s.loaded = false
-		case trace.KindFault:
-			// Unrecoverable reconfiguration fault: the slot is freed.
-			s := st(e.Slot)
-			if !s.reconfiguring {
-				t.Fatalf("fault on slot not reconfiguring: %v", e)
-			}
-			s.reconfiguring = false
-		}
-	}
-	for k, n := range started {
-		if n != 1 {
-			t.Fatalf("item %+v started %d times", k, n)
-		}
-		if finished[k] != 1 {
-			t.Fatalf("item %+v finished %d times", k, finished[k])
-		}
-	}
-	for k := range finished {
-		if started[k] != 1 {
-			t.Fatalf("item %+v finished without start", k)
-		}
-	}
-	if len(arrived) != len(results) || len(retired) != len(results) {
-		t.Fatalf("%d arrivals, %d retires, %d results", len(arrived), len(retired), len(results))
-	}
-	for id, at := range retired {
-		if at < arrived[id] {
-			t.Fatalf("app %d retired (%v) before arrival (%v)", id, at, arrived[id])
-		}
+	c := schedtest.NewChecker()
+	c.MinReconfigGap = 0
+	if err := c.Replay(lg).Finish(len(results)); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -165,18 +59,57 @@ func checkTraceInvariants(t *testing.T, lg *trace.Log, results []hv.Result) {
 // are the serialization witness).
 func checkCAPSerialization(t *testing.T, lg *trace.Log) {
 	t.Helper()
-	var last sim.Time
-	first := true
-	// One slot image takes ~80 ms end to end on the default board.
-	minGap := 70 * sim.Millisecond
-	for _, e := range lg.Events() {
-		if e.Kind != trace.KindReconfigDone {
-			continue
-		}
-		if !first && e.At.Sub(last) < minGap {
-			t.Fatalf("reconfigurations completed %v apart (< %v): CAP not serialized", e.At.Sub(last), minGap)
-		}
-		last, first = e.At, false
+	if err := schedtest.NewChecker().Replay(lg).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property suite: the full invariant checker rides along live — attached
+// as the hypervisor observer, with tracing off — across every policy and
+// a spread of randomized workloads. This is the streaming counterpart of
+// TestTraceInvariantsAcrossPolicies and doubles as coverage for the
+// observability hook itself.
+func TestInvariantPropertySuiteLive(t *testing.T) {
+	const seeds = 20
+	scenarios := []workload.Scenario{workload.Standard, workload.Stress, workload.RealTime}
+	for name, mk := range policies() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= seeds; seed++ {
+				checker := schedtest.NewChecker()
+				eng := sim.NewEngine()
+				cfg := hv.DefaultConfig()
+				cfg.Observer = checker
+				h, err := hv.New(eng, cfg, mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq := workload.Generate(workload.Spec{
+					Scenario:   scenarios[seed%int64(len(scenarios))],
+					Events:     6,
+					FixedBatch: int(seed) % 7,
+				}, seed)
+				for _, ev := range seq {
+					if err := h.Submit(apps.MustGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
+						t.Fatal(err)
+					}
+				}
+				res, err := h.Run()
+				if err != nil {
+					t.Fatalf("%s seed %d: %v", name, seed, err)
+				}
+				if err := checker.Finish(len(res)); err != nil {
+					t.Fatalf("%s seed %d: %v", name, seed, err)
+				}
+				if checker.Events() == 0 {
+					t.Fatalf("%s seed %d: observer saw no events", name, seed)
+				}
+				if h.Trace().Len() != 0 {
+					t.Fatalf("%s seed %d: tracing off but log has %d events", name, seed, h.Trace().Len())
+				}
+			}
+		})
 	}
 }
 

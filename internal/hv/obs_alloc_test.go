@@ -1,0 +1,65 @@
+package hv
+
+import (
+	"testing"
+
+	"nimblock/internal/sched/fcfs"
+	"nimblock/internal/sim"
+	"nimblock/internal/trace"
+)
+
+// The observability hook must be free when disabled: with no observer
+// and tracing off, emitting a trace event from the hot path performs
+// zero allocations. This is the guard behind the "a nil Sink costs one
+// pointer test" promise in internal/obs.
+func TestDisabledObserverZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	h, err := New(eng, cfg, fcfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := trace.Event{At: 1000, Kind: trace.KindItemStart, App: "a", AppID: 1, Task: 0, Slot: 0, Item: 0}
+	if n := testing.AllocsPerRun(1000, func() { h.trace(e) }); n != 0 {
+		t.Fatalf("disabled-observer trace path allocates %v per event, want 0", n)
+	}
+}
+
+// With an observer attached the event must actually reach it.
+func TestObserverReceivesFromTracePath(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	var got int
+	cfg.Observer = obsFunc(func(trace.Event) { got++ })
+	h, err := New(eng, cfg, fcfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.trace(trace.Event{Kind: trace.KindArrival})
+	h.trace(trace.Event{Kind: trace.KindRetire})
+	if got != 2 {
+		t.Fatalf("observer saw %d events, want 2", got)
+	}
+}
+
+// obsFunc avoids importing obs.Func here just for an adapter.
+type obsFunc func(trace.Event)
+
+func (f obsFunc) Observe(e trace.Event) { f(e) }
+
+// BenchmarkTraceDisabled pins the per-event cost of the disabled path:
+// one nil check on the log, one nil check on the observer.
+func BenchmarkTraceDisabled(b *testing.B) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	h, err := New(eng, cfg, fcfs.New())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := trace.Event{At: 1000, Kind: trace.KindItemStart, App: "a", AppID: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.trace(e)
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"nimblock/internal/trace"
+)
+
+// Async decouples event producers from a slow downstream sink through a
+// bounded buffer drained by one background goroutine. Observe never
+// blocks: when the buffer is full the event is dropped and counted
+// instead of applying backpressure to the simulation. The drop counter
+// is exact — every observed event is either delivered downstream or
+// counted as dropped, never both, never neither.
+type Async struct {
+	inner   Sink
+	ch      chan trace.Event
+	dropped atomic.Uint64
+	done    chan struct{}
+
+	// mu guards sends against channel close: Observe holds the read
+	// side (cheap, shared among producers), Close the write side.
+	mu     sync.RWMutex
+	closed bool
+	once   sync.Once
+}
+
+// NewAsync wraps inner with a bounded buffer of the given capacity
+// (minimum 1) and starts the drain goroutine. Call Close to flush the
+// buffer and stop the goroutine.
+func NewAsync(inner Sink, capacity int) *Async {
+	if capacity < 1 {
+		capacity = 1
+	}
+	a := &Async{
+		inner: inner,
+		ch:    make(chan trace.Event, capacity),
+		done:  make(chan struct{}),
+	}
+	go a.drain()
+	return a
+}
+
+func (a *Async) drain() {
+	for e := range a.ch {
+		a.inner.Observe(e)
+	}
+	close(a.done)
+}
+
+// Observe implements Sink. It never blocks; events that do not fit in
+// the buffer are dropped and counted. Observing after Close drops.
+func (a *Async) Observe(e trace.Event) {
+	a.mu.RLock()
+	if a.closed {
+		a.mu.RUnlock()
+		a.dropped.Add(1)
+		return
+	}
+	select {
+	case a.ch <- e:
+	default:
+		a.dropped.Add(1)
+	}
+	a.mu.RUnlock()
+}
+
+// Dropped reports the number of events lost to a full buffer (or to
+// observation after Close).
+func (a *Async) Dropped() uint64 { return a.dropped.Load() }
+
+// Close drains buffered events into the inner sink, stops the drain
+// goroutine, and closes the inner sink if it is a Closer. Safe to call
+// more than once; Observe calls after Close count as drops.
+func (a *Async) Close() error {
+	var err error
+	a.once.Do(func() {
+		a.mu.Lock()
+		a.closed = true
+		close(a.ch)
+		a.mu.Unlock()
+		<-a.done
+		err = Close(a.inner)
+	})
+	return err
+}

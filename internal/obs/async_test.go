@@ -1,0 +1,129 @@
+package obs_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nimblock/internal/obs"
+	"nimblock/internal/trace"
+)
+
+// Below capacity, the async sink loses nothing: every event from every
+// producer goroutine arrives downstream exactly once. Run with -race.
+func TestAsyncZeroLossBelowCapacity(t *testing.T) {
+	const producers, perProducer = 8, 500
+	inner := &obs.Counting{}
+	a := obs.NewAsync(inner, producers*perProducer)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				a.Observe(trace.Event{Kind: trace.KindArrival, AppID: int64(p), Item: i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.Total(); got != producers*perProducer {
+		t.Fatalf("delivered %d events, want %d", got, producers*perProducer)
+	}
+	if d := a.Dropped(); d != 0 {
+		t.Fatalf("%d drops below capacity", d)
+	}
+}
+
+// blockingSink parks the drain goroutine until released, forcing the
+// buffer to fill.
+type blockingSink struct {
+	release chan struct{}
+	seen    int
+	mu      sync.Mutex
+}
+
+func (b *blockingSink) Observe(trace.Event) {
+	<-b.release
+	b.mu.Lock()
+	b.seen++
+	b.mu.Unlock()
+}
+
+// Above capacity, the drop counter is exact: delivered + dropped equals
+// events observed.
+func TestAsyncExactDropAccounting(t *testing.T) {
+	const capacity, sent = 16, 2000
+	inner := &blockingSink{release: make(chan struct{})}
+	a := obs.NewAsync(inner, capacity)
+
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < sent/4; i++ {
+				a.Observe(trace.Event{Kind: trace.KindArrival, AppID: int64(p), Item: i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(inner.release) // let the drain finish
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	inner.mu.Lock()
+	delivered := inner.seen
+	inner.mu.Unlock()
+	dropped := int(a.Dropped())
+	if delivered+dropped != sent {
+		t.Fatalf("delivered %d + dropped %d != sent %d", delivered, dropped, sent)
+	}
+	if dropped == 0 {
+		t.Fatalf("expected drops with capacity %d and a parked drain", capacity)
+	}
+}
+
+// Observing after Close neither panics nor deadlocks — it drops.
+func TestAsyncObserveAfterClose(t *testing.T) {
+	inner := &obs.Counting{}
+	a := obs.NewAsync(inner, 4)
+	a.Observe(trace.Event{Kind: trace.KindArrival})
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := a.Dropped()
+	a.Observe(trace.Event{Kind: trace.KindRetire})
+	if a.Dropped() != before+1 {
+		t.Fatal("post-close observation not counted as a drop")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+}
+
+// Concurrent Observe and Close must not race on the channel. Run with
+// -race; the assertion is simply that we get here.
+func TestAsyncConcurrentClose(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		a := obs.NewAsync(&obs.Counting{}, 8)
+		var wg sync.WaitGroup
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 100; j++ {
+					a.Observe(trace.Event{Kind: trace.KindArrival, Item: j})
+				}
+			}()
+		}
+		go func() {
+			time.Sleep(time.Microsecond * time.Duration(i))
+			a.Close()
+		}()
+		wg.Wait()
+		a.Close()
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+
+	"nimblock/internal/trace"
+)
+
+// JSONL streams events to a writer as JSON Lines: one JSON object per
+// event, newline-terminated, in the same interchange vocabulary as
+// trace.Log.MarshalJSON. Unlike the post-hoc export, a JSONL stream is
+// readable while the run is still in progress (tail -f, jq, or a replay
+// into trace.ParseJSON after wrapping in brackets).
+type JSONL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // non-nil when the underlying writer should be closed
+	err error
+}
+
+// NewJSONL returns a sink writing one JSON object per event to w. The
+// stream is buffered; call Close (or Flush) to push it out. If w is also
+// an io.Closer, Close closes it.
+func NewJSONL(w io.Writer) *JSONL {
+	j := &JSONL{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Observe implements Sink. The first write error sticks and suppresses
+// further output; retrieve it with Err or Close.
+func (j *JSONL) Observe(e trace.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	line, err := json.Marshal(trace.EventJSON(e))
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(line); err != nil {
+		j.err = err
+		return
+	}
+	j.err = j.w.WriteByte('\n')
+}
+
+// Flush pushes buffered lines to the underlying writer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.w.Flush()
+	return j.err
+}
+
+// Err reports the first error encountered, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes and, when the underlying writer is an io.Closer, closes
+// it. It returns the first error encountered over the sink's lifetime.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if ferr := j.w.Flush(); j.err == nil {
+		j.err = ferr
+	}
+	if j.c != nil {
+		if cerr := j.c.Close(); j.err == nil {
+			j.err = cerr
+		}
+		j.c = nil
+	}
+	return j.err
+}

@@ -1,0 +1,118 @@
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"nimblock/internal/obs"
+	"nimblock/internal/sim"
+	"nimblock/internal/trace"
+)
+
+func sampleEvents(n int) []trace.Event {
+	out := make([]trace.Event, n)
+	for i := range out {
+		out[i] = trace.Event{
+			At:    sim.Time(i * 1000),
+			Kind:  trace.Kind(i % trace.NumKinds()),
+			App:   "sample",
+			AppID: int64(i % 5),
+			Task:  i % 3,
+			Slot:  i % 4,
+			Item:  i,
+		}
+	}
+	return out
+}
+
+func TestTeeFansOutAndSkipsNil(t *testing.T) {
+	a, b := &obs.Counting{}, &obs.Counting{}
+	tee := obs.Tee(nil, a, nil, b)
+	for _, e := range sampleEvents(10) {
+		tee.Observe(e)
+	}
+	if a.Total() != 10 || b.Total() != 10 {
+		t.Fatalf("tee delivered %d/%d events, want 10/10", a.Total(), b.Total())
+	}
+	if obs.Tee() != nil {
+		t.Fatal("empty tee should collapse to nil")
+	}
+	if got := obs.Tee(nil, a); got != obs.Sink(a) {
+		t.Fatal("single-sink tee should collapse to the sink itself")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	var got []trace.Kind
+	s := obs.Func(func(e trace.Event) { got = append(got, e.Kind) })
+	s.Observe(trace.Event{Kind: trace.KindArrival})
+	s.Observe(trace.Event{Kind: trace.KindRetire})
+	if len(got) != 2 || got[0] != trace.KindArrival || got[1] != trace.KindRetire {
+		t.Fatalf("func sink saw %v", got)
+	}
+}
+
+func TestCountingPerKind(t *testing.T) {
+	c := &obs.Counting{}
+	c.Observe(trace.Event{Kind: trace.KindArrival})
+	c.Observe(trace.Event{Kind: trace.KindArrival})
+	c.Observe(trace.Event{Kind: trace.KindRetire})
+	if c.Total() != 3 {
+		t.Fatalf("total %d, want 3", c.Total())
+	}
+	if c.Count(trace.KindArrival) != 2 || c.Count(trace.KindRetire) != 1 {
+		t.Fatalf("per-kind counts wrong: arrival=%d retire=%d", c.Count(trace.KindArrival), c.Count(trace.KindRetire))
+	}
+	if c.Count(trace.Kind(200)) != 0 {
+		t.Fatal("out-of-range kind should count zero")
+	}
+}
+
+// JSONL output must parse back into the exact events that were written.
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	events := sampleEvents(25)
+	for _, e := range events {
+		sink.Observe(e)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var got []trace.Event
+	for sc.Scan() {
+		e, err := trace.ParseEventJSON(sc.Bytes())
+		if err != nil {
+			t.Fatalf("line %d: %v", len(got), err)
+		}
+		got = append(got, e)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("%d lines, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("line %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestCloseHelper(t *testing.T) {
+	if err := obs.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Close(&obs.Counting{}); err != nil {
+		t.Fatal(err) // not a Closer: no-op
+	}
+	var buf bytes.Buffer
+	j := obs.NewJSONL(&buf)
+	j.Observe(trace.Event{Kind: trace.KindArrival})
+	if err := obs.Close(j); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("Close did not flush the JSONL sink")
+	}
+}

@@ -1,0 +1,377 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named counters, gauges, and fixed-bucket histograms
+// updated online as a run progresses. All instruments are safe for
+// concurrent use; reads (exposition, snapshots) may interleave with
+// writes and observe a consistent point-in-time view per instrument.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	help       map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		help:       map[string]string{},
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a programming error and are ignored).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add applies a delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// semantics: bucket i counts observations <= bound i, plus an implicit
+// +Inf bucket).
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1, last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// newHistogram validates and sorts the bounds.
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Cumulative returns the cumulative count at each bound, ending with
+// the +Inf bucket (== Count()).
+func (h *Histogram) Cumulative() []int64 {
+	out := make([]int64, len(h.buckets))
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation
+// within the containing bucket; -1 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return -1
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := h.Cumulative()
+	lo := 0.0
+	for i, c := range cum {
+		if float64(c) >= rank {
+			hi := math.Inf(1)
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			} else if len(h.bounds) > 0 {
+				// +Inf bucket: report the largest finite bound.
+				return h.bounds[len(h.bounds)-1]
+			}
+			prev := 0.0
+			if i > 0 {
+				prev = float64(cum[i-1])
+			}
+			width := float64(h.buckets[i].Load())
+			if width == 0 {
+				return hi
+			}
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (hi-lo)*(rank-prev)/width
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.mustBeFree(name)
+	c := &Counter{}
+	r.counters[name] = c
+	r.help[name] = help
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.mustBeFree(name)
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.help[name] = help
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. Bounds are
+// fixed at first creation; later calls ignore the argument.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	r.mustBeFree(name)
+	h := newHistogram(bounds)
+	r.histograms[name] = h
+	r.help[name] = help
+	return h
+}
+
+// mustBeFree panics if the name is already bound to another instrument
+// type — a programming error, caught loudly. Callers hold r.mu.
+func (r *Registry) mustBeFree(name string) {
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as a counter", name))
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as a gauge", name))
+	}
+	if _, ok := r.histograms[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as a histogram", name))
+	}
+}
+
+// fmtFloat renders a float the way Prometheus clients expect.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4), names sorted for determinism.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+
+	var names []string
+	for n := range counters {
+		names = append(names, n)
+	}
+	for n := range gauges {
+		names = append(names, n)
+	}
+	for n := range hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if h := help[n]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, h); err != nil {
+				return err
+			}
+		}
+		switch {
+		case counters[n] != nil:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, counters[n].Value()); err != nil {
+				return err
+			}
+		case gauges[n] != nil:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, fmtFloat(gauges[n].Value())); err != nil {
+				return err
+			}
+		default:
+			h := hists[n]
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+				return err
+			}
+			cum := h.Cumulative()
+			for i, b := range h.bounds {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, fmtFloat(b), cum[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum[len(cum)-1]); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, fmtFloat(h.Sum()), n, h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// histSnapshot is the JSON form of one histogram.
+type histSnapshot struct {
+	Buckets map[string]int64 `json:"buckets"`
+	Sum     float64          `json:"sum"`
+	Count   int64            `json:"count"`
+}
+
+// Snapshot is a point-in-time JSON-friendly view of the registry; map
+// keys serialize sorted, so encoding a Snapshot is deterministic for
+// deterministic runs (the metamorphic golden tests rely on this).
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]histSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]histSnapshot{},
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.histograms {
+		hs := histSnapshot{Buckets: map[string]int64{}, Sum: h.Sum(), Count: h.Count()}
+		cum := h.Cumulative()
+		for i, b := range h.bounds {
+			hs.Buckets[fmtFloat(b)] = cum[i]
+		}
+		hs.Buckets["+Inf"] = cum[len(cum)-1]
+		s.Histograms[n] = hs
+	}
+	return s
+}
+
+// MarshalJSON exports the registry as an expvar-style JSON document.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// Handler serves the registry over HTTP: Prometheus text at /metrics
+// (and /), expvar-style JSON at /metrics.json or with ?format=json.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch {
+		case req.URL.Path == "/metrics.json" || req.URL.Query().Get("format") == "json":
+			w.Header().Set("Content-Type", "application/json")
+			data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Write(data)
+			w.Write([]byte("\n"))
+		case req.URL.Path == "/" || req.URL.Path == "/metrics":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := r.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			http.NotFound(w, req)
+		}
+	})
+}

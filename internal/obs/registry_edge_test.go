@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"errors"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBoundsCopy(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 5})
+	b := h.Bounds()
+	if len(b) != 3 || b[0] != 1 || b[2] != 5 {
+		t.Fatalf("bounds %v", b)
+	}
+	b[0] = 99
+	if h.Bounds()[0] != 1 {
+		t.Fatal("Bounds aliases internal state")
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{1, 2, 5})
+	if got := h.Quantile(0.5); got != -1 {
+		t.Fatalf("empty histogram quantile %v, want -1", got)
+	}
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(10) // lands in the +Inf bucket
+	// Out-of-range q clamps instead of panicking.
+	if got := h.Quantile(-3); got < 0 {
+		t.Fatalf("q<0 gave %v", got)
+	}
+	// q=1 targets the +Inf bucket, reported as the largest finite bound.
+	if got := h.Quantile(1); got != 5 {
+		t.Fatalf("q=1 gave %v, want 5", got)
+	}
+	if got := h.Quantile(2); got != 5 {
+		t.Fatalf("q>1 gave %v, want 5", got)
+	}
+}
+
+func TestFmtFloat(t *testing.T) {
+	if got := fmtFloat(math.Inf(1)); got != "+Inf" {
+		t.Fatalf("+Inf rendered %q", got)
+	}
+	if got := fmtFloat(0.25); got != "0.25" {
+		t.Fatalf("0.25 rendered %q", got)
+	}
+}
+
+func TestMustBeFreeAllTypes(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("c", "")
+	r.Gauge("g", "")
+	r.Histogram("h", "", nil)
+	mustPanic("counter name reused as gauge", func() { r.Gauge("c", "") })
+	mustPanic("gauge name reused as histogram", func() { r.Histogram("g", "", nil) })
+	mustPanic("histogram name reused as counter", func() { r.Counter("h", "") })
+	// Same-type lookups return the existing instrument without panicking.
+	if r.Counter("c", "") == nil || r.Gauge("g", "") == nil || r.Histogram("h", "", nil) == nil {
+		t.Fatal("same-type lookup failed")
+	}
+}
+
+// failAfter errors on the n-th write, exercising WritePrometheus's error
+// propagation at each stage of the rendering.
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	w.n--
+	if w.n < 0 {
+		return 0, w.err
+	}
+	return len(p), nil
+}
+
+func TestWritePrometheusPropagatesWriteErrors(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "count help").Add(1)
+	r.Gauge("g", "gauge help").Set(2)
+	h := r.Histogram("h", "hist help", []float64{1})
+	h.Observe(0.5)
+	// Count the writes of a full render, then fail at every position.
+	counter := &failAfter{n: 1 << 30}
+	if err := r.WritePrometheus(counter); err != nil {
+		t.Fatal(err)
+	}
+	writes := (1 << 30) - counter.n
+	boom := errors.New("pipe burst")
+	for i := 0; i < writes; i++ {
+		if err := r.WritePrometheus(&failAfter{n: i, err: boom}); !errors.Is(err, boom) {
+			t.Fatalf("write failure at %d not propagated: %v", i, err)
+		}
+	}
+}
+
+func TestHandlerFormatQuery(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "").Add(7)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"c": 7`) {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+}

@@ -1,0 +1,198 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"nimblock/internal/obs"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored
+	if c.Value() != 5 {
+		t.Fatalf("counter %d, want 5", c.Value())
+	}
+	if r.Counter("c_total", "ignored") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge %v, want 1.5", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("h_seconds", "latencies", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-16) > 1e-9 {
+		t.Fatalf("sum %v, want 16", h.Sum())
+	}
+	cum := h.Cumulative()
+	// le=1: 0.5 and 1.0 (le semantics); le=2: +1.5; le=5: +3; +Inf: +10.
+	want := []int64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (%v)", i, cum[i], w, cum)
+		}
+	}
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Fatalf("median %v outside its bucket [1,2]", q)
+	}
+	if empty := r.Histogram("h2", "", []float64{1}); empty.Quantile(0.9) != -1 {
+		t.Fatal("quantile of empty histogram should be -1")
+	}
+}
+
+func TestCrossTypeRegistrationPanics(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("name", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge over a counter name did not panic")
+		}
+	}()
+	r.Gauge("name", "")
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("nimblock_apps_completed_total", "applications retired").Add(3)
+	r.Gauge("nimblock_effective_slots", "usable slots").Set(3)
+	h := r.Histogram("nimblock_response_seconds", "response time", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(30)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE nimblock_apps_completed_total counter",
+		"nimblock_apps_completed_total 3",
+		"# TYPE nimblock_effective_slots gauge",
+		"nimblock_effective_slots 3",
+		"# TYPE nimblock_response_seconds histogram",
+		`nimblock_response_seconds_bucket{le="0.1"} 1`,
+		`nimblock_response_seconds_bucket{le="1"} 2`,
+		`nimblock_response_seconds_bucket{le="+Inf"} 3`,
+		"nimblock_response_seconds_sum 30.55",
+		"nimblock_response_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHandlerServesTextAndJSON(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	res2, err := srv.Client().Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(res2.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["x_total"] != 1 {
+		t.Fatalf("snapshot counters %v", snap.Counters)
+	}
+
+	res3, err := srv.Client().Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3.Body.Close()
+	if res3.StatusCode != 404 {
+		t.Fatalf("unknown path returned %d", res3.StatusCode)
+	}
+}
+
+// Snapshot encoding is deterministic: two identical registries encode to
+// identical bytes (map keys sort), which the golden metamorphic tests
+// rely on.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() *obs.Registry {
+		r := obs.NewRegistry()
+		r.Counter("b_total", "").Add(2)
+		r.Counter("a_total", "").Add(1)
+		r.Gauge("g", "").Set(4.25)
+		h := r.Histogram("h", "", []float64{1, 10})
+		h.Observe(0.5)
+		h.Observe(5)
+		return r
+	}
+	x, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(x) != string(y) {
+		t.Fatalf("snapshot not deterministic:\n%s\n%s", x, y)
+	}
+}
+
+// Instruments are safe under concurrent writers; run with -race.
+func TestInstrumentsConcurrent(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", obs.DefaultLatencyBuckets)
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / 100)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Fatalf("gauge %v, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,83 @@
+package obs_test
+
+import (
+	"testing"
+
+	"nimblock/internal/obs"
+	"nimblock/internal/sim"
+	"nimblock/internal/trace"
+)
+
+func at(ms sim.Duration) sim.Time { return sim.Time(ms * sim.Millisecond) }
+
+// A hand-written lifetime with one preemption folds into the expected
+// milestones and segment timeline.
+func TestSpanBuilderFolding(t *testing.T) {
+	b := obs.NewSpanBuilder()
+	events := []trace.Event{
+		{At: at(0), Kind: trace.KindArrival, App: "a", AppID: 1},
+		{At: at(10), Kind: trace.KindReconfigStart, App: "a", AppID: 1, Task: 0, Slot: 2},
+		{At: at(90), Kind: trace.KindReconfigDone, App: "a", AppID: 1, Task: 0, Slot: 2},
+		{At: at(91), Kind: trace.KindItemStart, App: "a", AppID: 1, Task: 0, Slot: 2, Item: 0},
+		{At: at(120), Kind: trace.KindItemDone, App: "a", AppID: 1, Task: 0, Slot: 2, Item: 0},
+		{At: at(121), Kind: trace.KindPreemptRequest, App: "a", AppID: 1, Task: 0, Slot: 2},
+		{At: at(130), Kind: trace.KindPreempt, App: "a", AppID: 1, Task: 0, Slot: 2},
+		{At: at(400), Kind: trace.KindReconfigStart, App: "a", AppID: 1, Task: 0, Slot: 0},
+		{At: at(480), Kind: trace.KindReconfigDone, App: "a", AppID: 1, Task: 0, Slot: 0},
+		{At: at(481), Kind: trace.KindItemStart, App: "a", AppID: 1, Task: 0, Slot: 0, Item: 1},
+		{At: at(510), Kind: trace.KindItemDone, App: "a", AppID: 1, Task: 0, Slot: 0, Item: 1},
+		{At: at(510), Kind: trace.KindTaskDone, App: "a", AppID: 1, Task: 0, Slot: 0},
+		{At: at(511), Kind: trace.KindRetire, App: "a", AppID: 1},
+	}
+	for _, e := range events {
+		b.Observe(e)
+	}
+	spans := b.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("%d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Submit != at(0) || s.FirstConfig != at(10) || s.FirstLaunch != at(91) || s.Complete != at(511) {
+		t.Fatalf("milestones wrong: %+v", s)
+	}
+	if s.Response() != sim.Duration(at(511)) || s.Wait() != sim.Duration(at(91)) {
+		t.Fatalf("response %v wait %v", s.Response(), s.Wait())
+	}
+	if s.Preemptions != 1 || s.Items != 2 {
+		t.Fatalf("preemptions %d items %d", s.Preemptions, s.Items)
+	}
+	var kinds []obs.SegmentKind
+	for _, seg := range s.Segments {
+		kinds = append(kinds, seg.Kind)
+	}
+	want := []obs.SegmentKind{
+		obs.SegReconfig, obs.SegCompute, obs.SegPreemptWait, obs.SegPreempted,
+		obs.SegReconfig, obs.SegCompute,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("segments %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("segment %d is %s, want %s (%v)", i, kinds[i], want[i], kinds)
+		}
+	}
+	for _, seg := range s.Segments {
+		if seg.To < seg.From {
+			t.Fatalf("segment %+v runs backwards", seg)
+		}
+	}
+}
+
+// Spans are meaningful mid-run: milestones not reached yet stay -1.
+func TestSpanBuilderPartial(t *testing.T) {
+	b := obs.NewSpanBuilder()
+	b.Observe(trace.Event{At: at(5), Kind: trace.KindArrival, App: "p", AppID: 9})
+	s := b.Spans()[0]
+	if s.Submit != at(5) || s.FirstConfig != -1 || s.FirstLaunch != -1 || s.Complete != -1 {
+		t.Fatalf("partial span %+v", s)
+	}
+	if s.Response() != -1 || s.Wait() != -1 {
+		t.Fatalf("partial span derived %v %v, want -1", s.Response(), s.Wait())
+	}
+}

@@ -1,0 +1,353 @@
+package schedtest
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"nimblock/internal/sched"
+	"nimblock/internal/sim"
+	"nimblock/internal/trace"
+)
+
+// DefaultMinReconfigGap is the minimum spacing between reconfiguration
+// completions on the default board: one slot image takes ~80 ms end to
+// end, so completions closer than this betray a CAP that stopped
+// serializing.
+const DefaultMinReconfigGap = 70 * sim.Millisecond
+
+// maxViolations bounds how many violations a Checker retains; a broken
+// scheduler produces them by the thousand and the first few tell the story.
+const maxViolations = 20
+
+// Checker is a streaming scheduler-invariant checker. It consumes trace
+// events one at a time — implementing the obs.Sink shape — so the same
+// checker validates recorded logs (Replay) and live runs (attach it as
+// hv.Config.Observer). It verifies the structural properties every
+// policy and workload must honour:
+//
+//  1. CAP serialization: the board has one configuration port, so
+//     reconfiguration completions are spaced by at least MinReconfigGap.
+//  2. Slot exclusivity: a slot hosts at most one activity at a time
+//     (reconfiguring or one in-flight item), items run only on
+//     configured slots, and offline slots are never used again.
+//  3. Item conservation: every (app, task, item) that finishes finished
+//     exactly once, and every start is matched by a finish or an
+//     explicit abort (checkpoint, watchdog kill, slot failure).
+//  4. Batch-boundary preemption: KindPreempt never lands mid-item.
+//  5. Causality: retire follows arrival; nothing happens to an
+//     application before it arrives.
+//
+// Checker is safe for concurrent use; the simulation itself is
+// single-threaded per engine, but one checker may watch several engines
+// (the parallel harness) at the cost of interleaving slot state, so for
+// strict checking attach one checker per run.
+type Checker struct {
+	// MinReconfigGap overrides the CAP serialization spacing; zero
+	// disables the check (heterogeneous boards have different stream
+	// times). Set before the first event.
+	MinReconfigGap sim.Duration
+
+	mu         sync.Mutex
+	slots      map[int]*slotState
+	started    map[itemKey]int
+	finished   map[itemKey]int
+	aborted    map[itemKey]int
+	arrived    map[int64]sim.Time
+	retired    map[int64]sim.Time
+	lastDone   sim.Time
+	seenDone   bool
+	events     int
+	violations []string
+}
+
+type slotState struct {
+	reconfiguring bool
+	loaded        bool
+	itemOpen      bool
+	openItem      itemKey
+	offline       bool
+}
+
+type itemKey struct {
+	app        int64
+	task, item int
+}
+
+// NewChecker returns a checker with the default CAP gap.
+func NewChecker() *Checker {
+	return &Checker{
+		MinReconfigGap: DefaultMinReconfigGap,
+		slots:          map[int]*slotState{},
+		started:        map[itemKey]int{},
+		finished:       map[itemKey]int{},
+		aborted:        map[itemKey]int{},
+		arrived:        map[int64]sim.Time{},
+		retired:        map[int64]sim.Time{},
+	}
+}
+
+// Replay feeds an entire recorded log through the checker and returns
+// the checker for chaining.
+func (c *Checker) Replay(l *trace.Log) *Checker {
+	for _, e := range l.Events() {
+		c.Observe(e)
+	}
+	return c
+}
+
+func (c *Checker) violatef(format string, args ...any) {
+	if len(c.violations) < maxViolations {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *Checker) slot(s int) *slotState {
+	st, ok := c.slots[s]
+	if !ok {
+		st = &slotState{}
+		c.slots[s] = st
+	}
+	return st
+}
+
+// Observe implements the obs.Sink shape: it advances the per-slot state
+// machines and records violations instead of failing, so it can run
+// inside a live simulation.
+func (c *Checker) Observe(e trace.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events++
+	switch e.Kind {
+	case trace.KindArrival:
+		c.arrived[e.AppID] = e.At
+	case trace.KindRetire:
+		if _, ok := c.arrived[e.AppID]; !ok {
+			c.violatef("retire before arrival: %v", e)
+		} else if e.At < c.arrived[e.AppID] {
+			c.violatef("retire at %v precedes arrival at %v: %v", e.At, c.arrived[e.AppID], e)
+		}
+		c.retired[e.AppID] = e.At
+	case trace.KindReconfigStart:
+		s := c.slot(e.Slot)
+		if s.offline {
+			c.violatef("reconfig start on offline slot: %v", e)
+		}
+		if s.reconfiguring || s.loaded || s.itemOpen {
+			c.violatef("reconfig start on busy slot: %v", e)
+		}
+		s.reconfiguring = true
+	case trace.KindReconfigDone:
+		s := c.slot(e.Slot)
+		if !s.reconfiguring {
+			c.violatef("reconfig done without start: %v", e)
+		}
+		s.reconfiguring = false
+		s.loaded = true
+		if gap := c.MinReconfigGap; gap > 0 && c.seenDone && e.At.Sub(c.lastDone) < gap {
+			c.violatef("reconfigurations completed %v apart (< %v): CAP not serialized: %v", e.At.Sub(c.lastDone), gap, e)
+		}
+		c.lastDone, c.seenDone = e.At, true
+	case trace.KindRetry:
+		if s := c.slot(e.Slot); !s.reconfiguring {
+			c.violatef("retry on slot not reconfiguring: %v", e)
+		}
+	case trace.KindFault:
+		s := c.slot(e.Slot)
+		if !s.reconfiguring {
+			c.violatef("fault on slot not reconfiguring: %v", e)
+		}
+		s.reconfiguring = false
+	case trace.KindItemStart:
+		s := c.slot(e.Slot)
+		if s.offline {
+			c.violatef("item start on offline slot: %v", e)
+		}
+		if !s.loaded {
+			c.violatef("item start on unconfigured slot: %v", e)
+		}
+		if s.itemOpen {
+			c.violatef("two items in flight on slot %d: %v", e.Slot, e)
+		}
+		if _, ok := c.arrived[e.AppID]; !ok {
+			c.violatef("item start before arrival: %v", e)
+		}
+		s.itemOpen = true
+		s.openItem = itemKey{e.AppID, e.Task, e.Item}
+		c.started[s.openItem]++
+	case trace.KindItemDone:
+		s := c.slot(e.Slot)
+		if !s.itemOpen {
+			c.violatef("item done without start: %v", e)
+		} else if (itemKey{e.AppID, e.Task, e.Item}) != s.openItem {
+			c.violatef("item done %v does not match open item %+v", e, s.openItem)
+		}
+		s.itemOpen = false
+		c.finished[itemKey{e.AppID, e.Task, e.Item}]++
+	case trace.KindTaskDone:
+		s := c.slot(e.Slot)
+		if s.itemOpen {
+			c.violatef("task done with item in flight: %v", e)
+		}
+		s.loaded = false
+	case trace.KindPreemptRequest:
+		if s := c.slot(e.Slot); !s.loaded && !s.reconfiguring {
+			c.violatef("preempt request on empty slot: %v", e)
+		}
+	case trace.KindPreempt:
+		s := c.slot(e.Slot)
+		if s.itemOpen {
+			c.violatef("preemption mid-item (not at a batch boundary): %v", e)
+		}
+		if !s.loaded {
+			c.violatef("preemption of unloaded slot: %v", e)
+		}
+		s.loaded = false
+	case trace.KindCheckpoint:
+		// The checkpoint study's mid-item path: the in-flight item is
+		// aborted with state capture and resumes later.
+		s := c.slot(e.Slot)
+		if !s.itemOpen {
+			c.violatef("checkpoint with no item in flight: %v", e)
+		} else {
+			c.aborted[s.openItem]++
+		}
+		s.itemOpen = false
+		s.loaded = false
+	case trace.KindWatchdog:
+		s := c.slot(e.Slot)
+		if !s.itemOpen {
+			c.violatef("watchdog kill with no item in flight: %v", e)
+		} else {
+			c.aborted[s.openItem]++
+		}
+		s.itemOpen = false
+		s.loaded = false
+	case trace.KindQuarantine:
+		if s := c.slot(e.Slot); s.itemOpen {
+			c.violatef("quarantine with item in flight: %v", e)
+		}
+	case trace.KindSlotOffline:
+		// Permanent failure or quarantine. A running occupant is killed
+		// without its own event; account its open item as aborted.
+		s := c.slot(e.Slot)
+		if s.itemOpen {
+			c.aborted[s.openItem]++
+		}
+		*s = slotState{offline: true}
+	}
+}
+
+// Events reports the number of events observed.
+func (c *Checker) Events() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events
+}
+
+// Violations returns the violations recorded so far (capped).
+func (c *Checker) Violations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.violations...)
+}
+
+// Err returns nil when no invariant has been violated so far, or an
+// error describing the first violations.
+func (c *Checker) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.errLocked()
+}
+
+func (c *Checker) errLocked() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("schedtest: %d invariant violation(s), first: %s", len(c.violations), c.violations[0])
+}
+
+// Finish runs the end-of-run checks for a completed simulation: item
+// conservation (every start matched by exactly one finish or an abort,
+// every finish unique), and arrival/retire bookkeeping against the
+// expected number of retired applications. It returns the combined
+// verdict including any streaming violations.
+func (c *Checker) Finish(results int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, n := range c.finished {
+		if n != 1 {
+			c.violatef("item %+v finished %d times", k, n)
+		}
+		if c.started[k] == 0 {
+			c.violatef("item %+v finished without start", k)
+		}
+	}
+	for k, n := range c.started {
+		if want := c.finished[k] + c.aborted[k]; n != want {
+			c.violatef("item %+v started %d times, finished %d + aborted %d", k, n, c.finished[k], c.aborted[k])
+		}
+	}
+	if len(c.arrived) != results || len(c.retired) != results {
+		c.violatef("%d arrivals, %d retires, %d results", len(c.arrived), len(c.retired), results)
+	}
+	for id, at := range c.retired {
+		if at < c.arrived[id] {
+			c.violatef("app %d retired (%v) before arrival (%v)", id, at, c.arrived[id])
+		}
+	}
+	return c.errLocked()
+}
+
+// CheckTokenInvariants verifies the PREMA token-pool properties on a set
+// of pending applications immediately after TokenPool.Accumulate:
+//
+//   - non-negativity: no application ever holds negative tokens;
+//   - threshold consistency: with threshold defined as the maximum token
+//     count floored to a priority level, exactly the applications at or
+//     above the threshold are marked candidates;
+//   - the candidate pool is never empty while applications wait.
+func CheckTokenInvariants(apps []*sched.App) error {
+	if len(apps) == 0 {
+		return nil
+	}
+	threshold := 0.0
+	for _, a := range apps {
+		if a.Tokens < 0 {
+			return fmt.Errorf("schedtest: app %d holds negative tokens %v", a.ID, a.Tokens)
+		}
+		if math.IsNaN(a.Tokens) || math.IsInf(a.Tokens, 0) {
+			return fmt.Errorf("schedtest: app %d holds non-finite tokens %v", a.ID, a.Tokens)
+		}
+		if f := floorPriority(a.Tokens); f > threshold {
+			threshold = f
+		}
+	}
+	candidates := 0
+	for _, a := range apps {
+		want := a.Tokens >= threshold
+		if a.Candidate != want {
+			return fmt.Errorf("schedtest: app %d candidate=%v, want %v (tokens %v, threshold %v)",
+				a.ID, a.Candidate, want, a.Tokens, threshold)
+		}
+		if a.Candidate {
+			candidates++
+		}
+	}
+	if candidates == 0 {
+		return fmt.Errorf("schedtest: empty candidate pool with %d waiting applications", len(apps))
+	}
+	return nil
+}
+
+// floorPriority mirrors the unexported sched helper: tokens rounded down
+// to the nearest priority level, zero below the lowest.
+func floorPriority(tokens float64) float64 {
+	out := 0.0
+	for _, l := range sched.PriorityLevels {
+		if tokens >= float64(l) {
+			out = float64(l)
+		}
+	}
+	return out
+}

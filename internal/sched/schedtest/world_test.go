@@ -1,0 +1,123 @@
+package schedtest
+
+import (
+	"testing"
+
+	"nimblock/internal/sched"
+	"nimblock/internal/sim"
+	"nimblock/internal/taskgraph"
+)
+
+// chainGraph builds a two-task chain for driving the fake world.
+func chainGraph(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	b := taskgraph.NewBuilder("chain")
+	b.AddTask("t0", 10*sim.Millisecond)
+	b.AddTask("t1", 10*sim.Millisecond)
+	b.AddEdge(0, 1)
+	return b.MustBuild()
+}
+
+func TestWorldImplementsSchedWorld(t *testing.T) {
+	var _ sched.World = NewWorld(1)
+}
+
+func TestWorldAccessors(t *testing.T) {
+	w := NewWorld(3)
+	if w.Now() != 0 || w.NumSlots() != 3 || w.UsableSlots() != 3 || w.CAPBusy() {
+		t.Fatalf("fresh world state wrong: %+v", w)
+	}
+	w.Clock = sim.Time(42)
+	w.Busy = true
+	if w.Now() != 42 || !w.CAPBusy() {
+		t.Fatal("clock/CAP not scriptable")
+	}
+	w.Offline[2] = true
+	if w.UsableSlots() != 2 || w.SlotUsable(2) || !w.SlotUsable(0) {
+		t.Fatal("offline slot still usable")
+	}
+	if free := w.FreeSlots(); len(free) != 2 || free[0] != 0 || free[1] != 1 {
+		t.Fatalf("free slots %v, want [0 1]", free)
+	}
+	a := NewApp(t, 1, chainGraph(t), 2, 3, 0)
+	w.AppList = []*sched.App{a}
+	if len(w.Apps()) != 1 {
+		t.Fatal("apps not exposed")
+	}
+	if w.SlotWaiting(0) || w.PreemptRequested(0) {
+		t.Fatal("fresh slot flags set")
+	}
+	w.Waiting[0] = true
+	if !w.SlotWaiting(0) {
+		t.Fatal("waiting flag not exposed")
+	}
+	if err := w.RequestPreempt(1); err != nil {
+		t.Fatal(err)
+	}
+	if !w.PreemptRequested(1) || len(w.Preempts) != 1 || w.Preempts[0] != 1 {
+		t.Fatal("preempt request not recorded")
+	}
+}
+
+func TestWorldReconfigureAndFinish(t *testing.T) {
+	w := NewWorld(2)
+	a := NewApp(t, 7, chainGraph(t), 2, 3, 0)
+
+	if err := w.Reconfigure(0, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Reconfigs) != 1 || w.Reconfigs[0] != "chain#7/t0@s0" {
+		t.Fatalf("reconfig record %v", w.Reconfigs)
+	}
+	if got, task, ok := w.SlotOccupant(0); !ok || got != a || task != 0 {
+		t.Fatal("occupant not recorded")
+	}
+	if _, _, ok := w.SlotOccupant(1); ok {
+		t.Fatal("phantom occupant")
+	}
+	// Occupied slot, offline slot, and a dependency-blocked task all refuse.
+	if err := w.Reconfigure(0, a, 0); err == nil {
+		t.Fatal("occupied slot accepted")
+	}
+	w.Offline[1] = true
+	if err := w.Reconfigure(1, a, 1); err == nil {
+		t.Fatal("offline slot accepted")
+	}
+	delete(w.Offline, 1)
+	// A task whose predecessor is still idle is not configurable.
+	b := NewApp(t, 8, chainGraph(t), 2, 3, 0)
+	if err := w.Reconfigure(1, b, 1); err == nil {
+		t.Fatal("dependency-blocked task accepted")
+	}
+
+	w.ActivateConfigured(t)
+	if a.TaskState(0) != sched.TaskActive {
+		t.Fatal("occupant not activated")
+	}
+	w.ActivateConfigured(t) // idempotent on active occupants
+	w.FinishTask(t, 0)
+	if _, _, ok := w.SlotOccupant(0); ok {
+		t.Fatal("slot not freed")
+	}
+
+	// Second task is now configurable; FinishTask activates it itself.
+	if err := w.Reconfigure(1, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	w.FinishTask(t, 1)
+	if !a.Done() {
+		t.Fatal("app not done after both tasks finished")
+	}
+}
+
+func TestWorldOccupy(t *testing.T) {
+	w := NewWorld(1)
+	a := NewApp(t, 3, chainGraph(t), 1, 1, 0)
+	w.Occupy(t, 0, a, 0)
+	if a.TaskState(0) != sched.TaskActive {
+		t.Fatal("occupy did not activate the task")
+	}
+	if _, task, ok := w.SlotOccupant(0); !ok || task != 0 {
+		t.Fatal("occupy did not seat the task")
+	}
+}

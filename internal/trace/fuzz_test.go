@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"nimblock/internal/sim"
+)
+
+// FuzzEventRoundTrip asserts decode(encode(e)) == e for every valid
+// kind — including any kind added later, via the kindCount sentinel —
+// and that encoding an out-of-range kind produces a document the parser
+// rejects rather than silently corrupts.
+func FuzzEventRoundTrip(f *testing.F) {
+	for k := 0; k < NumKinds(); k++ {
+		f.Add(int64(k*1000), uint8(k), "app", int64(k), k, k%4, k*2)
+	}
+	f.Add(int64(-5), uint8(200), "", int64(-1), -1, -1, -1)
+	f.Fuzz(func(t *testing.T, at int64, kind uint8, app string, appID int64, task, slot, item int) {
+		e := Event{At: sim.Time(at), Kind: Kind(kind), App: app, AppID: appID, Task: task, Slot: slot, Item: item}
+		data, err := json.Marshal(EventJSON(e))
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := ParseEventJSON(data)
+		if int(kind) >= NumKinds() {
+			if err == nil {
+				t.Fatalf("unknown kind %d accepted: %s", kind, data)
+			}
+			if !strings.Contains(err.Error(), "unknown kind") {
+				t.Fatalf("unknown kind %d rejected with unexpected error: %v", kind, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("decode %s: %v", data, err)
+		}
+		if !utf8.ValidString(app) {
+			// JSON cannot carry invalid UTF-8: the encoder substitutes
+			// U+FFFD. Application names are identifiers in practice, so
+			// only require that the substitution is clean and everything
+			// else round-trips exactly.
+			if !utf8.ValidString(got.App) {
+				t.Fatalf("sanitized app name still invalid: %q", got.App)
+			}
+			got.App, e.App = "", ""
+		}
+		if got != e {
+			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v\n via %s", e, got, data)
+		}
+	})
+}
+
+// The parser rejects structurally invalid documents outright.
+func TestParseEventJSONRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{``, `{`, `[]`, `{"kind": 3}`, `{"kind":"no-such-kind"}`} {
+		if _, err := ParseEventJSON([]byte(bad)); err == nil {
+			t.Fatalf("parser accepted %q", bad)
+		}
+	}
+}

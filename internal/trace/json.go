@@ -39,6 +39,27 @@ func (l *Log) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
+// EventJSON returns the interchange form of one event — the same schema
+// MarshalJSON uses for whole logs — for streaming exports that emit one
+// object per event (e.g. the obs JSONL sink).
+func EventJSON(e Event) any {
+	return jsonEvent{At: e.At, Kind: e.Kind.String(), App: e.App, AppID: e.AppID, Task: e.Task, Slot: e.Slot, Item: e.Item}
+}
+
+// ParseEventJSON decodes one interchange object produced by EventJSON,
+// rejecting unknown kinds.
+func ParseEventJSON(data []byte) (Event, error) {
+	var raw jsonEvent
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return Event{}, fmt.Errorf("trace: parsing event: %w", err)
+	}
+	kind, ok := kindNames[raw.Kind]
+	if !ok {
+		return Event{}, fmt.Errorf("trace: unknown kind %q", raw.Kind)
+	}
+	return Event{At: raw.At, Kind: kind, App: raw.App, AppID: raw.AppID, Task: raw.Task, Slot: raw.Slot, Item: raw.Item}, nil
+}
+
 // ParseJSON imports a log previously exported with MarshalJSON.
 func ParseJSON(data []byte) (*Log, error) {
 	var raw []jsonEvent

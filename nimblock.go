@@ -139,6 +139,10 @@ type Config struct {
 	// Horizon bounds virtual time (default ~55 hours); Run fails if
 	// applications are still pending then.
 	Horizon time.Duration
+	// Observer, when non-nil, receives every trace event live as the
+	// simulation emits it — independent of EnableTrace. See the Observer
+	// interface for the contract.
+	Observer Observer
 }
 
 // DefaultConfig mirrors the paper's evaluation platform with the full
@@ -324,6 +328,7 @@ func NewSystem(cfg Config) (*System, error) {
 		hcfg.Horizon = sim.Time(sim.FromStd(cfg.Horizon))
 	}
 	hcfg.EnableTrace = cfg.EnableTrace
+	hcfg.Observer = wrapObserver(cfg.Observer)
 	hcfg.RelocatableBitstreams = cfg.RelocatableBitstreams
 	switch cfg.Interconnect {
 	case "", "folded":

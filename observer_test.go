@@ -1,0 +1,94 @@
+package nimblock_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nimblock"
+)
+
+// countingObserver tallies events by kind; shared across boards in the
+// cluster test, so it locks.
+type countingObserver struct {
+	mu    sync.Mutex
+	kinds map[string]int
+}
+
+func (c *countingObserver) Observe(e nimblock.TraceEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.kinds == nil {
+		c.kinds = map[string]int{}
+	}
+	c.kinds[e.Kind]++
+}
+
+func (c *countingObserver) count(kind string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.kinds[kind]
+}
+
+func TestSystemObserverSeesLifecycle(t *testing.T) {
+	o := &countingObserver{}
+	cfg := nimblock.DefaultConfig()
+	cfg.Observer = o
+	sys, err := nimblock.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := nimblock.Benchmark(nimblock.LeNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Submit(app, 3, nimblock.PriorityMedium, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if o.count("arrival") != 1 || o.count("retire") != 1 {
+		t.Fatalf("lifecycle events wrong: %v", o.kinds)
+	}
+	if o.count("item-start") == 0 || o.count("reconfig-done") == 0 {
+		t.Fatalf("execution events missing: %v", o.kinds)
+	}
+	// Tracing was off: the live stream is independent of the stored log.
+	if sys.TraceDump() != "" {
+		t.Fatal("trace log populated without EnableTrace")
+	}
+}
+
+func TestObserverFuncAndClusterFanIn(t *testing.T) {
+	var mu sync.Mutex
+	events := 0
+	ccfg := nimblock.DefaultClusterConfig()
+	ccfg.Observer = nimblock.ObserverFunc(func(e nimblock.TraceEvent) {
+		mu.Lock()
+		events++
+		mu.Unlock()
+		if e.At < 0 {
+			t.Errorf("negative event time %v", e.At)
+		}
+	})
+	cl, err := nimblock.NewCluster(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := nimblock.Benchmark(nimblock.AlexNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := cl.Submit(app, 2, nimblock.PriorityLow, time.Duration(i)*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("cluster observer saw nothing")
+	}
+}
