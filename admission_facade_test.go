@@ -1,0 +1,136 @@
+package nimblock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClusterAdmissionFacade(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.Boards = 1
+	cfg.Admission = &AdmissionConfig{Capacity: 2}
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Benchmark("LeNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := cl.Submit(app, 2, 3, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done, shed int
+	for _, r := range res {
+		if r.Rejected {
+			shed++
+			if r.Board != -1 || r.RejectReason != "shed" {
+				t.Fatalf("bad rejection %+v", r)
+			}
+		} else {
+			done++
+			if r.Response <= 0 {
+				t.Fatalf("bad completion %+v", r)
+			}
+		}
+	}
+	if done != 2 || shed != 3 {
+		t.Fatalf("done %d shed %d", done, shed)
+	}
+	s := cl.AdmissionStats()
+	if s.Offered != 5 || s.Admitted != 2 || s.Shed != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestClusterSubmitWithSLO(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.Boards = 1
+	cfg.Admission = &AdmissionConfig{}
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Benchmark("LeNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SubmitWith(app, 2, 3, 0, SubmitOptions{SLO: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SubmitWith(app, 2, 3, 0, SubmitOptions{SLO: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Rejected || res[0].RejectReason != "deadline" {
+		t.Fatalf("impossible SLO admitted: %+v", res[0])
+	}
+	if res[1].Rejected {
+		t.Fatalf("feasible SLO rejected: %+v", res[1])
+	}
+}
+
+func TestPlatformAdmissionFacade(t *testing.T) {
+	cfg := DefaultServerlessConfig()
+	cfg.Boards = 1
+	cfg.Admission = &AdmissionConfig{Quotas: map[string]int{"capped": 1}}
+	pl, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Benchmark("LeNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.RegisterWith("f", app, 3, FunctionOptions{Tenant: "capped"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := pl.Invoke("f", 2, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := pl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done, quota int
+	for _, r := range res {
+		if r.Rejected {
+			if r.RejectReason != "quota" || r.Board != -1 || r.Latency != 0 {
+				t.Fatalf("bad rejection %+v", r)
+			}
+			quota++
+		} else {
+			done++
+		}
+	}
+	if done != 1 || quota != 2 {
+		t.Fatalf("done %d quota %d", done, quota)
+	}
+	if st := pl.Stats(); st.Rejections != 2 || st.Invocations != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if s := pl.AdmissionStats(); s.RejectedQuota != 2 || s.Completed != 1 {
+		t.Fatalf("admission stats %+v", s)
+	}
+}
+
+func TestAdmissionDisabledFacade(t *testing.T) {
+	cl, err := NewCluster(DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cl.AdmissionStats(); s != (AdmissionStats{}) {
+		t.Fatalf("stats without admission: %+v", s)
+	}
+}

@@ -38,6 +38,9 @@ type ClusterConfig struct {
 	Dispatch DispatchPolicy
 	// Seed drives DispatchRandom.
 	Seed int64
+	// Admission, when non-nil, bounds what the cluster accepts; rejected
+	// submissions come back from Run as Rejected results, not errors.
+	Admission *AdmissionConfig
 }
 
 // DefaultClusterConfig is a two-board, least-loaded Nimblock cluster.
@@ -50,9 +53,14 @@ func DefaultClusterConfig() ClusterConfig {
 }
 
 // ClusterResult is a Result annotated with the board that served it.
+// When Rejected is set the submission was turned away at admission:
+// Board is -1, RejectReason names the outcome ("shed", "deadline",
+// "quota"), and only the identifying fields are meaningful.
 type ClusterResult struct {
 	Result
-	Board int
+	Board        int
+	Rejected     bool
+	RejectReason string
 }
 
 // Cluster is a multi-FPGA system: Submit applications, then Run.
@@ -108,10 +116,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	cl, err := cluster.New(eng, cluster.Config{
-		Boards:   cfg.Boards,
-		HV:       hcfg,
-		Dispatch: d,
-		Seed:     cfg.Seed,
+		Boards:    cfg.Boards,
+		HV:        hcfg,
+		Dispatch:  d,
+		Seed:      cfg.Seed,
+		Admission: cfg.Admission.internal(),
 	}, mk)
 	if err != nil {
 		return nil, err
@@ -125,10 +134,24 @@ func (c *Cluster) Boards() int { return c.cl.Boards() }
 // Submit schedules an application arrival; the dispatcher places it on a
 // board when it arrives.
 func (c *Cluster) Submit(app *Application, batch, priority int, arrival time.Duration) error {
+	return c.SubmitWith(app, batch, priority, arrival, SubmitOptions{})
+}
+
+// SubmitWith is Submit with admission attributes (tenant, SLO).
+func (c *Cluster) SubmitWith(app *Application, batch, priority int, arrival time.Duration, opts SubmitOptions) error {
 	if app == nil {
 		return fmt.Errorf("nimblock: nil application")
 	}
-	return c.cl.Submit(app.graph, batch, priority, sim.Time(sim.FromStd(arrival)))
+	return c.cl.SubmitWith(app.graph, batch, priority, sim.Time(sim.FromStd(arrival)), cluster.SubmitOptions{
+		Tenant: opts.Tenant,
+		SLO:    opts.sloSim(),
+	})
+}
+
+// AdmissionStats reports admission counters (zero when admission is
+// disabled).
+func (c *Cluster) AdmissionStats() AdmissionStats {
+	return admissionStats(c.cl.AdmissionStats())
 }
 
 // Run executes the simulation until every application retires.
@@ -155,7 +178,9 @@ func (c *Cluster) Run() ([]ClusterResult, error) {
 				Preemptions:      r.Preemptions,
 				Reconfigurations: r.Reconfigurations,
 			},
-			Board: r.Board,
+			Board:        r.Board,
+			Rejected:     r.Rejected,
+			RejectReason: r.RejectReason,
 		}
 	}
 	return out, nil

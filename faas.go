@@ -25,6 +25,9 @@ type ServerlessConfig struct {
 	// ScaleUp is the per-board backlog beyond which the dispatcher pays
 	// a cold start to open another board (default 4).
 	ScaleUp int
+	// Admission, when non-nil, bounds accepted invocations; rejections
+	// come back from Run as Rejected results, not errors.
+	Admission *AdmissionConfig
 }
 
 // DefaultServerlessConfig returns a 4-board platform.
@@ -49,13 +52,28 @@ type InvocationResult struct {
 	Latency time.Duration
 	// Items echoes the invocation's input count.
 	Items int
+	// Rejected marks an invocation turned away at admission: Board is
+	// -1, Latency 0, and RejectReason names the outcome.
+	Rejected     bool
+	RejectReason string
 }
 
-// PlatformStats aggregates invocation counters.
+// PlatformStats aggregates invocation counters. Invocations counts
+// accepted dispatches; Rejections counts admission rejections.
 type PlatformStats struct {
 	Invocations int
 	ColdStarts  int
 	WarmStarts  int
+	Rejections  int
+}
+
+// FunctionOptions carries a function's admission attributes.
+type FunctionOptions struct {
+	// Tenant attributes the function's invocations for quotas and fair
+	// sharing.
+	Tenant string
+	// SLO is the per-invocation latency budget for deadline admission.
+	SLO time.Duration
 }
 
 // Platform is the serverless front-end: Register functions, Invoke them,
@@ -98,6 +116,7 @@ func NewPlatform(cfg ServerlessConfig) (*Platform, error) {
 		HV:        hcfg,
 		ColdStart: sim.FromStd(cfg.ColdStart),
 		ScaleUp:   cfg.ScaleUp,
+		Admission: cfg.Admission.internal(),
 	}, func() sched.Scheduler {
 		pol, err := newPolicy(cfg.Config, hcfg)
 		if err != nil {
@@ -113,10 +132,26 @@ func NewPlatform(cfg ServerlessConfig) (*Platform, error) {
 
 // Register adds a function backed by an application task-graph.
 func (pl *Platform) Register(name string, app *Application, priority int) error {
+	return pl.RegisterWith(name, app, priority, FunctionOptions{})
+}
+
+// RegisterWith is Register with admission attributes (tenant, SLO).
+func (pl *Platform) RegisterWith(name string, app *Application, priority int, opts FunctionOptions) error {
 	if app == nil {
 		return fmt.Errorf("nimblock: nil application for function %q", name)
 	}
-	return pl.p.Register(name, faas.Function{Graph: app.graph, Priority: priority})
+	return pl.p.Register(name, faas.Function{
+		Graph:    app.graph,
+		Priority: priority,
+		Tenant:   opts.Tenant,
+		SLO:      sim.FromStd(opts.SLO),
+	})
+}
+
+// AdmissionStats reports admission counters (zero when admission is
+// disabled).
+func (pl *Platform) AdmissionStats() AdmissionStats {
+	return admissionStats(pl.p.AdmissionStats())
 }
 
 // Invoke schedules an invocation with the given number of independent
@@ -128,7 +163,7 @@ func (pl *Platform) Invoke(function string, items int, at time.Duration) error {
 // Stats returns invocation counters.
 func (pl *Platform) Stats() PlatformStats {
 	s := pl.p.Stats()
-	return PlatformStats{Invocations: s.Invocations, ColdStarts: s.ColdStarts, WarmStarts: s.WarmStarts}
+	return PlatformStats{Invocations: s.Invocations, ColdStarts: s.ColdStarts, WarmStarts: s.WarmStarts, Rejections: s.Rejections}
 }
 
 // Run completes every invocation and returns results in invocation order.
@@ -140,12 +175,14 @@ func (pl *Platform) Run() ([]InvocationResult, error) {
 	out := make([]InvocationResult, len(raw))
 	for i, r := range raw {
 		out[i] = InvocationResult{
-			Function:  r.Function,
-			Board:     r.Board,
-			Cold:      r.Cold,
-			InvokedAt: time.Duration(r.InvokedAt) * time.Microsecond,
-			Latency:   r.Latency.Std(),
-			Items:     r.Items,
+			Function:     r.Function,
+			Board:        r.Board,
+			Cold:         r.Cold,
+			InvokedAt:    time.Duration(r.InvokedAt) * time.Microsecond,
+			Latency:      r.Latency.Std(),
+			Items:        r.Items,
+			Rejected:     r.Rejected,
+			RejectReason: r.RejectReason,
 		}
 	}
 	return out, nil

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"nimblock/internal/admit"
+	"nimblock/internal/apps"
+	"nimblock/internal/hv"
+	"nimblock/internal/sim"
+)
+
+// TestDispatchErrorSurfacedNotPanic pins the bugfix for the old panic on
+// a dispatch-time submit failure: an invalid submission (batch 0 fails
+// hypervisor-side validation at dispatch) must come back as an error
+// from Run, leaving the process alive.
+func TestDispatchErrorSurfacedNotPanic(t *testing.T) {
+	_, c := newCluster(t, 2, RoundRobin)
+	if err := c.Submit(apps.MustGraph(apps.LeNet), 0, 3, 0); err != nil {
+		t.Fatalf("Submit rejected eagerly: %v", err)
+	}
+	if err := c.Submit(apps.MustGraph(apps.LeNet), 2, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Run()
+	if err == nil {
+		t.Fatal("dispatch failure not surfaced from Run")
+	}
+	if !strings.Contains(err.Error(), "batch 0") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestSameInstantArrivalsSpread pins the same-instant dispatch fix:
+// simultaneous submissions must see each other's placement, so
+// LeastLoaded/LeastPending spread a burst instead of piling it on one
+// board.
+func TestSameInstantArrivalsSpread(t *testing.T) {
+	for _, d := range []Dispatch{LeastLoaded, LeastPending} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			_, c := newCluster(t, 2, d)
+			for i := 0; i < 4; i++ {
+				if err := c.Submit(apps.MustGraph(apps.LeNet), 2, 3, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			perBoard := map[int]int{}
+			for _, r := range res {
+				perBoard[r.Board]++
+			}
+			if perBoard[0] != 2 || perBoard[1] != 2 {
+				t.Fatalf("burst not spread: %v", perBoard)
+			}
+		})
+	}
+}
+
+// TestLoadTieBreaksToLowestBoard pins deterministic tie-breaking: on a
+// fully idle cluster every load-aware policy places the first arrival on
+// board 0.
+func TestLoadTieBreaksToLowestBoard(t *testing.T) {
+	for _, d := range []Dispatch{LeastLoaded, LeastPending} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			_, c := newCluster(t, 4, d)
+			if err := c.Submit(apps.MustGraph(apps.LeNet), 2, 3, 0); err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res[0].Board != 0 {
+				t.Fatalf("idle tie broke to board %d, want 0", res[0].Board)
+			}
+		})
+	}
+}
+
+func admCluster(t *testing.T, boards int, adm admit.Config) *Cluster {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := Config{Boards: boards, HV: hv.DefaultConfig(), Dispatch: LeastLoaded, Admission: &adm}
+	c, err := New(eng, cfg, mkNimblock(cfg.HV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestAdmissionShedsBeyondCapacity: a same-instant burst past Capacity
+// sheds the excess, returned as Rejected results in submission order.
+func TestAdmissionShedsBeyondCapacity(t *testing.T) {
+	c := admCluster(t, 1, admit.Config{Capacity: 2})
+	for i := 0; i < 5; i++ {
+		if err := c.Submit(apps.MustGraph(apps.LeNet), 2, 3, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("%d results", len(res))
+	}
+	var completed, rejected int
+	for i, r := range res {
+		if r.Rejected {
+			rejected++
+			if r.Board != -1 || r.RejectReason != "shed" || r.App != apps.LeNet {
+				t.Fatalf("result %d: %+v", i, r)
+			}
+		} else {
+			completed++
+			if r.Response <= 0 {
+				t.Fatalf("admitted result %d has no response: %+v", i, r)
+			}
+		}
+	}
+	if completed != 2 || rejected != 3 {
+		t.Fatalf("completed %d rejected %d", completed, rejected)
+	}
+	s := c.AdmissionStats()
+	if s.Offered != 5 || s.Admitted != 2 || s.Shed != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestAdmissionQueueDrainsOnRetire: with a dispatch window of one, work
+// queues at admission and is promoted as each app retires — everything
+// still completes.
+func TestAdmissionQueueDrainsOnRetire(t *testing.T) {
+	c := admCluster(t, 1, admit.Config{Capacity: 4, MaxInFlight: 1})
+	for i := 0; i < 4; i++ {
+		if err := c.Submit(apps.MustGraph(apps.LeNet), 2, 3, sim.Time(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Rejected || r.Response <= 0 {
+			t.Fatalf("result %d not completed: %+v", i, r)
+		}
+	}
+	s := c.AdmissionStats()
+	if s.Completed != 4 || s.PeakInFlight != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestAdmissionEvictsLowPriority: a high-priority arrival displaces a
+// queued low-priority submission, which is reported shed.
+func TestAdmissionEvictsLowPriority(t *testing.T) {
+	c := admCluster(t, 1, admit.Config{Capacity: 2, MaxInFlight: 1})
+	// idx 0 dispatches (window 1); idx 1 waits; idx 2 evicts it.
+	if err := c.Submit(apps.MustGraph(apps.LeNet), 2, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(apps.MustGraph(apps.LeNet), 2, 1, sim.Time(sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(apps.MustGraph(apps.LeNet), 2, 7, sim.Time(2*sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].Rejected != true || res[1].RejectReason != "shed" || res[1].Priority != 1 {
+		t.Fatalf("low-priority waiter not evicted: %+v", res[1])
+	}
+	if res[0].Rejected || res[2].Rejected {
+		t.Fatalf("wrong victims: %+v / %+v", res[0], res[2])
+	}
+}
+
+// TestAdmissionDeadlineReject: an unreachable SLO is rejected at
+// arrival, and a reachable one on an idle cluster is admitted.
+func TestAdmissionDeadlineReject(t *testing.T) {
+	c := admCluster(t, 1, admit.Config{})
+	g := apps.MustGraph(apps.LeNet)
+	if err := c.SubmitWith(g, 2, 3, 0, SubmitOptions{SLO: sim.Duration(sim.Microsecond)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitWith(g, 2, 3, 0, SubmitOptions{SLO: sim.Duration(time10s())}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Rejected || res[0].RejectReason != "deadline" {
+		t.Fatalf("impossible SLO admitted: %+v", res[0])
+	}
+	if res[1].Rejected {
+		t.Fatalf("feasible SLO rejected: %+v", res[1])
+	}
+	if s := c.AdmissionStats(); s.RejectedDeadline != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func time10s() sim.Duration { return 10 * sim.Second }
+
+// TestAdmissionTenantQuota: a hard per-tenant cap rejects the tenant's
+// excess while other tenants are untouched.
+func TestAdmissionTenantQuota(t *testing.T) {
+	c := admCluster(t, 1, admit.Config{Quotas: map[string]int{"noisy": 1}})
+	g := apps.MustGraph(apps.LeNet)
+	if err := c.SubmitWith(g, 2, 3, 0, SubmitOptions{Tenant: "noisy"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitWith(g, 2, 3, 0, SubmitOptions{Tenant: "noisy"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitWith(g, 2, 3, 0, SubmitOptions{Tenant: "calm"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Rejected || res[2].Rejected {
+		t.Fatalf("wrong rejections: %+v / %+v", res[0], res[2])
+	}
+	if !res[1].Rejected || res[1].RejectReason != "quota" {
+		t.Fatalf("quota not enforced: %+v", res[1])
+	}
+}
+
+// TestAdmissionDisabledUnchanged: a nil Admission config admits
+// everything, byte-identical to a cluster built before the admission
+// layer existed.
+func TestAdmissionDisabledUnchanged(t *testing.T) {
+	_, c := newCluster(t, 2, RoundRobin)
+	submitMix(t, c, 6)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Rejected {
+			t.Fatalf("result %d rejected without admission: %+v", i, r)
+		}
+	}
+	if s := c.AdmissionStats(); s != (admit.Stats{}) {
+		t.Fatalf("stats without controller: %+v", s)
+	}
+}
+
+// TestAdmissionInvalidConfig: controller validation surfaces from New.
+func TestAdmissionInvalidConfig(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := Config{Boards: 1, HV: hv.DefaultConfig(), Admission: &admit.Config{Capacity: -1}}
+	if _, err := New(eng, cfg, mkNimblock(cfg.HV)); err == nil {
+		t.Fatal("invalid admission config accepted")
+	}
+}

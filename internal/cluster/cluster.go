@@ -8,12 +8,20 @@
 // advancing on one virtual clock. Applications are placed on a board at
 // arrival time by a pluggable dispatch policy; within a board, the
 // configured scheduling algorithm takes over.
+//
+// An optional admission controller (internal/admit) sits in front of
+// dispatch: arrivals it rejects never reach a board and come back from
+// Run as Rejected results instead of errors, so overload degrades the
+// excess traffic rather than the whole run.
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
+	"nimblock/internal/admit"
 	"nimblock/internal/hv"
 	"nimblock/internal/sched"
 	"nimblock/internal/sim"
@@ -66,12 +74,43 @@ type Config struct {
 	Dispatch Dispatch
 	// Seed drives RandomBoard placement.
 	Seed int64
+	// Admission, when non-nil, bounds what the cluster accepts: arrivals
+	// the controller rejects are reported as Rejected results from Run
+	// instead of being dispatched.
+	Admission *admit.Config
 }
 
-// Result is a per-application outcome annotated with its board.
+// Result is a per-application outcome annotated with its board. When
+// Rejected is set the submission never reached a board: Board is -1,
+// RejectReason names the admission outcome ("shed", "deadline",
+// "quota"), and only the identifying Result fields (App, Batch,
+// Priority, Arrival) are meaningful.
 type Result struct {
 	hv.Result
-	Board int
+	Board        int
+	Rejected     bool
+	RejectReason string
+}
+
+// SubmitOptions carries the admission-relevant attributes of one
+// submission. The zero value is a default-tenant submission with no
+// explicit SLO.
+type SubmitOptions struct {
+	// Tenant attributes the submission for quotas and fair sharing.
+	Tenant string
+	// SLO is the latency budget for deadline admission; 0 falls back to
+	// the controller's DeadlineFactor (or no deadline test).
+	SLO sim.Duration
+}
+
+// submission is the cluster-side record of one Submit call.
+type submission struct {
+	idx      int
+	g        *taskgraph.Graph
+	batch    int
+	priority int
+	arrival  sim.Time
+	opts     SubmitOptions
 }
 
 // Cluster fronts N hypervisors with an arrival-time dispatcher.
@@ -83,6 +122,14 @@ type Cluster struct {
 	next     int // round-robin cursor
 	expected int
 	placed   map[int]int // submission index -> board
+
+	ctrl     *admit.Controller
+	buffer   []*submission             // same-instant arrivals awaiting the canonical drain
+	tickets  []map[int64]*admit.Ticket // board -> local app ID -> admission ticket
+	idxOf    []map[int64]int           // board -> local app ID -> submission index
+	rejected map[int]*submission       // submission index -> rejected record
+	reasons  map[int]string            // submission index -> admission outcome
+	errs     []error                   // dispatch-time submit failures
 }
 
 // New builds a cluster; mkPolicy supplies a fresh scheduling policy per
@@ -100,21 +147,39 @@ func New(eng *sim.Engine, cfg Config, mkPolicy func(board hv.Config) sched.Sched
 		return nil, fmt.Errorf("cluster: %d board configs for %d boards", len(cfg.BoardConfigs), cfg.Boards)
 	}
 	c := &Cluster{
-		eng:    eng,
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		placed: map[int]int{},
+		eng:      eng,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		placed:   map[int]int{},
+		rejected: map[int]*submission{},
+		reasons:  map[int]string{},
+	}
+	if cfg.Admission != nil {
+		ctrl, err := admit.New(*cfg.Admission)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.ctrl = ctrl
 	}
 	for i := 0; i < cfg.Boards; i++ {
 		bcfg := cfg.HV
 		if cfg.BoardConfigs != nil {
 			bcfg = cfg.BoardConfigs[i]
 		}
+		board, user := i, bcfg.OnRetire
+		bcfg.OnRetire = func(id int64) {
+			if user != nil {
+				user(id)
+			}
+			c.onRetire(board, id)
+		}
 		h, err := hv.New(eng, bcfg, mkPolicy(bcfg))
 		if err != nil {
 			return nil, fmt.Errorf("cluster: board %d: %w", i, err)
 		}
 		c.boards = append(c.boards, h)
+		c.tickets = append(c.tickets, map[int64]*admit.Ticket{})
+		c.idxOf = append(c.idxOf, map[int64]int{})
 	}
 	return c, nil
 }
@@ -125,29 +190,161 @@ func (c *Cluster) Boards() int { return len(c.boards) }
 // Board exposes one board's hypervisor (for tests and reports).
 func (c *Cluster) Board(i int) *hv.Hypervisor { return c.boards[i] }
 
-// Submit schedules an application arrival. The board is chosen when the
-// application actually arrives, so load-aware policies see current state.
+// AdmissionStats reports the admission controller's counters; the zero
+// Stats when admission is disabled.
+func (c *Cluster) AdmissionStats() admit.Stats {
+	if c.ctrl == nil {
+		return admit.Stats{}
+	}
+	return c.ctrl.Stats()
+}
+
+// Submit schedules an application arrival under the default tenant with
+// no explicit SLO. The board is chosen when the application actually
+// arrives, so load-aware policies see current state.
 func (c *Cluster) Submit(g *taskgraph.Graph, batch, priority int, arrival sim.Time) error {
+	return c.SubmitWith(g, batch, priority, arrival, SubmitOptions{})
+}
+
+// SubmitWith is Submit with admission attributes (tenant, SLO).
+func (c *Cluster) SubmitWith(g *taskgraph.Graph, batch, priority int, arrival sim.Time, opts SubmitOptions) error {
 	if g == nil {
 		return fmt.Errorf("cluster: nil graph")
 	}
-	idx := c.expected
+	sub := &submission{idx: c.expected, g: g, batch: batch, priority: priority, opts: opts}
 	c.expected++
 	c.eng.At(arrival, func() {
-		b := c.pick()
-		c.placed[idx] = b
-		// Arrival is "now" from the board's perspective.
-		if err := c.boards[b].Submit(g, batch, priority, c.eng.Now()); err != nil {
-			// Submission failures at dispatch time are mechanical
-			// errors; surface through the board's error state by
-			// re-checking in Run (Collect reports missing apps).
-			panic(fmt.Sprintf("cluster: dispatch-time submit failed: %v", err))
+		// Buffer and drain once all arrivals at this instant are in: the
+		// drain's After(0) event sorts after every Submit event already
+		// queued at the same time, so simultaneous submissions are
+		// admitted and dispatched in one canonical pass (by submission
+		// index) no matter how their events were interleaved.
+		sub.arrival = c.eng.Now()
+		c.buffer = append(c.buffer, sub)
+		if len(c.buffer) == 1 {
+			c.eng.After(0, c.drain)
 		}
 	})
 	return nil
 }
 
-// pick applies the dispatch policy.
+// drain admits and dispatches every arrival buffered at this instant.
+func (c *Cluster) drain() {
+	batch := c.buffer
+	c.buffer = nil
+	sort.Slice(batch, func(i, j int) bool { return batch[i].idx < batch[j].idx })
+	for _, sub := range batch {
+		if c.ctrl == nil {
+			c.dispatch(sub, nil)
+			continue
+		}
+		_, evicted, out := c.ctrl.Offer(admit.Request{
+			Tenant:   sub.opts.Tenant,
+			Priority: sub.priority,
+			Estimate: c.estimate(sub),
+			SLO:      sub.opts.SLO,
+			Arrival:  c.eng.Now(),
+			Payload:  sub,
+		}, c.minLoad())
+		if out != admit.Admitted {
+			c.reject(sub, out.String())
+			continue
+		}
+		if evicted != nil {
+			c.reject(evicted.Request().Payload.(*submission), admit.Shed.String())
+		}
+	}
+	if c.ctrl != nil {
+		c.pump()
+	}
+}
+
+// pump dispatches every ticket the controller clears for boards.
+func (c *Cluster) pump() {
+	for _, t := range c.ctrl.Dispatchable() {
+		c.dispatch(t.Request().Payload.(*submission), t)
+	}
+}
+
+// dispatch places one admitted submission on a board. Submit failures at
+// dispatch time are recorded and surfaced from Run — never a panic: a
+// malformed submission must not take down the whole cluster run.
+func (c *Cluster) dispatch(sub *submission, t *admit.Ticket) {
+	b := c.pick()
+	id, err := c.boards[b].SubmitID(sub.g, sub.batch, sub.priority, c.eng.Now())
+	if err != nil {
+		c.errs = append(c.errs, fmt.Errorf("cluster: submission %d (%s) on board %d: %w", sub.idx, sub.g.Name(), b, err))
+		if c.ctrl != nil {
+			c.ctrl.Release(t) // free the admission slot the failed dispatch held
+		}
+		return
+	}
+	c.placed[sub.idx] = b
+	c.idxOf[b][id] = sub.idx
+	if t != nil {
+		c.tickets[b][id] = t
+	}
+}
+
+// reject records an admission rejection for reporting from Run.
+func (c *Cluster) reject(sub *submission, reason string) {
+	c.rejected[sub.idx] = sub
+	c.reasons[sub.idx] = reason
+}
+
+// onRetire releases the retiring application's admission slot and, on
+// the next event tick (outside the hypervisor's retire processing),
+// dispatches any queued work the freed slot clears.
+func (c *Cluster) onRetire(board int, id int64) {
+	t, ok := c.tickets[board][id]
+	if !ok {
+		return
+	}
+	delete(c.tickets[board], id)
+	c.ctrl.Release(t)
+	if c.ctrl.QueueDepth() > 0 {
+		c.eng.After(0, c.pump)
+	}
+}
+
+// estimate is the admission-time work estimate for a submission: its
+// single-slot latency on the cluster's fastest-case board. Optimistic
+// across heterogeneous boards, so the deadline test never rejects work a
+// big board could have finished in time.
+func (c *Cluster) estimate(sub *submission) sim.Duration {
+	best := hv.SingleSlotLatencyFor(c.boardConfig(0).Board, sub.g, sub.batch)
+	for i := 1; i < len(c.boards); i++ {
+		if e := hv.SingleSlotLatencyFor(c.boardConfig(i).Board, sub.g, sub.batch); e < best {
+			best = e
+		}
+	}
+	return best
+}
+
+// boardConfig resolves the effective hv.Config of board i.
+func (c *Cluster) boardConfig(i int) hv.Config {
+	if c.cfg.BoardConfigs != nil {
+		return c.cfg.BoardConfigs[i]
+	}
+	return c.cfg.HV
+}
+
+// minLoad is the least-loaded board's outstanding estimate — the
+// admission controller's optimistic view of how soon new work could
+// start.
+func (c *Cluster) minLoad() sim.Duration {
+	best := c.boards[0].OutstandingEstimate()
+	for i := 1; i < len(c.boards); i++ {
+		if l := c.boards[i].OutstandingEstimate(); l < best {
+			best = l
+		}
+	}
+	return best
+}
+
+// pick applies the dispatch policy. Load ties break toward the lowest
+// board index (strict "<" keeps the earliest minimum), so placement is
+// deterministic and independent of event ordering.
 func (c *Cluster) pick() int {
 	switch c.cfg.Dispatch {
 	case LeastLoaded:
@@ -176,22 +373,52 @@ func (c *Cluster) pick() int {
 }
 
 // Run drives the shared engine until every application on every board
-// retires, and returns board-annotated results in submission order of
-// each board (stable across runs).
+// retires, and returns one Result per submission in global submission
+// order: board-annotated outcomes for dispatched work, Rejected entries
+// for what admission turned away. Dispatch-time submit failures
+// accumulated during the run are returned joined.
 func (c *Cluster) Run() ([]Result, error) {
 	c.eng.RunUntil(c.cfg.HV.Horizon)
-	var out []Result
+	if err := errors.Join(c.errs...); err != nil {
+		return nil, err
+	}
+	out := make([]Result, c.expected)
+	filled := 0
 	for i, b := range c.boards {
 		results, err := b.Collect()
 		if err != nil {
 			return nil, fmt.Errorf("cluster: board %d: %w", i, err)
 		}
 		for _, r := range results {
-			out = append(out, Result{Result: r, Board: i})
+			idx, ok := c.idxOf[i][r.AppID]
+			if !ok {
+				return nil, fmt.Errorf("cluster: board %d reported unknown app %d", i, r.AppID)
+			}
+			out[idx] = Result{Result: r, Board: i}
+			filled++
 		}
 	}
-	if len(out) != c.expected {
-		return nil, fmt.Errorf("cluster: %d results for %d submissions", len(out), c.expected)
+	for idx, sub := range c.rejected {
+		out[idx] = Result{
+			Result: hv.Result{
+				AppID:       -1,
+				App:         sub.g.Name(),
+				Batch:       sub.batch,
+				Priority:    sub.priority,
+				Arrival:     sub.arrival,
+				FirstLaunch: -1,
+			},
+			Board:        -1,
+			Rejected:     true,
+			RejectReason: c.reasons[idx],
+		}
+		filled++
+	}
+	if c.ctrl != nil && c.ctrl.QueueDepth() > 0 {
+		return nil, fmt.Errorf("cluster: %d admitted submissions still queued at horizon", c.ctrl.QueueDepth())
+	}
+	if filled != c.expected {
+		return nil, fmt.Errorf("cluster: %d results for %d submissions", filled, c.expected)
 	}
 	return out, nil
 }

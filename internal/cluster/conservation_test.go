@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nimblock/internal/admit"
+	"nimblock/internal/apps"
+	"nimblock/internal/hv"
+	"nimblock/internal/sim"
+)
+
+// TestAdmissionConservation is the streaming-invariant property test for
+// the admission layer: across random workloads, every submission is
+// exactly one of {completed, rejected-at-admission, shed} — never lost,
+// never double-counted — under every dispatch policy, and the
+// controller's own counters agree with the results.
+func TestAdmissionConservation(t *testing.T) {
+	pool := []string{apps.LeNet, apps.ImageCompression, apps.Rendering3D, apps.OpticalFlow}
+	policies := []Dispatch{RoundRobin, LeastLoaded, LeastPending, RandomBoard}
+	for seed := int64(0); seed < 20; seed++ {
+		for _, d := range policies {
+			seed, d := seed, d
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, d), func(t *testing.T) {
+				t.Parallel()
+				rng := rand.New(rand.NewSource(seed))
+				adm := admit.Config{
+					Capacity:       2 + rng.Intn(6),
+					MaxInFlight:    rng.Intn(4),              // 0 = unbounded window
+					DeadlineFactor: float64(rng.Intn(3)) * 8, // 0, 8, or 16
+					Quotas:         map[string]int{"a": 1 + rng.Intn(3)},
+					Weights:        map[string]float64{"b": 0.5 + rng.Float64()*2},
+				}
+				eng := sim.NewEngine()
+				cfg := Config{Boards: 1 + rng.Intn(3), HV: hv.DefaultConfig(), Dispatch: d, Seed: seed, Admission: &adm}
+				c, err := New(eng, cfg, mkNimblock(cfg.HV))
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := 8 + rng.Intn(12)
+				tenants := []string{"", "a", "b"}
+				for i := 0; i < n; i++ {
+					g := apps.MustGraph(pool[rng.Intn(len(pool))])
+					opts := SubmitOptions{Tenant: tenants[rng.Intn(len(tenants))]}
+					if rng.Intn(3) == 0 {
+						opts.SLO = sim.Duration(1+rng.Intn(60)) * sim.Second
+					}
+					arrival := sim.Time(rng.Int63n(int64(2 * sim.Second)))
+					if err := c.SubmitWith(g, 1+rng.Intn(4), 1+rng.Intn(9), arrival, opts); err != nil {
+						t.Fatal(err)
+					}
+				}
+				res, err := c.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res) != n {
+					t.Fatalf("%d results for %d submissions", len(res), n)
+				}
+				var completed, rejected int
+				reasons := map[string]int{}
+				for i, r := range res {
+					switch {
+					case r.Rejected:
+						rejected++
+						reasons[r.RejectReason]++
+						if r.Board != -1 || r.Response != 0 {
+							t.Fatalf("result %d: rejected with board/response: %+v", i, r)
+						}
+					default:
+						completed++
+						if r.Board < 0 || r.Board >= c.Boards() || r.Response <= 0 {
+							t.Fatalf("result %d: completed but malformed: %+v", i, r)
+						}
+					}
+				}
+				s := c.AdmissionStats()
+				if s.Offered != n {
+					t.Fatalf("offered %d != submitted %d", s.Offered, n)
+				}
+				if s.Admitted+s.Shed-s.Evicted+s.RejectedDeadline+s.RejectedQuota != s.Offered {
+					t.Fatalf("controller conservation broken: %+v", s)
+				}
+				if completed != s.Completed || completed != s.Admitted-s.Evicted {
+					t.Fatalf("completed %d vs stats %+v", completed, s)
+				}
+				if rejected != s.Shed+s.RejectedDeadline+s.RejectedQuota {
+					t.Fatalf("rejected %d vs stats %+v", rejected, s)
+				}
+				if reasons["shed"] != s.Shed || reasons["deadline"] != s.RejectedDeadline || reasons["quota"] != s.RejectedQuota {
+					t.Fatalf("reasons %v vs stats %+v", reasons, s)
+				}
+				if completed+rejected != n {
+					t.Fatalf("conservation broken: %d + %d != %d", completed, rejected, n)
+				}
+			})
+		}
+	}
+}

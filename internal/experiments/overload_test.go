@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nimblock/internal/obs"
+)
+
+// TestOverloadGracefulDegradation is the acceptance check for the
+// admission layer: past saturation, admitted-traffic p99 stays within a
+// constant factor of the at-saturation run while the shed counters
+// absorb the excess.
+func TestOverloadGracefulDegradation(t *testing.T) {
+	cfg := QuickConfig()
+	reg := obs.NewRegistry()
+	res, err := Overload(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(OverloadMultipliers) || res.BaseRate <= 0 {
+		t.Fatalf("malformed result: %+v", res)
+	}
+	byMult := map[float64]*OverloadPoint{}
+	for _, pt := range res.Points {
+		byMult[pt.Multiplier] = pt
+		if pt.Offered != cfg.Sequences*cfg.Events {
+			t.Fatalf("%gx: offered %d, want %d", pt.Multiplier, pt.Offered, cfg.Sequences*cfg.Events)
+		}
+		if pt.Admitted-pt.Evicted+pt.Shed != pt.Offered {
+			t.Fatalf("%gx: conservation broken: %+v", pt.Multiplier, pt)
+		}
+		if pt.Admitted == 0 || pt.P99Response <= 0 {
+			t.Fatalf("%gx: nothing admitted: %+v", pt.Multiplier, pt)
+		}
+	}
+	// Deep overload must actually shed...
+	if byMult[4].Shed == 0 {
+		t.Fatalf("4x saturation shed nothing: %+v", byMult[4])
+	}
+	// ...and bounded admission must keep admitted-traffic latency within
+	// a constant factor of the at-saturation run. The queue bound makes
+	// the worst admitted backlog independent of arrival rate; 10x leaves
+	// room for batch-size variance at quick scale.
+	if lim := 10 * byMult[1].P99Response; byMult[2].P99Response > lim {
+		t.Fatalf("2x p99 %.2fs exceeds 10x the 1x p99 %.2fs", byMult[2].P99Response, byMult[1].P99Response)
+	}
+	// The live registry side-channel saw the same shedding.
+	snap := reg.Snapshot()
+	var totalShed, totalAdmitted int
+	for _, pt := range res.Points {
+		totalShed += pt.Shed
+		totalAdmitted += pt.Admitted
+	}
+	if int(snap.Counters["admit_shed_total"]) != totalShed || int(snap.Counters["admit_admitted_total"]) != totalAdmitted {
+		t.Fatalf("registry counters %v disagree with stats (shed %d admitted %d)", snap.Counters, totalShed, totalAdmitted)
+	}
+	if !strings.Contains(res.Render(), "Overload sweep") {
+		t.Fatal("render missing title")
+	}
+}
+
+// TestOverloadDeterministic: same config, same result, including under
+// the parallel worker pool.
+func TestOverloadDeterministic(t *testing.T) {
+	cfg := QuickConfig()
+	a, err := Overload(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	b, err := Overload(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("parallel run diverged:\n%s\nvs\n%s", a.Render(), b.Render())
+	}
+}

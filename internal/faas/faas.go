@@ -9,12 +9,19 @@
 // a function registry, invocation dispatch with warm-board affinity, and
 // cold-start modelling — a function's partial bitstreams must be
 // distributed to a board before its first invocation runs there.
+//
+// An optional admission controller (internal/admit) bounds what the
+// platform accepts; rejected invocations come back from Run as Rejected
+// results, so a traffic spike sheds load instead of queueing without
+// bound.
 package faas
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"nimblock/internal/admit"
 	"nimblock/internal/hv"
 	"nimblock/internal/sched"
 	"nimblock/internal/sim"
@@ -22,10 +29,16 @@ import (
 )
 
 // Function is a registered FPGA function: a task-graph with a fixed
-// priority class.
+// priority class and optional admission attributes.
 type Function struct {
 	Graph    *taskgraph.Graph
 	Priority int
+	// Tenant attributes the function's invocations for admission quotas
+	// and fair sharing; "" is the shared default tenant.
+	Tenant string
+	// SLO is the per-invocation latency budget for deadline admission;
+	// 0 falls back to the admission controller's DeadlineFactor.
+	SLO sim.Duration
 }
 
 // Config parameterizes the platform.
@@ -39,7 +52,12 @@ type Config struct {
 	ColdStart sim.Duration
 	// ScaleUp is the pending-invocation count on warm boards beyond
 	// which the dispatcher pays a cold start to open a new board.
+	// Values <= 0 mean eager scaling: any warm backlog at all justifies
+	// a strictly less-loaded cold board.
 	ScaleUp int
+	// Admission, when non-nil, bounds accepted invocations; rejections
+	// are reported as Rejected results from Run.
+	Admission *admit.Config
 }
 
 // DefaultConfig is a four-board platform with a 500 ms cold start.
@@ -52,7 +70,9 @@ func DefaultConfig() Config {
 	}
 }
 
-// Result is one completed invocation.
+// Result is one completed (or rejected) invocation. A Rejected result
+// never reached a board: Board is -1, Latency 0, and RejectReason names
+// the admission outcome.
 type Result struct {
 	Function string
 	Board    int
@@ -62,42 +82,50 @@ type Result struct {
 	// Latency is retirement minus invocation, including any cold start.
 	Latency sim.Duration
 	// Items echoes the invocation batch.
-	Items int
+	Items        int
+	Rejected     bool
+	RejectReason string
 }
 
-// Stats aggregates platform counters.
+// Stats aggregates platform counters. Invocations counts accepted
+// dispatches only; Rejections counts what admission turned away.
 type Stats struct {
 	Invocations int
 	ColdStarts  int
 	WarmStarts  int
+	Rejections  int
 }
 
-// pendingInvocation links a board-local application ID back to the
-// invocation that produced it.
+// invKey links a board-local application ID back to the invocation that
+// produced it.
 type invKey struct {
 	board   int
 	localID int64
 }
 
-type invInfo struct {
+type invocation struct {
 	function string
 	invoked  sim.Time
-	cold     bool
 	items    int
+	cold     bool
+	board    int
 }
 
 // Platform is the serverless front-end.
 type Platform struct {
-	eng       *sim.Engine
-	cfg       Config
-	boards    []*hv.Hypervisor
-	submitted []int64 // per-board submission counter (board-local IDs)
-	deployed  []map[string]bool
-	pendInv   []int // per-board dispatched-not-finished estimate
-	funcs     map[string]Function
-	inv       map[invKey]invInfo
-	stats     Stats
-	expected  int
+	eng         *sim.Engine
+	cfg         Config
+	boards      []*hv.Hypervisor
+	deployed    []map[string]bool
+	outstanding []int // per-board dispatched-not-retired invocations
+	funcs       map[string]Function
+	inv         map[invKey]*invocation
+	tickets     map[invKey]*admit.Ticket
+	ctrl        *admit.Controller
+	rejects     []Result
+	errs        []error
+	stats       Stats
+	expected    int
 }
 
 // New builds a platform; mkPolicy supplies one scheduler per board.
@@ -112,20 +140,35 @@ func New(eng *sim.Engine, cfg Config, mkPolicy func() sched.Scheduler) (*Platfor
 		return nil, fmt.Errorf("faas: nil policy factory")
 	}
 	p := &Platform{
-		eng:   eng,
-		cfg:   cfg,
-		funcs: map[string]Function{},
-		inv:   map[invKey]invInfo{},
+		eng:     eng,
+		cfg:     cfg,
+		funcs:   map[string]Function{},
+		inv:     map[invKey]*invocation{},
+		tickets: map[invKey]*admit.Ticket{},
+	}
+	if cfg.Admission != nil {
+		ctrl, err := admit.New(*cfg.Admission)
+		if err != nil {
+			return nil, fmt.Errorf("faas: %w", err)
+		}
+		p.ctrl = ctrl
 	}
 	for i := 0; i < cfg.Boards; i++ {
-		h, err := hv.New(eng, cfg.HV, mkPolicy())
+		bcfg := cfg.HV
+		board, user := i, bcfg.OnRetire
+		bcfg.OnRetire = func(id int64) {
+			if user != nil {
+				user(id)
+			}
+			p.onRetire(board, id)
+		}
+		h, err := hv.New(eng, bcfg, mkPolicy())
 		if err != nil {
 			return nil, err
 		}
 		p.boards = append(p.boards, h)
 		p.deployed = append(p.deployed, map[string]bool{})
-		p.pendInv = append(p.pendInv, 0)
-		p.submitted = append(p.submitted, 0)
+		p.outstanding = append(p.outstanding, 0)
 	}
 	return p, nil
 }
@@ -157,45 +200,127 @@ func (p *Platform) Invoke(function string, items int, at sim.Time) error {
 		return fmt.Errorf("faas: invocation of %q with %d items", function, items)
 	}
 	p.expected++
-	p.eng.At(at, func() { p.dispatch(function, items, at) })
+	p.eng.At(at, func() { p.arrive(function, items, at) })
 	return nil
 }
 
-// dispatch places an invocation at its arrival instant.
-func (p *Platform) dispatch(function string, items int, invoked sim.Time) {
+// arrive runs the admission decision (if configured) at the invocation
+// instant and dispatches or records the outcome.
+func (p *Platform) arrive(function string, items int, invoked sim.Time) {
+	in := &invocation{function: function, invoked: invoked, items: items}
+	if p.ctrl == nil {
+		p.dispatch(in, nil)
+		return
+	}
 	fn := p.funcs[function]
-	board, cold := p.pick(function)
+	_, evicted, out := p.ctrl.Offer(admit.Request{
+		Tenant:   fn.Tenant,
+		Priority: fn.Priority,
+		Estimate: hv.SingleSlotLatencyFor(p.cfg.HV.Board, fn.Graph, items),
+		SLO:      fn.SLO,
+		Arrival:  p.eng.Now(),
+		Payload:  in,
+	}, p.minLoad())
+	if out != admit.Admitted {
+		p.reject(in, out.String())
+		return
+	}
+	if evicted != nil {
+		p.reject(evicted.Request().Payload.(*invocation), admit.Shed.String())
+	}
+	p.pump()
+}
+
+// pump dispatches every invocation the controller clears.
+func (p *Platform) pump() {
+	for _, t := range p.ctrl.Dispatchable() {
+		p.dispatch(t.Request().Payload.(*invocation), t)
+	}
+}
+
+// reject records an admission rejection for reporting from Run.
+func (p *Platform) reject(in *invocation, reason string) {
+	p.stats.Rejections++
+	p.rejects = append(p.rejects, Result{
+		Function:     in.function,
+		Board:        -1,
+		InvokedAt:    in.invoked,
+		Items:        in.items,
+		Rejected:     true,
+		RejectReason: reason,
+	})
+}
+
+// dispatch places an invocation now. Submit failures are recorded and
+// surfaced from Run, never panicked: one bad invocation must not take
+// down the platform.
+func (p *Platform) dispatch(in *invocation, t *admit.Ticket) {
+	fn := p.funcs[in.function]
+	board, cold := p.pick(in.function)
 	arrival := p.eng.Now()
 	if cold {
-		p.deployed[board][function] = true
-		p.stats.ColdStarts++
 		arrival = arrival.Add(p.cfg.ColdStart)
+	}
+	id, err := p.boards[board].SubmitID(fn.Graph, in.items, fn.Priority, arrival)
+	if err != nil {
+		p.errs = append(p.errs, fmt.Errorf("faas: invocation of %q: %w", in.function, err))
+		if p.ctrl != nil {
+			p.ctrl.Release(t) // free the admission slot the failed dispatch held
+		}
+		return
+	}
+	if cold {
+		p.deployed[board][in.function] = true
+		p.stats.ColdStarts++
 	} else {
 		p.stats.WarmStarts++
 	}
 	p.stats.Invocations++
-	p.pendInv[board]++
-	if err := p.boards[board].Submit(fn.Graph, items, fn.Priority, arrival); err != nil {
-		panic(fmt.Sprintf("faas: dispatch-time submit failed: %v", err))
+	p.outstanding[board]++
+	in.cold, in.board = cold, board
+	key := invKey{board, id}
+	p.inv[key] = in
+	if t != nil {
+		p.tickets[key] = t
 	}
-	p.submitted[board]++
-	p.inv[invKey{board, p.submitted[board]}] = invInfo{
-		function: function,
-		invoked:  invoked,
-		cold:     cold,
-		items:    items,
+}
+
+// onRetire keeps the per-board outstanding count honest and releases the
+// retiring invocation's admission slot; promotion of queued work happens
+// on the next event tick, outside the hypervisor's retire processing.
+func (p *Platform) onRetire(board int, id int64) {
+	key := invKey{board, id}
+	if _, ok := p.inv[key]; !ok {
+		return
+	}
+	p.outstanding[board]--
+	if t, ok := p.tickets[key]; ok {
+		delete(p.tickets, key)
+		p.ctrl.Release(t)
+		if p.ctrl.QueueDepth() > 0 {
+			p.eng.After(0, p.pump)
+		}
 	}
 }
 
 // pick chooses a board with warm affinity: the least-busy board that
-// already holds the function's bitstreams, unless all warm boards exceed
-// the scale-up threshold and a colder board is idle enough to justify
-// the cold start.
+// already holds the function's bitstreams, unless every warm board is at
+// or over the scale-up threshold and a cold board is strictly less
+// loaded, in which case the cold start is worth paying. Load ties break
+// toward the lowest board index (strict "<"), so placement is
+// deterministic. Boundary behavior, pinned by tests:
+//
+//   - no warm board: cheapest cold board, cold start;
+//   - all boards warm (nowhere to scale to): least-loaded warm board,
+//     however deep its backlog;
+//   - ScaleUp <= 0: eager scaling — any warm backlog justifies a
+//     strictly less-loaded cold board (an idle warm board still wins);
+//   - single board: always that board, cold exactly once per function.
 func (p *Platform) pick(function string) (board int, cold bool) {
 	warmBest, warmLoad := -1, 0
 	coldBest, coldLoad := -1, 0
 	for i := range p.boards {
-		load := p.pendInv[i] - doneApprox(p.boards[i], p.pendInv[i])
+		load := p.outstanding[i]
 		if p.deployed[i][function] {
 			if warmBest == -1 || load < warmLoad {
 				warmBest, warmLoad = i, load
@@ -207,33 +332,57 @@ func (p *Platform) pick(function string) (board int, cold bool) {
 	if warmBest == -1 {
 		return coldBest, true
 	}
-	if coldBest != -1 && warmLoad >= p.cfg.ScaleUp && coldLoad < warmLoad {
+	threshold := p.cfg.ScaleUp
+	if threshold <= 0 {
+		threshold = 1
+	}
+	if coldBest != -1 && warmLoad >= threshold && coldLoad < warmLoad {
 		return coldBest, true
 	}
 	return warmBest, false
 }
 
-// doneApprox estimates completed invocations on a board from its pending
-// count: dispatched minus currently pending.
-func doneApprox(h *hv.Hypervisor, dispatched int) int {
-	pend := h.PendingCount()
-	if pend > dispatched {
-		return 0
+// minLoad is the least-loaded board's outstanding work estimate, the
+// admission controller's view of how soon a new invocation could start.
+func (p *Platform) minLoad() sim.Duration {
+	best := p.boards[0].OutstandingEstimate()
+	for i := 1; i < len(p.boards); i++ {
+		if l := p.boards[i].OutstandingEstimate(); l < best {
+			best = l
+		}
 	}
-	return dispatched - pend
+	return best
 }
 
 // Stats returns platform counters.
 func (p *Platform) Stats() Stats { return p.stats }
 
+// AdmissionStats reports the admission controller's counters; the zero
+// Stats when admission is disabled.
+func (p *Platform) AdmissionStats() admit.Stats {
+	if p.ctrl == nil {
+		return admit.Stats{}
+	}
+	return p.ctrl.Stats()
+}
+
 // Boards reports the cluster size.
 func (p *Platform) Boards() int { return len(p.boards) }
 
-// Run drives the simulation until every invocation completes and returns
-// per-invocation results ordered by invocation time (ties by board).
+// Outstanding reports dispatched-not-retired invocations on one board
+// (for tests and reports).
+func (p *Platform) Outstanding(board int) int { return p.outstanding[board] }
+
+// Run drives the simulation until every accepted invocation completes
+// and returns per-invocation results — completed and rejected — ordered
+// by invocation time (ties by board, rejections first). Dispatch-time
+// submit failures accumulated during the run are returned joined.
 func (p *Platform) Run() ([]Result, error) {
 	p.eng.RunUntil(p.cfg.HV.Horizon)
-	var out []Result
+	if err := errors.Join(p.errs...); err != nil {
+		return nil, err
+	}
+	out := append([]Result(nil), p.rejects...)
 	for bi, b := range p.boards {
 		results, err := b.Collect()
 		if err != nil {
@@ -253,6 +402,9 @@ func (p *Platform) Run() ([]Result, error) {
 				Items:     info.items,
 			})
 		}
+	}
+	if p.ctrl != nil && p.ctrl.QueueDepth() > 0 {
+		return nil, fmt.Errorf("faas: %d admitted invocations still queued at horizon", p.ctrl.QueueDepth())
 	}
 	if len(out) != p.expected {
 		return nil, fmt.Errorf("faas: %d results for %d invocations", len(out), p.expected)

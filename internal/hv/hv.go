@@ -82,6 +82,11 @@ type Config struct {
 	// The observer must be safe for concurrent use if the same value is
 	// shared across parallel runs (internal/experiments does this).
 	Observer obs.Sink
+	// OnRetire, when non-nil, is called at the instant an application
+	// retires, with its board-local ID. Front-ends (the cluster
+	// dispatcher, admission control) use it to track in-flight work
+	// without polling the hypervisor.
+	OnRetire func(id int64)
 }
 
 // PreemptMode selects how preemption requests are honoured.
@@ -210,6 +215,7 @@ type Hypervisor struct {
 
 	apps     []*sched.App
 	pending  []*sched.App
+	transit  []*sched.App // submitted, arrival event not yet fired
 	slots    []slotRuntime
 	acct     map[int64]*Result
 	bufOut   map[int64]map[int]int64 // app -> task -> output buffer ID
@@ -355,6 +361,14 @@ func (h *Hypervisor) Recovery() RecoveryStats {
 // registered with the store (one per task per slot) and the application
 // joins the pending queue at the arrival time.
 func (h *Hypervisor) Submit(g *taskgraph.Graph, batch, priority int, arrival sim.Time) error {
+	_, err := h.SubmitID(g, batch, priority, arrival)
+	return err
+}
+
+// SubmitID is Submit returning the board-local application ID assigned
+// to the submission, which OnRetire later reports back. Dispatchers that
+// must correlate completions with their own records use this form.
+func (h *Hypervisor) SubmitID(g *taskgraph.Graph, batch, priority int, arrival sim.Time) (int64, error) {
 	report := hls.Analyze(g)
 	var err error
 	if h.cfg.RelocatableBitstreams {
@@ -363,19 +377,26 @@ func (h *Hypervisor) Submit(g *taskgraph.Graph, batch, priority int, arrival sim
 		err = h.store.Register(g, report, h.board.NumSlots(), batch, priority)
 	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 	h.nextID++
 	app, err := sched.NewApp(h.nextID, g, report, batch, priority, arrival)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	h.apps = append(h.apps, app)
+	h.transit = append(h.transit, app)
 	h.eng.At(arrival, func() { h.arrive(app) })
-	return nil
+	return app.ID, nil
 }
 
 func (h *Hypervisor) arrive(app *sched.App) {
+	for i, a := range h.transit {
+		if a == app {
+			h.transit = append(h.transit[:i], h.transit[i+1:]...)
+			break
+		}
+	}
 	h.pending = append(h.pending, app)
 	sort.SliceStable(h.pending, func(i, j int) bool {
 		if h.pending[i].Arrival != h.pending[j].Arrival {
@@ -1009,6 +1030,9 @@ func (h *Hypervisor) retire(a *sched.App) error {
 	delete(h.handoff, a.ID)
 	delete(h.prodAt, a.ID)
 	h.trace(trace.Event{At: h.eng.Now(), Kind: trace.KindRetire, App: a.Name, AppID: a.ID, Task: -1, Slot: -1, Item: -1})
+	if h.cfg.OnRetire != nil {
+		h.cfg.OnRetire(a.ID)
+	}
 	return nil
 }
 
@@ -1058,16 +1082,24 @@ func (h *Hypervisor) Utilization(until sim.Time) float64 {
 
 // OutstandingEstimate sums the HLS-estimated remaining work of all
 // pending applications — the load signal a multi-FPGA dispatcher uses.
+// Applications submitted for the current instant whose arrival event has
+// not yet fired are included: without them, simultaneous dispatch
+// decisions would not see each other and would all pick the same board.
 func (h *Hypervisor) OutstandingEstimate() sim.Duration {
 	var total sim.Duration
 	for _, a := range h.pending {
 		total += a.RemainingEstimate()
 	}
+	for _, a := range h.transit {
+		total += a.RemainingEstimate()
+	}
 	return total
 }
 
-// PendingCount reports applications arrived and not yet retired.
-func (h *Hypervisor) PendingCount() int { return len(h.pending) }
+// PendingCount reports applications submitted and not yet retired,
+// including submissions whose arrival event has not yet fired (see
+// OutstandingEstimate for why in-transit work must count).
+func (h *Hypervisor) PendingCount() int { return len(h.pending) + len(h.transit) }
 
 // SingleSlotLatency is the latency of the application when given one slot
 // and no contention: every task reconfigured once and run serially over

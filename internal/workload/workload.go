@@ -123,6 +123,11 @@ type Spec struct {
 	// FixedBatch forces every event's batch size; 0 draws uniformly
 	// from [1, MaxBatch].
 	FixedBatch int
+	// BatchCap, when positive, caps drawn batch sizes: the draw becomes
+	// uniform over [1, min(BatchCap, MaxBatch)]. Ignored when FixedBatch
+	// is set. Load-style sweeps cap batches so offered work scales with
+	// the arrival rate, not with a heavy tail of giant batches.
+	BatchCap int
 	// FixedGap overrides the scenario gap when positive (e.g. the 500 ms
 	// spacing used for Table 3).
 	FixedGap sim.Duration
@@ -154,7 +159,11 @@ func Generate(spec Spec, seed int64) Sequence {
 	for i := 0; i < n; i++ {
 		batch := spec.FixedBatch
 		if batch <= 0 {
-			batch = 1 + rng.Intn(MaxBatch)
+			cap := MaxBatch
+			if spec.BatchCap > 0 && spec.BatchCap < cap {
+				cap = spec.BatchCap
+			}
+			batch = 1 + rng.Intn(cap)
 		}
 		prio := spec.FixedPriority
 		if prio <= 0 {

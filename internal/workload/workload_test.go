@@ -75,6 +75,31 @@ func TestFixedOverrides(t *testing.T) {
 	}
 }
 
+func TestBatchCap(t *testing.T) {
+	seq := Generate(Spec{Scenario: Stress, Events: 200, BatchCap: 4}, 5)
+	hitCap := false
+	for i, e := range seq {
+		if e.Batch < 1 || e.Batch > 4 {
+			t.Fatalf("event %d batch %d outside [1,4]", i, e.Batch)
+		}
+		if e.Batch == 4 {
+			hitCap = true
+		}
+	}
+	if !hitCap {
+		t.Fatal("cap value never drawn in 200 events")
+	}
+	// FixedBatch wins over BatchCap; caps above MaxBatch are inert.
+	for i, e := range Generate(Spec{Scenario: Stress, Events: 20, BatchCap: 4, FixedBatch: 7}, 5) {
+		if e.Batch != 7 {
+			t.Fatalf("event %d batch %d, want fixed 7", i, e.Batch)
+		}
+	}
+	if err := Generate(Spec{Scenario: Stress, Events: 50, BatchCap: MaxBatch * 10}, 5).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestGenerateTest(t *testing.T) {
 	seqs := GenerateTest(Spec{Scenario: Standard}, 11)
 	if len(seqs) != SequencesPerTest {
