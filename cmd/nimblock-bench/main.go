@@ -51,6 +51,8 @@ func main() {
 		rounds    = flag.Int("rounds", 3, "measurement rounds per benchmark; the fastest round is reported")
 		benchtime = flag.Duration("benchtime", time.Second, "minimum measuring time per round")
 		full      = flag.Bool("full", false, "paper-scale stimulus instead of quick scale")
+		baseline  = flag.String("baseline", "", "committed BENCH_<rev>.json to gate against: exit 1 if any shared benchmark regresses more than -tolerance in ns/op or allocs/op")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional regression against -baseline")
 	)
 	flag.Parse()
 
@@ -124,6 +126,55 @@ func main() {
 	buf = append(buf, '\n')
 	fail(os.WriteFile(path, buf, 0o644))
 	fmt.Println(path)
+
+	if *baseline != "" {
+		fail(gate(*baseline, byName, *tolerance))
+	}
+}
+
+// gate compares the run against a committed baseline report: every
+// benchmark present in both must stay within tolerance on ns/op and
+// allocs/op. Timing gates are noisy on shared CI runners, so the
+// tolerance is generous (15%) and allocs/op — which is deterministic —
+// carries the same bound. Benchmarks only one side knows are skipped,
+// so adding or retiring a benchmark does not break the gate.
+func gate(path string, got map[string]Sample, tolerance float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var failures []string
+	compared := 0
+	for _, b := range base.Benchmarks {
+		s, ok := got[b.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		check := func(metric string, base, now float64) {
+			if base <= 0 {
+				return
+			}
+			if grew := now/base - 1; grew > tolerance {
+				failures = append(failures, fmt.Sprintf("%s: %s regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+					b.Name, metric, 100*grew, base, now, 100*tolerance))
+			}
+		}
+		check("ns/op", b.NsPerOp, s.NsPerOp)
+		check("allocs/op", b.AllocsPerOp, s.AllocsPerOp)
+	}
+	if compared == 0 {
+		return fmt.Errorf("bench gate: no benchmark shared with %s", path)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench gate vs %s:\n  %s", path, strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "bench gate: %d benchmarks within %.0f%% of %s\n", compared, 100*tolerance, path)
+	return nil
 }
 
 // measure times fn until benchtime elapses (at least one iteration),

@@ -1,0 +1,79 @@
+// Checkpoint: run the same fault-injected workload twice — once with
+// the checkpoint/restore subsystem enabled, once without — and show
+// the difference between resuming killed work from a snapshot and
+// re-executing it from scratch: resumed items, fabric seconds
+// salvaged, and the CAP overhead paid for the snapshots.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"nimblock"
+)
+
+// run builds a system under a slow-fault plan aggressive enough that
+// the watchdog fires throughout the run, submits a contended mix, and
+// returns it after completion.
+func run(cfg nimblock.Config) *nimblock.System {
+	// Every item runs 4x slow for the first two simulated minutes, so a
+	// 2x watchdog kills mid-flight work repeatedly. Whether that work is
+	// lost or salvaged is exactly what the checkpoint subsystem decides.
+	cfg.FaultPlan = "seed 7\nslow prob=0.6 factor=4 until=120s\n"
+	cfg.WatchdogFactor = 2
+	cfg.EnableTrace = true
+	sys, err := nimblock.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{nimblock.LeNet, nimblock.OpticalFlow, nimblock.ImageCompression, nimblock.Rendering3D}
+	for i, name := range names {
+		app, err := nimblock.Benchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Submit(app, 6, nimblock.PriorityMedium, time.Duration(i)*200*time.Millisecond); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
+func main() {
+	ckptCfg := nimblock.DefaultConfig()
+	ckptCfg.Checkpoint = nimblock.CheckpointConfig{
+		Enabled: true,
+		Period:  50 * time.Millisecond, // snapshot cadence per active task
+	}
+	withCkpt := run(ckptCfg)
+	plain := run(nimblock.DefaultConfig())
+
+	cr, pr := withCkpt.Recovery(), plain.Recovery()
+	fmt.Println("Same workload, same faults, same 2x watchdog:")
+	fmt.Printf("  %-28s %14s %14s\n", "", "checkpointing", "re-execute")
+	fmt.Printf("  %-28s %14d %14d\n", "watchdog kills", cr.WatchdogKills, pr.WatchdogKills)
+	fmt.Printf("  %-28s %14d %14d\n", "items resumed from snapshot", cr.ResumedItems, pr.ResumedItems)
+	fmt.Printf("  %-28s %14v %14v\n", "fabric work wasted",
+		cr.WastedWork.Round(time.Millisecond), pr.WastedWork.Round(time.Millisecond))
+	fmt.Printf("  %-28s %14v %14v\n", "fabric work salvaged",
+		cr.SavedWork.Round(time.Millisecond), pr.SavedWork.Round(time.Millisecond))
+	fmt.Printf("  %-28s %14d %14d\n", "checkpoint saves", cr.CheckpointSaves, pr.CheckpointSaves)
+	fmt.Printf("  %-28s %14v %14v\n", "CAP overhead paid",
+		cr.CheckpointOverhead.Round(time.Millisecond), pr.CheckpointOverhead.Round(time.Millisecond))
+
+	fmt.Println("\nFirst restores from the trace (kill -> resume, not re-execute):")
+	shown := 0
+	for _, line := range strings.Split(withCkpt.TraceDump(), "\n") {
+		if strings.Contains(line, " restore ") {
+			fmt.Println("  " + line)
+			if shown++; shown == 5 {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckpointAblationQuick(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Sequences = 1
+	cfg.Events = 6
+	r, err := CheckpointAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := r.Cells["off"]
+	for _, pol := range CheckpointPolicies {
+		c := off[pol]
+		if c.WatchdogKills == 0 {
+			t.Fatalf("policy %s: the slow+hang plan killed nothing; the sweep tests nothing", pol)
+		}
+		if c.ResumedItems != 0 || c.SavedWork != 0 || c.CheckpointOverhead != 0 {
+			t.Errorf("policy %s: disabled control reports checkpoint activity: %+v", pol, c)
+		}
+	}
+	for _, v := range CheckpointVariants {
+		cells := r.Cells[v.Name]
+		if len(cells) != len(CheckpointPolicies) {
+			t.Fatalf("variant %s: %d cells, want %d", v.Name, len(cells), len(CheckpointPolicies))
+		}
+		if !v.Ckpt.Enabled {
+			continue
+		}
+		for pol, c := range cells {
+			if c.ResumedItems == 0 || c.SavedWork <= 0 {
+				t.Errorf("variant %s policy %s: nothing resumed: %+v", v.Name, pol, c)
+			}
+			if c.CheckpointOverhead <= 0 {
+				t.Errorf("variant %s policy %s: state moved through the CAP for free", v.Name, pol)
+			}
+			// The headline trade: resumes salvage progress, so strictly
+			// less fabric time is wasted than the disabled control.
+			if c.WastedWork >= off[pol].WastedWork {
+				t.Errorf("variant %s policy %s: wasted %v, control wasted %v",
+					v.Name, pol, c.WastedWork, off[pol].WastedWork)
+			}
+		}
+	}
+	dump := r.Render()
+	if !strings.Contains(dump, "Checkpoint ablation: NimblockCheckpoint") || !strings.Contains(dump, "50ms/8MiB") {
+		t.Fatalf("render missing expected rows:\n%s", dump)
+	}
+}

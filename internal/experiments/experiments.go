@@ -17,6 +17,7 @@ import (
 	"nimblock/internal/obs"
 	"nimblock/internal/sched"
 	"nimblock/internal/sched/baseline"
+	"nimblock/internal/sched/ckpt"
 	"nimblock/internal/sched/fcfs"
 	"nimblock/internal/sched/prema"
 	"nimblock/internal/sched/rr"
@@ -97,6 +98,8 @@ func NewPolicy(name string, board fpga.Config) (sched.Scheduler, error) {
 		return core.New(core.Options{Preemption: true}, board), nil
 	case "NimblockNoPreemptNoPipe":
 		return core.New(core.Options{}, board), nil
+	case "NimblockCheckpoint":
+		return ckpt.New(ckpt.DefaultOptions(), board), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown policy %q", name)
 	}

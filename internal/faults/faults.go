@@ -8,7 +8,8 @@
 // plan at the probe points exposed by fpga.Injector, so every run of a
 // plan is bit-for-bit reproducible. Plans are written either in Go or in
 // a small line-oriented DSL (see ParsePlan), which the chaos experiment
-// and examples use.
+// and examples use. Checkpoint integrity faults (lost/corrupt) probe at
+// restore time and force a fall-back to from-scratch re-execution.
 //
 // The recovery side lives with the mechanisms: the board retries
 // transient faults with capped exponential backoff, the hypervisor
@@ -45,6 +46,14 @@ const (
 	TaskSlowdown
 	// CAPStall adds Stall extra latency to a reconfiguration attempt.
 	CAPStall
+	// CheckpointLost makes a matching checkpoint restore find its
+	// snapshot gone — the item falls back to from-scratch re-execution
+	// without spending restore time.
+	CheckpointLost
+	// CheckpointCorrupt makes a matching checkpoint restore stream back
+	// through the CAP and then fail validation — restore time is spent,
+	// then the item re-executes from scratch.
+	CheckpointCorrupt
 
 	numKinds
 )
@@ -64,6 +73,10 @@ func (k Kind) keyword() string {
 		return "slow"
 	case CAPStall:
 		return "stall"
+	case CheckpointLost:
+		return "lost"
+	case CheckpointCorrupt:
+		return "corrupt"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -193,13 +206,15 @@ func Uniform(rate float64, seed int64) Plan {
 }
 
 // Injector evaluates a plan deterministically. It implements
-// fpga.Injector. Reconfiguration and execution probes draw from
-// independent random streams so adding execution faults to a plan never
-// perturbs its reconfiguration fault sequence (and vice versa).
+// fpga.Injector (and its CheckpointInjector extension). Reconfiguration,
+// execution, and checkpoint probes draw from independent random streams
+// so adding faults of one family to a plan never perturbs the fault
+// sequences of the others.
 type Injector struct {
 	plan     Plan
 	reconfig *rand.Rand
 	exec     *rand.Rand
+	ckpt     *rand.Rand
 }
 
 // New builds an injector for the plan.
@@ -211,6 +226,7 @@ func New(plan Plan) (*Injector, error) {
 		plan:     plan,
 		reconfig: rand.New(rand.NewSource(plan.Seed)),
 		exec:     rand.New(rand.NewSource(plan.Seed ^ 0x5e3779b97f4a7c15)),
+		ckpt:     rand.New(rand.NewSource(plan.Seed ^ 0x2545f4914f6cdd1d)),
 	}, nil
 }
 
@@ -285,6 +301,29 @@ func (in *Injector) Exec(now sim.Time, app string, task, slot int) fpga.ExecOutc
 		case TaskSlowdown:
 			if in.exec.Float64() < f.Prob {
 				out.Factor *= f.Factor
+			}
+		}
+	}
+	return out
+}
+
+// Checkpoint implements fpga.CheckpointInjector: one probe per restore
+// attempt. Lost dominates corrupt; one draw per matching fault keeps the
+// stream aligned regardless of earlier outcomes.
+func (in *Injector) Checkpoint(now sim.Time, app string, task, slot int) fpga.CheckpointOutcome {
+	out := fpga.CheckpointOutcome{}
+	for _, f := range in.plan.Faults {
+		if !f.active(now) || !f.matchExec(app, task) || !f.matchSlot(slot) {
+			continue
+		}
+		switch f.Kind {
+		case CheckpointLost:
+			if in.ckpt.Float64() < f.Prob {
+				out.Lost = true
+			}
+		case CheckpointCorrupt:
+			if in.ckpt.Float64() < f.Prob {
+				out.Corrupt = true
 			}
 		}
 	}

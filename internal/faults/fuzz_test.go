@@ -13,6 +13,7 @@ func FuzzPlan(f *testing.F) {
 	f.Add("hang prob=0.01 app=LeNet task=2\nslow prob=0.02 factor=3.5")
 	f.Add("stall prob=0.1 delay=20ms # comment")
 	f.Add("crc prob=1e-3\nseed -9000")
+	f.Add("lost prob=0.05 app=LeNet from=1s\ncorrupt prob=0.02 slot=3")
 	f.Fuzz(func(t *testing.T, text string) {
 		p, err := ParsePlan(text)
 		if err != nil {

@@ -21,6 +21,8 @@ import (
 //	hang  prob=0.01 app=LeNet task=2          # kernel hang
 //	slow  prob=0.02 factor=3.5                # 3.5x slowdown
 //	stall prob=0.1 delay=20ms                 # CAP stall
+//	lost  prob=0.05 app=LeNet                 # checkpoint gone at restore
+//	corrupt prob=0.02                         # checkpoint fails validation
 //
 // String renders the canonical form; ParsePlan(p.String()) reproduces p.
 

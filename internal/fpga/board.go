@@ -121,6 +121,11 @@ type Stats struct {
 	// Offline counts slots permanently removed from service.
 	Offline  int
 	Releases int
+	// StateTransfers counts checkpoint save/restore transfers completed
+	// through the CAP; StateTransferTime is their total streaming time
+	// (kept apart from ReconfigTime so CAP utilization can be split).
+	StateTransfers    int
+	StateTransferTime sim.Duration
 }
 
 // SlotStats aggregates per-slot health counters; the hypervisor's
@@ -131,12 +136,14 @@ type SlotStats struct {
 	Retries          int
 }
 
-// reconfigRequest is one queued CAP operation.
+// reconfigRequest is one queued CAP operation: a reconfiguration
+// (img != nil) or a checkpoint state transfer (xferBytes > 0).
 type reconfigRequest struct {
-	slot   int
-	img    *bitstream.Image
-	onDone func(error)
-	tries  int
+	slot      int
+	img       *bitstream.Image
+	onDone    func(error)
+	tries     int
+	xferBytes int64
 }
 
 // Board is the simulated FPGA. It is driven entirely by the simulation
@@ -248,6 +255,38 @@ func (b *Board) Reconfigure(slot int, img *bitstream.Image, onDone func(error)) 
 	return nil
 }
 
+// StateTransferTime reports how long moving bytes of slot state through
+// the configuration port takes. State capture and restore go through the
+// same CAP as partial bitstreams (Rodriguez-Canal et al.), so the cost
+// is size-proportional at CAP bandwidth.
+func (b *Board) StateTransferTime(bytes int64) sim.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return sim.Seconds(float64(bytes) / b.cfg.CAPBytesPerSec)
+}
+
+// TransferState enqueues a checkpoint state save or restore for a loaded
+// slot on the single CAP pipeline — it serializes with reconfigurations
+// and other transfers, preserving the one-port constraint. The slot
+// state is unchanged (user logic stays configured); onDone fires when
+// the stream completes. Transfers never fault at the board level:
+// checkpoint integrity is the hypervisor's concern at restore time.
+func (b *Board) TransferState(slot int, bytes int64, onDone func(error)) error {
+	if slot < 0 || slot >= len(b.slots) {
+		return fmt.Errorf("fpga: slot %d out of range [0,%d)", slot, len(b.slots))
+	}
+	if bytes <= 0 {
+		return fmt.Errorf("fpga: state transfer needs positive size, got %d", bytes)
+	}
+	if s := b.slots[slot]; s.State != SlotLoaded {
+		return fmt.Errorf("fpga: slot %d is %v, cannot transfer state", slot, s.State)
+	}
+	b.queue = append(b.queue, reconfigRequest{slot: slot, onDone: onDone, xferBytes: bytes})
+	b.pump()
+	return nil
+}
+
 // pump starts the next queued reconfiguration if the CAP is idle.
 func (b *Board) pump() {
 	if b.busy || len(b.queue) == 0 {
@@ -262,7 +301,13 @@ func (b *Board) pump() {
 // stream charges one attempt (plus backoff and any injected CAP stall)
 // to the busy CAP and schedules its completion. The fault outcome is
 // drawn up front — exactly one injector consultation per attempt.
+// Checkpoint state transfers skip the injector and never retry.
 func (b *Board) stream(req reconfigRequest, backoff sim.Duration) {
+	if req.xferBytes > 0 {
+		d := b.StateTransferTime(req.xferBytes)
+		b.eng.After(d, func() { b.finishTransfer(req, d) })
+		return
+	}
 	d := b.ReconfigTime(req.img)
 	out := ReconfigOutcome{}
 	if b.inj != nil {
@@ -292,6 +337,20 @@ func (b *Board) backoffFor(n int) sim.Duration {
 func (b *Board) notifyFault(slot, attempt int, class FaultClass, willRetry bool) {
 	if b.cfg.OnFault != nil {
 		b.cfg.OnFault(FaultEvent{Slot: slot, Attempt: attempt, Class: class, WillRetry: willRetry})
+	}
+}
+
+// finishTransfer completes a checkpoint state transfer and releases the
+// CAP. The slot keeps whatever state it had — a transfer mutates no
+// configuration, so even a slot that went offline mid-stream needs no
+// board-side handling (the hypervisor's callbacks guard for staleness).
+func (b *Board) finishTransfer(req reconfigRequest, d sim.Duration) {
+	b.stats.StateTransfers++
+	b.stats.StateTransferTime += d
+	b.busy = false
+	b.pump()
+	if req.onDone != nil {
+		req.onDone(nil)
 	}
 }
 

@@ -81,6 +81,37 @@ type Injector interface {
 	PermanentFailures() []SlotFailure
 }
 
+// CheckpointOutcome is the injector's verdict on one checkpoint restore
+// attempt. Integrity is probed at restore time (not at save time): a
+// snapshot that is never needed again cannot hurt the schedule.
+type CheckpointOutcome struct {
+	// Lost means the snapshot is gone (e.g. backing store failure) and
+	// the restore transfer never starts; the item re-executes from
+	// scratch immediately.
+	Lost bool
+	// Corrupt means the snapshot streams back through the CAP but fails
+	// validation afterwards; the transfer time is spent, then the item
+	// re-executes from scratch.
+	Corrupt bool
+}
+
+// CheckpointInjector is an optional Injector extension consulted once
+// per checkpoint restore attempt. Injectors that do not implement it
+// never fault checkpoints.
+type CheckpointInjector interface {
+	Checkpoint(now sim.Time, app string, task, slot int) CheckpointOutcome
+}
+
+// ProbeCheckpoint consults inj's CheckpointInjector extension if it has
+// one, and reports a healthy snapshot otherwise (including for nil
+// injectors).
+func ProbeCheckpoint(inj Injector, now sim.Time, app string, task, slot int) CheckpointOutcome {
+	if ci, ok := inj.(CheckpointInjector); ok {
+		return ci.Checkpoint(now, app, task, slot)
+	}
+	return CheckpointOutcome{}
+}
+
 // FaultEvent notifies the board owner of one injected reconfiguration
 // fault, before the board mutates slot state for it.
 type FaultEvent struct {

@@ -61,6 +61,12 @@ type Config struct {
 	// restore costs under PreemptWithCheckpoint.
 	CheckpointSave    sim.Duration
 	CheckpointRestore sim.Duration
+	// Checkpoint configures the full checkpoint/restore subsystem:
+	// CAP-serialized size-proportional state capture at declared
+	// preemption points, periodic and on-demand saves, and
+	// resume-instead-of-re-execute recovery. It supersedes the flat-cost
+	// PreemptWithCheckpoint study mode; enabling both is an error.
+	Checkpoint CheckpointConfig
 	// WatchdogFactor arms a per-item watchdog: an item still running
 	// after WatchdogFactor x its HLS latency estimate (plus
 	// WatchdogGrace) is killed and re-executed from scratch. Zero
@@ -87,6 +93,37 @@ type Config struct {
 	// dispatcher, admission control) use it to track in-flight work
 	// without polling the hypervisor.
 	OnRetire func(id int64)
+}
+
+// DefaultStateBytes is the per-task checkpoint state size assumed when
+// neither the task graph nor the config declares one: 1 MiB of BRAM and
+// register context, ~9 ms through the default CAP.
+const DefaultStateBytes = 1 << 20
+
+// DefaultCheckpointPoints is the number of uniformly spaced preemption
+// points assumed for tasks that declare none (snapshots at every 10% of
+// an item).
+const DefaultCheckpointPoints = 9
+
+// CheckpointConfig parameterizes the checkpoint/restore subsystem.
+type CheckpointConfig struct {
+	// Enabled turns the subsystem on: items checkpoint at declared
+	// preemption points, watchdog kills and slot failures resume from
+	// the last checkpoint instead of re-executing from scratch, and
+	// mid-item preemption requests capture state before releasing the
+	// slot. All state moves through the CAP at its configured bandwidth,
+	// serialized with reconfigurations.
+	Enabled bool
+	// Period, when positive, saves a checkpoint periodically while an
+	// item runs (skipped when no new preemption point has been passed).
+	// Zero means on-demand captures only.
+	Period sim.Duration
+	// StateBytes is the per-task state size used when a task declares
+	// none (taskgraph.Task.StateBytes). Zero selects DefaultStateBytes.
+	StateBytes int64
+	// DefaultPoints is the number of uniform preemption points assumed
+	// for tasks that declare none. Zero selects DefaultCheckpointPoints.
+	DefaultPoints int
 }
 
 // PreemptMode selects how preemption requests are honoured.
@@ -175,7 +212,23 @@ type RecoveryStats struct {
 	SlotsOffline int
 	// WastedWork is fabric time consumed by executions whose results
 	// were lost — hung or killed items that re-execute from scratch.
+	// With checkpointing enabled, only progress since the last
+	// checkpoint is wasted; work up to the checkpoint is committed.
 	WastedWork sim.Duration
+	// ResumedItems counts items that resumed from a checkpoint instead
+	// of re-executing from scratch (one per successful restore).
+	ResumedItems int
+	// CheckpointSaves counts completed state captures; CheckpointFaults
+	// counts restores that found their snapshot lost or corrupt and fell
+	// back to from-scratch re-execution.
+	CheckpointSaves  int
+	CheckpointFaults int
+	// SavedWork is nominal work carried over by restores — fabric time
+	// that would have been re-executed without checkpointing.
+	SavedWork sim.Duration
+	// CheckpointOverhead is wall time spent capturing and restoring
+	// state through the CAP (never double-counted into WastedWork).
+	CheckpointOverhead sim.Duration
 	// Timeline tracks the effective board size over the run.
 	Timeline []SlotSample
 }
@@ -188,11 +241,31 @@ type slotRuntime struct {
 	curItem   int  // item in flight, -1 if waiting at a batch boundary
 	preempt   bool // preemption requested
 	saving    bool // checkpoint save in progress
+	restoring bool // checkpoint restore streaming back through the CAP
 	hung      bool // injected hang: no completion event is coming
 	itemEv    sim.EventID
 	wdEv      sim.EventID
-	itemStart sim.Time
+	ckptEv    sim.EventID // periodic checkpoint timer
+	itemStart sim.Time    // start of the current run stretch
 	itemLat   sim.Duration
+
+	// Per-attempt checkpoint bookkeeping (Checkpoint.Enabled only). An
+	// attempt is one MarkItemStarted..{done,killed,preempted} episode;
+	// periodic saves pause and resume it without ending it.
+	base        sim.Duration // nominal progress restored at attempt start
+	doneNominal sim.Duration // nominal progress of earlier stretches this attempt
+	doneWall    sim.Duration // wall compute of earlier stretches this attempt
+	factor      float64      // injected slowdown of this attempt (>= 1)
+	wdLeft      sim.Duration // watchdog budget left for this attempt
+}
+
+// ckptRecord is one saved snapshot: the nominal work it captured, the
+// nominal work left after it, and the state size to stream back. The
+// legacy PreemptWithCheckpoint mode stores only remaining.
+type ckptRecord struct {
+	remaining sim.Duration
+	progress  sim.Duration
+	bytes     int64
 }
 
 // prodInfo records where and when a (task, item) was produced, for
@@ -220,10 +293,10 @@ type Hypervisor struct {
 	acct     map[int64]*Result
 	bufOut   map[int64]map[int]int64 // app -> task -> output buffer ID
 	ic       *interconnect.Model
-	handoff  map[int64]map[[3]int]sim.Time     // app -> (pred, succ, item) -> data-ready time
-	prodAt   map[int64]map[[2]int]prodInfo     // app -> (task, item) -> production record
-	ckpt     map[int64]map[[2]int]sim.Duration // app -> (task, item) -> remaining work at checkpoint
-	slotBusy []sim.Duration                    // per-slot occupied time (reconfig + compute)
+	handoff  map[int64]map[[3]int]sim.Time   // app -> (pred, succ, item) -> data-ready time
+	prodAt   map[int64]map[[2]int]prodInfo   // app -> (task, item) -> production record
+	ckpt     map[int64]map[[2]int]ckptRecord // app -> (task, item) -> last checkpoint
+	slotBusy []sim.Duration                  // per-slot occupied time (reconfig + compute)
 	results  []Result
 	nextID   int64
 
@@ -259,6 +332,20 @@ func New(eng *sim.Engine, cfg Config, policy sched.Scheduler) (*Hypervisor, erro
 	if cfg.QuarantineThreshold < 0 {
 		return nil, fmt.Errorf("hv: negative quarantine threshold")
 	}
+	if cfg.Checkpoint.Enabled {
+		if cfg.Preempt == PreemptWithCheckpoint {
+			return nil, fmt.Errorf("hv: Checkpoint.Enabled supersedes PreemptWithCheckpoint; enable only one")
+		}
+		if cfg.Checkpoint.Period < 0 || cfg.Checkpoint.StateBytes < 0 || cfg.Checkpoint.DefaultPoints < 0 {
+			return nil, fmt.Errorf("hv: negative checkpoint parameters")
+		}
+		if cfg.Checkpoint.StateBytes == 0 {
+			cfg.Checkpoint.StateBytes = DefaultStateBytes
+		}
+		if cfg.Checkpoint.DefaultPoints == 0 {
+			cfg.Checkpoint.DefaultPoints = DefaultCheckpointPoints
+		}
+	}
 	mm, err := mem.NewManager(cfg.MemCapacity)
 	if err != nil {
 		return nil, err
@@ -277,7 +364,7 @@ func New(eng *sim.Engine, cfg Config, policy sched.Scheduler) (*Hypervisor, erro
 		ic:      ic,
 		handoff: map[int64]map[[3]int]sim.Time{},
 		prodAt:  map[int64]map[[2]int]prodInfo{},
-		ckpt:    map[int64]map[[2]int]sim.Duration{},
+		ckpt:    map[int64]map[[2]int]ckptRecord{},
 	}
 	// Observe every board fault for retry tracing and accounting,
 	// chaining any caller-provided hook.
@@ -514,12 +601,19 @@ func (h *Hypervisor) forceOffline(slot int) {
 		a, task := rt.app, rt.task
 		h.eng.Cancel(rt.itemEv)
 		h.eng.Cancel(rt.wdEv)
-		if rt.curItem >= 0 && !rt.saving {
-			// Progress on the dying item is lost. A mid-save checkpoint
-			// was already booked as run time at save start.
-			consumed := h.eng.Now().Sub(rt.itemStart)
-			h.rec.WastedWork += consumed
-			h.slotBusy[slot] += consumed
+		h.eng.Cancel(rt.ckptEv)
+		if rt.curItem >= 0 {
+			if h.ckptOn() {
+				// Only progress since the last checkpoint is lost; the
+				// snapshot survives the slot and resumes elsewhere.
+				h.abortAccounting(slot, rt)
+			} else if !rt.saving {
+				// Progress on the dying item is lost. A mid-save checkpoint
+				// was already booked as run time at save start.
+				consumed := h.eng.Now().Sub(rt.itemStart)
+				h.rec.WastedWork += consumed
+				h.slotBusy[slot] += consumed
+			}
 		}
 		if _, err := a.MarkKilled(task); err != nil {
 			h.fail(err)
@@ -547,17 +641,25 @@ func (h *Hypervisor) forceOffline(slot int) {
 
 // watchdogFire kills a task whose in-flight item outlived its deadline.
 // The slot is released, the lost progress is accounted as wasted work,
-// and the item re-executes from scratch when the task is rescheduled.
+// and the item re-executes when the task is rescheduled — from its last
+// checkpoint when checkpointing is enabled, from scratch otherwise.
 func (h *Hypervisor) watchdogFire(slot int, a *sched.App, task, item int) {
 	rt := &h.slots[slot]
 	if rt.app != a || rt.task != task || rt.curItem != item || rt.saving {
 		return // stale timer: the item completed or the slot moved on
 	}
 	h.eng.Cancel(rt.itemEv)
-	consumed := h.eng.Now().Sub(rt.itemStart)
+	h.eng.Cancel(rt.ckptEv)
 	h.rec.WatchdogKills++
-	h.rec.WastedWork += consumed
-	h.slotBusy[slot] += consumed
+	if h.ckptOn() {
+		// Only progress since the last checkpoint is wasted; work up to
+		// the snapshot is committed and never re-executed.
+		h.abortAccounting(slot, rt)
+	} else {
+		consumed := h.eng.Now().Sub(rt.itemStart)
+		h.rec.WastedWork += consumed
+		h.slotBusy[slot] += consumed
+	}
 	aborted, err := a.MarkKilled(task)
 	if err != nil {
 		h.fail(err)
@@ -728,7 +830,9 @@ func (h *Hypervisor) RequestPreempt(slot int) error {
 		h.doPreempt(slot)
 		return nil
 	}
-	if h.cfg.Preempt == PreemptWithCheckpoint {
+	if h.ckptOn() {
+		h.startOnDemandCheckpoint(slot)
+	} else if h.cfg.Preempt == PreemptWithCheckpoint {
 		h.startCheckpoint(slot)
 	}
 	return nil
@@ -769,10 +873,10 @@ func (h *Hypervisor) startCheckpoint(slot int) {
 		}
 		m, ok := h.ckpt[a.ID]
 		if !ok {
-			m = map[[2]int]sim.Duration{}
+			m = map[[2]int]ckptRecord{}
 			h.ckpt[a.ID] = m
 		}
-		m[[2]int{task, item}] = remaining
+		m[[2]int{task, item}] = ckptRecord{remaining: remaining}
 		if err := h.board.Release(slot); err != nil {
 			h.fail(err)
 			return
@@ -782,6 +886,341 @@ func (h *Hypervisor) startCheckpoint(slot int) {
 		h.slots[slot] = slotRuntime{curItem: -1}
 		h.wake(sched.ReasonSlotFree)
 	})
+}
+
+// ---- checkpoint/restore subsystem (Config.Checkpoint) ----
+
+// ckptOn reports whether the full checkpoint/restore subsystem is live.
+func (h *Hypervisor) ckptOn() bool { return h.cfg.Checkpoint.Enabled }
+
+// taskStateBytes is the checkpointable state size of one task: declared
+// on the graph, or the configured default.
+func (h *Hypervisor) taskStateBytes(a *sched.App, task int) int64 {
+	if b := a.Graph.Task(task).StateBytes; b > 0 {
+		return b
+	}
+	return h.cfg.Checkpoint.StateBytes
+}
+
+func (h *Hypervisor) ckptGet(appID int64, task, item int) (ckptRecord, bool) {
+	m, ok := h.ckpt[appID]
+	if !ok {
+		return ckptRecord{}, false
+	}
+	rec, ok := m[[2]int{task, item}]
+	return rec, ok
+}
+
+func (h *Hypervisor) ckptPut(appID int64, task, item int, rec ckptRecord) {
+	m, ok := h.ckpt[appID]
+	if !ok {
+		m = map[[2]int]ckptRecord{}
+		h.ckpt[appID] = m
+	}
+	m[[2]int{task, item}] = rec
+}
+
+func (h *Hypervisor) ckptDelete(appID int64, task, item int) {
+	if m, ok := h.ckpt[appID]; ok {
+		delete(m, [2]int{task, item})
+	}
+}
+
+// stretchDur scales nominal work by an injected slowdown factor.
+func stretchDur(d sim.Duration, f float64) sim.Duration {
+	if f <= 1 {
+		return d
+	}
+	return sim.Duration(float64(d) * f)
+}
+
+// unstretchDur converts consumed wall time back to nominal progress.
+func unstretchDur(d sim.Duration, f float64) sim.Duration {
+	if f <= 1 {
+		return d
+	}
+	return sim.Duration(float64(d) / f)
+}
+
+// startAttempt begins one execution attempt of (task, item) on the slot:
+// it draws the attempt's execution fault, restores from the last
+// checkpoint if one exists (probing checkpoint-integrity faults), and
+// starts the run.
+func (h *Hypervisor) startAttempt(slot int, a *sched.App, task, item int) {
+	rt := &h.slots[slot]
+	rt.base, rt.doneNominal, rt.doneWall, rt.factor, rt.hung = 0, 0, 0, 1, false
+	// The watchdog budget spans the whole attempt: periodic save pauses
+	// consume it rather than resetting it, so a slowed item cannot dodge
+	// the watchdog by checkpointing often.
+	rt.wdLeft = 0
+	if h.cfg.WatchdogFactor > 0 {
+		rt.wdLeft = sim.Duration(float64(a.Report.Task(task).Latency)*h.cfg.WatchdogFactor) + h.cfg.WatchdogGrace
+	}
+	// One execution-fault probe per attempt, exactly like the legacy
+	// path: a hang never completes, a slowdown stretches every stretch.
+	if inj := h.board.Injector(); inj != nil {
+		out := inj.Exec(h.eng.Now(), a.Name, task, slot)
+		if out.Hang {
+			rt.hung = true
+			h.rec.FaultsInjected++
+		} else if out.Factor > 1 {
+			rt.factor = out.Factor
+			h.rec.FaultsInjected++
+		}
+	}
+	rec, ok := h.ckptGet(a.ID, task, item)
+	if ok {
+		probe := fpga.ProbeCheckpoint(h.board.Injector(), h.eng.Now(), a.Name, task, slot)
+		if probe.Lost {
+			// The snapshot is gone before a single byte streams back:
+			// fall back to from-scratch re-execution immediately.
+			h.ckptDelete(a.ID, task, item)
+			h.rec.FaultsInjected++
+			h.rec.CheckpointFaults++
+			h.trace(trace.Event{At: h.eng.Now(), Kind: trace.KindCheckpointFault, App: a.Name, AppID: a.ID, Task: task, Slot: slot, Item: item, Progress: rec.progress})
+		} else {
+			rt.base = rec.progress
+			rt.restoring = true
+			start := h.eng.Now()
+			if err := h.board.TransferState(slot, rec.bytes, func(error) {
+				h.restoreDone(slot, a, task, item, rec, probe.Corrupt, start)
+			}); err != nil {
+				h.fail(err)
+			}
+			return
+		}
+	}
+	h.beginRun(slot, a, task, item)
+}
+
+// restoreDone completes a checkpoint restore: the state streamed back
+// through the CAP; either the item resumes from the snapshot or (corrupt
+// snapshot) re-executes from scratch with the transfer time spent.
+func (h *Hypervisor) restoreDone(slot int, a *sched.App, task, item int, rec ckptRecord, corrupt bool, start sim.Time) {
+	rt := &h.slots[slot]
+	if rt.app != a || rt.task != task || rt.curItem != item || !rt.restoring {
+		return // slot was reclaimed mid-restore (permanent failure)
+	}
+	rt.restoring = false
+	d := h.eng.Now().Sub(start)
+	h.rec.CheckpointOverhead += d
+	h.slotBusy[slot] += d
+	if corrupt {
+		h.ckptDelete(a.ID, task, item)
+		h.rec.FaultsInjected++
+		h.rec.CheckpointFaults++
+		rt.base = 0
+		h.trace(trace.Event{At: h.eng.Now(), Kind: trace.KindCheckpointFault, App: a.Name, AppID: a.ID, Task: task, Slot: slot, Item: item, Dur: d, Progress: rec.progress})
+	} else {
+		h.rec.ResumedItems++
+		h.rec.SavedWork += rec.progress
+		h.trace(trace.Event{At: h.eng.Now(), Kind: trace.KindRestore, App: a.Name, AppID: a.ID, Task: task, Slot: slot, Item: item, Dur: d, Progress: rec.progress})
+	}
+	if rt.preempt {
+		// A preemption arrived while state streamed back: honour it now;
+		// the snapshot (if intact) resumes on another slot.
+		h.finishOnDemand(slot, a, task, item, 0)
+		return
+	}
+	h.beginRun(slot, a, task, item)
+}
+
+// beginRun starts (or resumes) the compute stretch of the current
+// attempt and arms its completion, watchdog, and periodic-save timers.
+func (h *Hypervisor) beginRun(slot int, a *sched.App, task, item int) {
+	rt := &h.slots[slot]
+	nominal := a.Graph.Task(task).Latency
+	remaining := nominal - rt.base - rt.doneNominal
+	if remaining < 0 {
+		remaining = 0 // float rounding across pause/resume cycles
+	}
+	lat := stretchDur(remaining, rt.factor)
+	rt.itemStart = h.eng.Now()
+	rt.itemLat = lat
+	if rt.hung {
+		rt.itemEv = 0
+	} else {
+		rt.itemEv = h.eng.AfterCancellable(lat, func() { h.itemDone(slot, a, task, item, lat) })
+	}
+	if h.cfg.WatchdogFactor > 0 && rt.wdLeft > 0 {
+		rt.wdEv = h.eng.AfterCancellable(rt.wdLeft, func() { h.watchdogFire(slot, a, task, item) })
+	}
+	if p := h.cfg.Checkpoint.Period; p > 0 && !rt.hung {
+		rt.ckptEv = h.eng.AfterCancellable(p, func() { h.ckptSave(slot, a, task, item) })
+	}
+}
+
+// ckptSave is the periodic checkpoint: if the item has passed a new
+// preemption point since the last capture, pause the kernel, stream the
+// state out through the CAP, and resume. Saves of hung items are
+// pointless (no consistent progress) and are skipped.
+func (h *Hypervisor) ckptSave(slot int, a *sched.App, task, item int) {
+	rt := &h.slots[slot]
+	if rt.app != a || rt.task != task || rt.curItem != item || rt.saving || rt.restoring || rt.hung {
+		return // stale timer
+	}
+	nominal := a.Graph.Task(task).Latency
+	elapsed := h.eng.Now().Sub(rt.itemStart)
+	progressed := unstretchDur(elapsed, rt.factor)
+	frac := float64(rt.base+rt.doneNominal+progressed) / float64(nominal)
+	snap := sim.Duration(a.Graph.SnapFraction(task, frac, h.cfg.Checkpoint.DefaultPoints) * float64(nominal))
+	rec, _ := h.ckptGet(a.ID, task, item)
+	if snap <= rec.progress {
+		// No new preemption point passed: nothing to capture; try again
+		// next period.
+		rt.ckptEv = h.eng.AfterCancellable(h.cfg.Checkpoint.Period, func() { h.ckptSave(slot, a, task, item) })
+		return
+	}
+	h.eng.Cancel(rt.itemEv)
+	h.eng.Cancel(rt.wdEv)
+	rt.itemEv, rt.wdEv, rt.ckptEv = 0, 0, 0
+	rt.doneWall += elapsed
+	rt.doneNominal += progressed
+	// The pause consumes watchdog budget (transfer time does not: the
+	// kernel is not executing while its state streams out).
+	rt.wdLeft -= elapsed
+	if rt.wdLeft < 1 {
+		rt.wdLeft = 1 // fire immediately after resume
+	}
+	rt.saving = true
+	bytes := h.taskStateBytes(a, task)
+	start := h.eng.Now()
+	if err := h.board.TransferState(slot, bytes, func(error) {
+		h.ckptSaveDone(slot, a, task, item, snap, bytes, start)
+	}); err != nil {
+		h.fail(err)
+	}
+}
+
+// ckptSaveDone records the snapshot and resumes the paused kernel (or
+// honours a preemption that arrived mid-save).
+func (h *Hypervisor) ckptSaveDone(slot int, a *sched.App, task, item int, snap sim.Duration, bytes int64, start sim.Time) {
+	rt := &h.slots[slot]
+	if rt.app != a || rt.task != task || rt.curItem != item || !rt.saving {
+		return // slot was reclaimed mid-save (permanent failure)
+	}
+	rt.saving = false
+	d := h.eng.Now().Sub(start)
+	nominal := a.Graph.Task(task).Latency
+	h.ckptPut(a.ID, task, item, ckptRecord{remaining: nominal - snap, progress: snap, bytes: bytes})
+	h.rec.CheckpointSaves++
+	h.rec.CheckpointOverhead += d
+	h.slotBusy[slot] += d
+	h.trace(trace.Event{At: h.eng.Now(), Kind: trace.KindCheckpointSave, App: a.Name, AppID: a.ID, Task: task, Slot: slot, Item: item, Dur: d, Progress: snap})
+	if rt.preempt {
+		h.finishOnDemand(slot, a, task, item, d)
+		return
+	}
+	h.beginRun(slot, a, task, item)
+}
+
+// startOnDemandCheckpoint honours a mid-item preemption request under
+// the checkpoint subsystem: pause, capture state at the latest passed
+// preemption point (if newer than the last snapshot), and release the
+// slot. Work past the snapshot is wasted — it re-executes on resume.
+func (h *Hypervisor) startOnDemandCheckpoint(slot int) {
+	rt := &h.slots[slot]
+	if rt.curItem == -1 || rt.saving || rt.restoring {
+		return // an in-flight transfer completes first; its callback honours preempt
+	}
+	a, task, item := rt.app, rt.task, rt.curItem
+	elapsed := h.eng.Now().Sub(rt.itemStart)
+	var progressed sim.Duration
+	if !rt.hung {
+		progressed = unstretchDur(elapsed, rt.factor)
+	}
+	h.eng.Cancel(rt.itemEv)
+	h.eng.Cancel(rt.wdEv)
+	h.eng.Cancel(rt.ckptEv)
+	rt.itemEv, rt.wdEv, rt.ckptEv = 0, 0, 0
+	rt.doneWall += elapsed
+	rt.doneNominal += progressed
+	rt.saving = true
+	nominal := a.Graph.Task(task).Latency
+	frac := float64(rt.base+rt.doneNominal) / float64(nominal)
+	snap := sim.Duration(a.Graph.SnapFraction(task, frac, h.cfg.Checkpoint.DefaultPoints) * float64(nominal))
+	rec, _ := h.ckptGet(a.ID, task, item)
+	if snap <= rec.progress {
+		// No new point passed since the last capture (or none at all):
+		// nothing to save; release immediately.
+		h.finishOnDemand(slot, a, task, item, 0)
+		return
+	}
+	bytes := h.taskStateBytes(a, task)
+	start := h.eng.Now()
+	if err := h.board.TransferState(slot, bytes, func(error) {
+		cur := &h.slots[slot]
+		if cur.app != a || cur.task != task || cur.curItem != item || !cur.saving {
+			return // slot was reclaimed mid-save (permanent failure)
+		}
+		d := h.eng.Now().Sub(start)
+		h.ckptPut(a.ID, task, item, ckptRecord{remaining: nominal - snap, progress: snap, bytes: bytes})
+		h.rec.CheckpointSaves++
+		h.rec.CheckpointOverhead += d
+		h.slotBusy[slot] += d
+		h.finishOnDemand(slot, a, task, item, d)
+	}); err != nil {
+		h.fail(err)
+	}
+}
+
+// finishOnDemand completes a checkpoint preemption: commit the work the
+// snapshot captured, waste the rest, abort the in-flight item (batch
+// progress survives in the App), and free the slot.
+func (h *Hypervisor) finishOnDemand(slot int, a *sched.App, task, item int, saveDur sim.Duration) {
+	rt := &h.slots[slot]
+	rt.saving = false
+	var committed sim.Duration
+	rec, has := h.ckptGet(a.ID, task, item)
+	if has {
+		committed = stretchDur(rec.progress-rt.base, rt.factor)
+	}
+	wall := rt.doneWall
+	if committed > wall {
+		committed = wall
+	}
+	h.acct[a.ID].Run += committed
+	h.slotBusy[slot] += wall
+	h.rec.WastedWork += wall - committed
+	aborted, err := a.MarkCheckpointPreempted(task)
+	if err != nil {
+		h.fail(err)
+		return
+	}
+	if aborted != item {
+		h.fail(fmt.Errorf("hv: checkpoint of %s task %d aborted item %d, expected %d", a.Name, task, aborted, item))
+		return
+	}
+	if err := h.board.Release(slot); err != nil {
+		h.fail(err)
+		return
+	}
+	h.acct[a.ID].Preemptions++
+	h.trace(trace.Event{At: h.eng.Now(), Kind: trace.KindCheckpoint, App: a.Name, AppID: a.ID, Task: task, Slot: slot, Item: item, Dur: saveDur, Progress: rec.progress})
+	h.slots[slot] = slotRuntime{curItem: -1}
+	h.wake(sched.ReasonSlotFree)
+}
+
+// abortAccounting books a killed attempt under the checkpoint
+// subsystem: wall compute up to the last snapshot is committed run
+// time, everything since is wasted, and checkpoint transfer time is
+// never double-counted (it lives in CheckpointOverhead).
+func (h *Hypervisor) abortAccounting(slot int, rt *slotRuntime) {
+	a := rt.app
+	wall := rt.doneWall
+	if !rt.saving && !rt.restoring {
+		wall += h.eng.Now().Sub(rt.itemStart)
+	}
+	var committed sim.Duration
+	if rec, ok := h.ckptGet(a.ID, rt.task, rt.curItem); ok {
+		committed = stretchDur(rec.progress-rt.base, rt.factor)
+	}
+	if committed > wall {
+		committed = wall
+	}
+	h.acct[a.ID].Run += committed
+	h.slotBusy[slot] += wall
+	h.rec.WastedWork += wall - committed
 }
 
 // doPreempt saves batch state (already tracked in the App) and frees the
@@ -835,12 +1274,16 @@ func (h *Hypervisor) tryStart(slot int) {
 		res.FirstLaunch = h.eng.Now()
 	}
 	h.trace(trace.Event{At: h.eng.Now(), Kind: trace.KindItemStart, App: a.Name, AppID: a.ID, Task: task, Slot: slot, Item: item})
+	if h.ckptOn() {
+		h.startAttempt(slot, a, task, item)
+		return
+	}
 	lat := a.Graph.Task(task).Latency
 	// A checkpointed item resumes from its saved state after paying the
 	// restore cost.
 	if m, ok := h.ckpt[a.ID]; ok {
-		if remaining, ok := m[[2]int{task, item}]; ok {
-			lat = remaining + h.cfg.CheckpointRestore
+		if rec, ok := m[[2]int{task, item}]; ok {
+			lat = rec.remaining + h.cfg.CheckpointRestore
 			delete(m, [2]int{task, item})
 		}
 	}
@@ -879,7 +1322,8 @@ func (h *Hypervisor) itemDone(slot int, a *sched.App, task, item int, lat sim.Du
 		return
 	}
 	h.eng.Cancel(rt.wdEv)
-	rt.wdEv = 0
+	h.eng.Cancel(rt.ckptEv)
+	rt.wdEv, rt.ckptEv = 0, 0
 	rt.curItem = -1
 	taskDone, err := a.MarkItemDone(task, item)
 	if err != nil {
@@ -887,8 +1331,17 @@ func (h *Hypervisor) itemDone(slot int, a *sched.App, task, item int, lat sim.Du
 		return
 	}
 	h.recordProduction(a, task, item, slot)
-	h.acct[a.ID].Run += lat
-	h.slotBusy[slot] += lat
+	run := lat
+	if h.ckptOn() {
+		// The attempt's earlier stretches (between periodic saves) are
+		// booked now, with the final stretch; save pauses were booked at
+		// each save. The snapshot is obsolete once the item completes.
+		run += rt.doneWall
+		h.ckptDelete(a.ID, task, item)
+		rt.base, rt.doneNominal, rt.doneWall = 0, 0, 0
+	}
+	h.acct[a.ID].Run += run
+	h.slotBusy[slot] += run
 	h.trace(trace.Event{At: h.eng.Now(), Kind: trace.KindItemDone, App: a.Name, AppID: a.ID, Task: task, Slot: slot, Item: item})
 	if taskDone {
 		if err := h.finishTask(slot, a, task); err != nil {
@@ -1029,6 +1482,7 @@ func (h *Hypervisor) retire(a *sched.App) error {
 	delete(h.bufOut, a.ID)
 	delete(h.handoff, a.ID)
 	delete(h.prodAt, a.ID)
+	delete(h.ckpt, a.ID)
 	h.trace(trace.Event{At: h.eng.Now(), Kind: trace.KindRetire, App: a.Name, AppID: a.ID, Task: -1, Slot: -1, Item: -1})
 	if h.cfg.OnRetire != nil {
 		h.cfg.OnRetire(a.ID)

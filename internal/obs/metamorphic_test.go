@@ -213,6 +213,51 @@ func TestMetricsGoldenSnapshots(t *testing.T) {
 	}
 }
 
+// Checkpoint instruments agree with the hypervisor's recovery
+// accounting: resumes, saved work, and transfer overhead fold online
+// into the registry exactly as RecoveryStats reports them.
+func TestCheckpointMetricsMatchRecovery(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := hv.DefaultConfig()
+	reg := obs.NewRegistry()
+	m := obs.NewMetrics(reg, cfg.Board.Slots)
+	cfg.Observer = m
+	cfg.Board.NewInjector = faults.MustParsePlan("seed 7\nslow prob=0.6 factor=4 until=120s").MustFactory()
+	cfg.WatchdogFactor = 2
+	cfg.WatchdogGrace = 20 * sim.Millisecond
+	cfg.Checkpoint = hv.CheckpointConfig{Enabled: true, Period: 50 * sim.Millisecond}
+	h, err := hv.New(eng, cfg, core.New(core.DefaultOptions(), cfg.Board))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range workload.Generate(workload.Spec{Scenario: workload.Stress, Events: 6}, 5) {
+		if err := h.Submit(apps.MustGraph(ev.App), ev.Batch, ev.Priority, ev.Arrival); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec := h.Recovery()
+	if rec.ResumedItems == 0 {
+		t.Fatal("scenario produced no resumes; the test checks nothing")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["nimblock_items_resumed_total"]; got != int64(rec.ResumedItems) {
+		t.Fatalf("resumed counter %d, recovery %d", got, rec.ResumedItems)
+	}
+	if got, want := snap.Gauges["nimblock_saved_work_seconds"], rec.SavedWork.Seconds(); math.Abs(got-want) > 1e-9*math.Max(1, want) {
+		t.Fatalf("saved-work gauge %v, recovery %v", got, want)
+	}
+	if got, want := snap.Gauges["nimblock_checkpoint_overhead_seconds"], rec.CheckpointOverhead.Seconds(); math.Abs(got-want) > 1e-9*math.Max(1, want) {
+		t.Fatalf("overhead gauge %v, recovery %v", got, want)
+	}
+	xfer := snap.Histograms["nimblock_state_transfer_seconds"]
+	if xfer.Count != int64(rec.CheckpointSaves+rec.ResumedItems) {
+		t.Fatalf("transfer count %d, want %d saves + %d restores", xfer.Count, rec.CheckpointSaves, rec.ResumedItems)
+	}
+}
+
 // The effective-slots gauge tracks permanent slot losses live.
 func TestEffectiveSlotsGauge(t *testing.T) {
 	eng := sim.NewEngine()

@@ -19,6 +19,10 @@ var DefaultLatencyBuckets = []float64{
 // takes ~80 ms end to end on the default board; retries stretch that.
 var ReconfigBuckets = []float64{0.02, 0.05, 0.08, 0.1, 0.15, 0.25, 0.5, 1, 2}
 
+// StateXferBuckets covers checkpoint state transfers through the CAP:
+// the default 1 MiB state streams in ~9 ms; queueing stretches that.
+var StateXferBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25}
+
 // Metrics is a Sink that folds trace events into a Registry online:
 // per-kind event counters, response/wait/reconfiguration latency
 // histograms, and gauges for pending applications, effective (usable)
@@ -33,14 +37,18 @@ var ReconfigBuckets = []float64{0.02, 0.05, 0.08, 0.1, 0.15, 0.25, 0.5, 1, 2}
 type Metrics struct {
 	reg *Registry
 
-	events    []*Counter // one per trace.Kind
-	completed *Counter
-	pending   *Gauge
-	effSlots  *Gauge
-	capBusy   *Gauge
-	response  *Histogram
-	wait      *Histogram
-	reconfig  *Histogram
+	events       []*Counter // one per trace.Kind
+	completed    *Counter
+	resumed      *Counter
+	pending      *Gauge
+	effSlots     *Gauge
+	capBusy      *Gauge
+	ckptOverhead *Gauge
+	savedWork    *Gauge
+	response     *Histogram
+	wait         *Histogram
+	reconfig     *Histogram
+	stateXfer    *Histogram
 
 	mu          sync.Mutex
 	arrival     map[int64]sim.Time // app -> arrival time
@@ -71,9 +79,13 @@ func NewMetrics(reg *Registry, slots int) *Metrics {
 	m.pending = reg.Gauge("nimblock_pending_apps", "applications arrived and not yet retired")
 	m.effSlots = reg.Gauge("nimblock_effective_slots", "usable slot count (initial slots minus offline)")
 	m.capBusy = reg.Gauge("nimblock_cap_busy_fraction", "fraction of virtual time the CAP spent reconfiguring")
+	m.resumed = reg.Counter("nimblock_items_resumed_total", "items resumed from a checkpoint instead of re-executing")
+	m.ckptOverhead = reg.Gauge("nimblock_checkpoint_overhead_seconds", "cumulative checkpoint save/restore transfer time")
+	m.savedWork = reg.Gauge("nimblock_saved_work_seconds", "cumulative nominal work carried over by restores")
 	m.response = reg.Histogram("nimblock_response_seconds", "application response time (retire - arrival)", DefaultLatencyBuckets)
 	m.wait = reg.Histogram("nimblock_wait_seconds", "application wait time (first item start - arrival)", DefaultLatencyBuckets)
 	m.reconfig = reg.Histogram("nimblock_reconfig_seconds", "per-request partial reconfiguration time on the CAP", ReconfigBuckets)
+	m.stateXfer = reg.Histogram("nimblock_state_transfer_seconds", "per-transfer checkpoint state time on the CAP", StateXferBuckets)
 	m.effSlots.Set(float64(slots))
 	return m
 }
@@ -128,6 +140,18 @@ func (m *Metrics) Observe(e trace.Event) {
 	case trace.KindSlotOffline:
 		m.slotsOff++
 		m.effSlots.Set(float64(m.slots - m.slotsOff))
+	case trace.KindCheckpointSave, trace.KindCheckpoint, trace.KindCheckpointFault:
+		// A zero Dur means no transfer happened (a boundary preemption in
+		// the legacy study mode, or a snapshot lost before streaming).
+		if e.Dur > 0 {
+			m.stateXfer.Observe(e.Dur.Seconds())
+			m.ckptOverhead.Add(e.Dur.Seconds())
+		}
+	case trace.KindRestore:
+		m.stateXfer.Observe(e.Dur.Seconds())
+		m.ckptOverhead.Add(e.Dur.Seconds())
+		m.savedWork.Add(e.Progress.Seconds())
+		m.resumed.Inc()
 	}
 	if m.lastAt > 0 {
 		m.capBusy.Set(float64(m.capBusyTime) / float64(m.lastAt))

@@ -37,6 +37,11 @@ const maxViolations = 20
 //  4. Batch-boundary preemption: KindPreempt never lands mid-item.
 //  5. Causality: retire follows arrival; nothing happens to an
 //     application before it arrives.
+//  6. Checkpoint consistency: snapshots capture strictly increasing
+//     progress per item, an item restores only from a state that was
+//     actually checkpointed and never resumes more work than was saved,
+//     and checkpoint state transfers share the serialized CAP
+//     (successive transfer completions are spaced by MinStateXferGap).
 //
 // Checker is safe for concurrent use; the simulation itself is
 // single-threaded per engine, but one checker may watch several engines
@@ -47,16 +52,26 @@ type Checker struct {
 	// disables the check (heterogeneous boards have different stream
 	// times). Set before the first event.
 	MinReconfigGap sim.Duration
+	// MinStateXferGap is the minimum spacing between checkpoint state
+	// transfer completions (saves, restores, corrupt restores): the CAP
+	// streams one state image at a time, so with a uniform state size
+	// completions can never be closer than one stream time. Zero (the
+	// default) disables the check — state sizes vary per task in the
+	// general case.
+	MinStateXferGap sim.Duration
 
 	mu         sync.Mutex
 	slots      map[int]*slotState
 	started    map[itemKey]int
 	finished   map[itemKey]int
 	aborted    map[itemKey]int
+	snapshots  map[itemKey]sim.Duration
 	arrived    map[int64]sim.Time
 	retired    map[int64]sim.Time
 	lastDone   sim.Time
 	seenDone   bool
+	lastXfer   sim.Time
+	seenXfer   bool
 	events     int
 	violations []string
 }
@@ -82,6 +97,7 @@ func NewChecker() *Checker {
 		started:        map[itemKey]int{},
 		finished:       map[itemKey]int{},
 		aborted:        map[itemKey]int{},
+		snapshots:      map[itemKey]sim.Duration{},
 		arrived:        map[int64]sim.Time{},
 		retired:        map[int64]sim.Time{},
 	}
@@ -184,6 +200,7 @@ func (c *Checker) Observe(e trace.Event) {
 		}
 		s.itemOpen = false
 		c.finished[itemKey{e.AppID, e.Task, e.Item}]++
+		delete(c.snapshots, itemKey{e.AppID, e.Task, e.Item})
 	case trace.KindTaskDone:
 		s := c.slot(e.Slot)
 		if s.itemOpen {
@@ -204,16 +221,69 @@ func (c *Checker) Observe(e trace.Event) {
 		}
 		s.loaded = false
 	case trace.KindCheckpoint:
-		// The checkpoint study's mid-item path: the in-flight item is
-		// aborted with state capture and resumes later.
+		// Mid-item preemption with state capture (both the legacy study
+		// mode and the checkpoint subsystem's on-demand path): the
+		// in-flight item is aborted and resumes later.
 		s := c.slot(e.Slot)
 		if !s.itemOpen {
 			c.violatef("checkpoint with no item in flight: %v", e)
 		} else {
 			c.aborted[s.openItem]++
 		}
+		if e.Progress > 0 {
+			k := itemKey{e.AppID, e.Task, e.Item}
+			if prev, ok := c.snapshots[k]; ok && e.Progress < prev {
+				c.violatef("checkpoint progress regressed from %v: %v", prev, e)
+			}
+			c.snapshots[k] = e.Progress
+		}
+		c.observeXfer(e)
 		s.itemOpen = false
 		s.loaded = false
+	case trace.KindCheckpointSave:
+		// Periodic save: the state streams out through the CAP while the
+		// item stays in flight; each snapshot must capture strictly more
+		// progress than the last.
+		s := c.slot(e.Slot)
+		k := itemKey{e.AppID, e.Task, e.Item}
+		if !s.itemOpen || s.openItem != k {
+			c.violatef("checkpoint save for an item not in flight: %v", e)
+		}
+		if e.Progress <= 0 {
+			c.violatef("checkpoint save captured no progress: %v", e)
+		}
+		if prev, ok := c.snapshots[k]; ok && e.Progress <= prev {
+			c.violatef("checkpoint save progress %v not beyond last snapshot %v: %v", e.Progress, prev, e)
+		}
+		c.snapshots[k] = e.Progress
+		c.observeXfer(e)
+	case trace.KindRestore:
+		// Resume-from-checkpoint: only a state that was actually saved can
+		// stream back, and never with more progress than was captured.
+		s := c.slot(e.Slot)
+		k := itemKey{e.AppID, e.Task, e.Item}
+		if !s.itemOpen || s.openItem != k {
+			c.violatef("restore for an item not in flight: %v", e)
+		}
+		prev, ok := c.snapshots[k]
+		if !ok {
+			c.violatef("restore without a prior checkpoint: %v", e)
+		} else if e.Progress > prev {
+			c.violatef("restore resumed %v, more than the %v saved: %v", e.Progress, prev, e)
+		}
+		if e.Progress <= 0 {
+			c.violatef("restore resumed no progress: %v", e)
+		}
+		c.observeXfer(e)
+	case trace.KindCheckpointFault:
+		// A lost or corrupt snapshot discovered at restore time: it must
+		// have existed, and it is unusable afterwards.
+		k := itemKey{e.AppID, e.Task, e.Item}
+		if _, ok := c.snapshots[k]; !ok {
+			c.violatef("checkpoint fault without a prior checkpoint: %v", e)
+		}
+		delete(c.snapshots, k)
+		c.observeXfer(e)
 	case trace.KindWatchdog:
 		s := c.slot(e.Slot)
 		if !s.itemOpen {
@@ -236,6 +306,20 @@ func (c *Checker) Observe(e trace.Event) {
 		}
 		*s = slotState{offline: true}
 	}
+}
+
+// observeXfer applies the CAP serialization spacing to checkpoint state
+// transfers: events carrying a transfer duration complete one stream at
+// a time, so with MinStateXferGap set (uniform state size) completions
+// can never be closer than one stream time.
+func (c *Checker) observeXfer(e trace.Event) {
+	if e.Dur <= 0 {
+		return
+	}
+	if gap := c.MinStateXferGap; gap > 0 && c.seenXfer && e.At.Sub(c.lastXfer) < gap {
+		c.violatef("state transfers completed %v apart (< %v): CAP not serialized: %v", e.At.Sub(c.lastXfer), gap, e)
+	}
+	c.lastXfer, c.seenXfer = e.At, true
 }
 
 // Events reports the number of events observed.

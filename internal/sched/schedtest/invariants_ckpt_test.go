@@ -1,0 +1,148 @@
+package schedtest
+
+import (
+	"strings"
+	"testing"
+
+	"nimblock/internal/sim"
+	"nimblock/internal/trace"
+)
+
+func ckptEv(at sim.Duration, k trace.Kind, app int64, task, slot, item int, dur, progress sim.Duration) trace.Event {
+	e := ev(at, k, app, task, slot, item)
+	e.Dur = dur
+	e.Progress = progress
+	return e
+}
+
+// A clean checkpoint lifetime: periodic saves with growing progress, a
+// watchdog kill, a restore of exactly the saved progress on another
+// slot, and completion. Nothing fires.
+func TestCheckerAcceptsCheckpointStream(t *testing.T) {
+	c := NewChecker()
+	for _, e := range []trace.Event{
+		ev(0, trace.KindArrival, 1, -1, -1, -1),
+		ev(0, trace.KindReconfigStart, 1, 0, 0, -1),
+		ev(80*sim.Millisecond, trace.KindReconfigDone, 1, 0, 0, -1),
+		ev(81*sim.Millisecond, trace.KindItemStart, 1, 0, 0, 0),
+		ckptEv(131*sim.Millisecond, trace.KindCheckpointSave, 1, 0, 0, 0, 9*sim.Millisecond, 10*sim.Millisecond),
+		ckptEv(190*sim.Millisecond, trace.KindCheckpointSave, 1, 0, 0, 0, 9*sim.Millisecond, 20*sim.Millisecond),
+		ev(400*sim.Millisecond, trace.KindWatchdog, 1, 0, 0, 0),
+		ev(401*sim.Millisecond, trace.KindReconfigStart, 1, 0, 1, -1),
+		ev(481*sim.Millisecond, trace.KindReconfigDone, 1, 0, 1, -1),
+		ev(482*sim.Millisecond, trace.KindItemStart, 1, 0, 1, 0),
+		ckptEv(491*sim.Millisecond, trace.KindRestore, 1, 0, 1, 0, 9*sim.Millisecond, 20*sim.Millisecond),
+		ev(580*sim.Millisecond, trace.KindItemDone, 1, 0, 1, 0),
+		ev(580*sim.Millisecond, trace.KindTaskDone, 1, 0, 1, -1),
+		ev(581*sim.Millisecond, trace.KindRetire, 1, -1, -1, -1),
+	} {
+		c.Observe(e)
+	}
+	if err := c.Finish(1); err != nil {
+		t.Fatalf("clean checkpoint stream flagged: %v", err)
+	}
+}
+
+// Each corrupted checkpoint sequence must fire with a violation
+// mentioning the expected phrase.
+func TestCheckerCatchesCheckpointViolations(t *testing.T) {
+	inflight := []trace.Event{
+		ev(0, trace.KindArrival, 1, -1, -1, -1),
+		ev(0, trace.KindReconfigStart, 1, 0, 0, -1),
+		ev(80*sim.Millisecond, trace.KindReconfigDone, 1, 0, 0, -1),
+		ev(81*sim.Millisecond, trace.KindItemStart, 1, 0, 0, 0),
+	}
+	withSave := append(append([]trace.Event{}, inflight...),
+		ckptEv(131*sim.Millisecond, trace.KindCheckpointSave, 1, 0, 0, 0, 9*sim.Millisecond, 20*sim.Millisecond))
+
+	cases := []struct {
+		name   string
+		events []trace.Event
+		want   string
+	}{
+		{"save for idle item", []trace.Event{
+			ckptEv(0, trace.KindCheckpointSave, 1, 0, 0, 0, sim.Millisecond, sim.Millisecond),
+		}, "not in flight"},
+		{"save without progress", append(append([]trace.Event{}, inflight...),
+			ckptEv(131*sim.Millisecond, trace.KindCheckpointSave, 1, 0, 0, 0, sim.Millisecond, 0)),
+			"captured no progress"},
+		{"save not monotonic", append(append([]trace.Event{}, withSave...),
+			ckptEv(190*sim.Millisecond, trace.KindCheckpointSave, 1, 0, 0, 0, sim.Millisecond, 20*sim.Millisecond)),
+			"not beyond last snapshot"},
+		{"restore from nothing", append(append([]trace.Event{}, inflight...),
+			ckptEv(90*sim.Millisecond, trace.KindRestore, 1, 0, 0, 0, sim.Millisecond, 10*sim.Millisecond)),
+			"without a prior checkpoint"},
+		{"restore beyond snapshot", append(append([]trace.Event{}, withSave...),
+			ev(200*sim.Millisecond, trace.KindWatchdog, 1, 0, 0, 0),
+			ev(201*sim.Millisecond, trace.KindReconfigStart, 1, 0, 1, -1),
+			ev(281*sim.Millisecond, trace.KindReconfigDone, 1, 0, 1, -1),
+			ev(282*sim.Millisecond, trace.KindItemStart, 1, 0, 1, 0),
+			ckptEv(290*sim.Millisecond, trace.KindRestore, 1, 0, 1, 0, sim.Millisecond, 50*sim.Millisecond)),
+			"more than"},
+		{"restore for idle item", append(append([]trace.Event{}, withSave...),
+			ev(200*sim.Millisecond, trace.KindWatchdog, 1, 0, 0, 0),
+			ckptEv(290*sim.Millisecond, trace.KindRestore, 1, 0, 0, 0, sim.Millisecond, 20*sim.Millisecond)),
+			"not in flight"},
+		{"fault from nothing", []trace.Event{
+			ckptEv(0, trace.KindCheckpointFault, 1, 0, 0, 0, 0, 10*sim.Millisecond),
+		}, "without a prior checkpoint"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewChecker()
+			for _, e := range tc.events {
+				c.Observe(e)
+			}
+			if err := c.Err(); err == nil {
+				t.Fatalf("checker accepted %s", tc.name)
+			} else if got := strings.Join(c.Violations(), "\n"); !strings.Contains(got, tc.want) {
+				t.Fatalf("violations %q do not mention %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// With MinStateXferGap set, checkpoint state transfers that complete
+// closer than one CAP stream time are flagged.
+func TestCheckerStateTransferSerialization(t *testing.T) {
+	c := NewChecker()
+	c.MinStateXferGap = 8 * sim.Millisecond
+	for _, e := range []trace.Event{
+		ev(0, trace.KindArrival, 1, -1, -1, -1),
+		ev(0, trace.KindArrival, 2, -1, -1, -1),
+		ev(0, trace.KindReconfigStart, 1, 0, 0, -1),
+		ev(80*sim.Millisecond, trace.KindReconfigDone, 1, 0, 0, -1),
+		ev(81*sim.Millisecond, trace.KindItemStart, 1, 0, 0, 0),
+		ev(100*sim.Millisecond, trace.KindReconfigStart, 2, 0, 1, -1),
+		ev(180*sim.Millisecond, trace.KindReconfigDone, 2, 0, 1, -1),
+		ev(181*sim.Millisecond, trace.KindItemStart, 2, 0, 1, 0),
+		ckptEv(200*sim.Millisecond, trace.KindCheckpointSave, 1, 0, 0, 0, 8*sim.Millisecond, 10*sim.Millisecond),
+		ckptEv(203*sim.Millisecond, trace.KindCheckpointSave, 2, 0, 1, 0, 8*sim.Millisecond, 10*sim.Millisecond),
+	} {
+		c.Observe(e)
+	}
+	err := c.Err()
+	if err == nil {
+		t.Fatal("overlapping state transfers accepted")
+	}
+	if got := strings.Join(c.Violations(), "\n"); !strings.Contains(got, "CAP not serialized") {
+		t.Fatalf("violations %q do not mention CAP serialization", got)
+	}
+
+	// Spaced exactly one stream time apart: clean.
+	c = NewChecker()
+	c.MinStateXferGap = 8 * sim.Millisecond
+	for _, e := range []trace.Event{
+		ev(0, trace.KindArrival, 1, -1, -1, -1),
+		ev(0, trace.KindReconfigStart, 1, 0, 0, -1),
+		ev(80*sim.Millisecond, trace.KindReconfigDone, 1, 0, 0, -1),
+		ev(81*sim.Millisecond, trace.KindItemStart, 1, 0, 0, 0),
+		ckptEv(200*sim.Millisecond, trace.KindCheckpointSave, 1, 0, 0, 0, 8*sim.Millisecond, 10*sim.Millisecond),
+		ckptEv(208*sim.Millisecond, trace.KindCheckpointSave, 1, 0, 0, 0, 8*sim.Millisecond, 20*sim.Millisecond),
+	} {
+		c.Observe(e)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("serialized transfers flagged: %v", err)
+	}
+}

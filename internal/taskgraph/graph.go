@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 
 	"nimblock/internal/sim"
@@ -24,6 +25,16 @@ type Task struct {
 	// Latency is the ground-truth time to process one batch item.
 	// Schedulers never see this directly; they see the HLS estimate.
 	Latency sim.Duration
+	// StateBytes is the live context that must move through the CAP to
+	// checkpoint or restore this task mid-item (BRAM contents, register
+	// file, pipeline state). Zero means "use the hypervisor default".
+	StateBytes int64
+	// Checkpoints lists the fractions of one item's work, strictly
+	// increasing within (0,1), at which the kernel exposes a consistent
+	// snapshot (a preemption point: no in-flight partial writes). Empty
+	// means the hypervisor may assume uniformly spaced default points.
+	// Callers must not modify the slice.
+	Checkpoints []float64
 }
 
 // Graph is an immutable task DAG. Build one with a Builder; the
@@ -56,6 +67,19 @@ func (b *Builder) AddTask(name string, latency sim.Duration) int {
 	return len(b.tasks) - 1
 }
 
+// SetTaskState declares the checkpointable state size of task id.
+func (b *Builder) SetTaskState(id int, bytes int64) *Builder {
+	b.tasks[id].StateBytes = bytes
+	return b
+}
+
+// SetCheckpoints declares the preemption points of task id as fractions
+// of one item's work, strictly increasing within (0,1).
+func (b *Builder) SetCheckpoints(id int, fracs ...float64) *Builder {
+	b.tasks[id].Checkpoints = append([]float64(nil), fracs...)
+	return b
+}
+
 // AddEdge records a dependency: to consumes the output of from.
 func (b *Builder) AddEdge(from, to int) *Builder {
 	b.edges = append(b.edges, [2]int{from, to})
@@ -79,6 +103,16 @@ func (b *Builder) Build() (*Graph, error) {
 	for i, t := range b.tasks {
 		if t.Latency <= 0 {
 			return nil, fmt.Errorf("taskgraph %q: task %d (%s) has non-positive latency %v", b.name, i, t.Name, t.Latency)
+		}
+		if t.StateBytes < 0 {
+			return nil, fmt.Errorf("taskgraph %q: task %d (%s) has negative state size %d", b.name, i, t.Name, t.StateBytes)
+		}
+		prev := 0.0
+		for _, p := range t.Checkpoints {
+			if p <= prev || p >= 1 {
+				return nil, fmt.Errorf("taskgraph %q: task %d (%s) checkpoints %v must be strictly increasing within (0,1)", b.name, i, t.Name, t.Checkpoints)
+			}
+			prev = p
 		}
 	}
 	g := &Graph{
@@ -130,6 +164,11 @@ func fingerprint(g *Graph) uint64 {
 	for _, t := range g.tasks {
 		h.Write([]byte(t.Name))
 		writeInt(int64(t.Latency))
+		writeInt(t.StateBytes)
+		writeInt(int64(len(t.Checkpoints)))
+		for _, p := range t.Checkpoints {
+			writeInt(int64(math.Float64bits(p)))
+		}
 	}
 	var edges [][2]int
 	for from, succs := range g.succ {
@@ -320,6 +359,38 @@ func (g *Graph) MaxWidth() int {
 		}
 	}
 	return max
+}
+
+// SnapFraction returns the largest preemption point of task i that is
+// <= frac — the latest consistent snapshot reachable after completing a
+// frac share of one item. Tasks that declare no Checkpoints fall back to
+// defaultPoints uniformly spaced interior points (k/(defaultPoints+1));
+// the result is 0 when no point has been passed yet, meaning the only
+// consistent state is "not started".
+func (g *Graph) SnapFraction(i int, frac float64, defaultPoints int) float64 {
+	if frac <= 0 {
+		return 0
+	}
+	pts := g.tasks[i].Checkpoints
+	if len(pts) == 0 {
+		if defaultPoints <= 0 {
+			return 0
+		}
+		step := 1.0 / float64(defaultPoints+1)
+		k := int(frac / step)
+		if k > defaultPoints {
+			k = defaultPoints
+		}
+		return float64(k) * step
+	}
+	best := 0.0
+	for _, p := range pts {
+		if p > frac {
+			break
+		}
+		best = p
+	}
+	return best
 }
 
 // Validate re-checks internal invariants; it is used by property tests.

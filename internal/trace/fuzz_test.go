@@ -15,11 +15,12 @@ import (
 // rejects rather than silently corrupts.
 func FuzzEventRoundTrip(f *testing.F) {
 	for k := 0; k < NumKinds(); k++ {
-		f.Add(int64(k*1000), uint8(k), "app", int64(k), k, k%4, k*2)
+		f.Add(int64(k*1000), uint8(k), "app", int64(k), k, k%4, k*2, int64(k*7), int64(k*11))
 	}
-	f.Add(int64(-5), uint8(200), "", int64(-1), -1, -1, -1)
-	f.Fuzz(func(t *testing.T, at int64, kind uint8, app string, appID int64, task, slot, item int) {
-		e := Event{At: sim.Time(at), Kind: Kind(kind), App: app, AppID: appID, Task: task, Slot: slot, Item: item}
+	f.Add(int64(-5), uint8(200), "", int64(-1), -1, -1, -1, int64(0), int64(0))
+	f.Fuzz(func(t *testing.T, at int64, kind uint8, app string, appID int64, task, slot, item int, dur, progress int64) {
+		e := Event{At: sim.Time(at), Kind: Kind(kind), App: app, AppID: appID, Task: task, Slot: slot, Item: item,
+			Dur: sim.Duration(dur), Progress: sim.Duration(progress)}
 		data, err := json.Marshal(EventJSON(e))
 		if err != nil {
 			t.Fatalf("encode: %v", err)

@@ -7,15 +7,19 @@ import (
 	"nimblock/internal/sim"
 )
 
-// jsonEvent is the interchange form of an Event.
+// jsonEvent is the interchange form of an Event. Dur/Progress carry
+// checkpoint transfer time and captured progress; they are omitted when
+// zero so pre-checkpoint exports parse unchanged.
 type jsonEvent struct {
-	At    sim.Time `json:"at_us"`
-	Kind  string   `json:"kind"`
-	App   string   `json:"app"`
-	AppID int64    `json:"app_id"`
-	Task  int      `json:"task"`
-	Slot  int      `json:"slot"`
-	Item  int      `json:"item"`
+	At       sim.Time     `json:"at_us"`
+	Kind     string       `json:"kind"`
+	App      string       `json:"app"`
+	AppID    int64        `json:"app_id"`
+	Task     int          `json:"task"`
+	Slot     int          `json:"slot"`
+	Item     int          `json:"item"`
+	Dur      sim.Duration `json:"dur_us,omitempty"`
+	Progress sim.Duration `json:"progress_us,omitempty"`
 }
 
 // kindNames maps Kind to its interchange string and back. Iterating up
@@ -29,12 +33,22 @@ var kindNames = func() map[string]Kind {
 	return m
 }()
 
+func toJSON(e Event) jsonEvent {
+	return jsonEvent{At: e.At, Kind: e.Kind.String(), App: e.App, AppID: e.AppID,
+		Task: e.Task, Slot: e.Slot, Item: e.Item, Dur: e.Dur, Progress: e.Progress}
+}
+
+func fromJSON(raw jsonEvent, kind Kind) Event {
+	return Event{At: raw.At, Kind: kind, App: raw.App, AppID: raw.AppID,
+		Task: raw.Task, Slot: raw.Slot, Item: raw.Item, Dur: raw.Dur, Progress: raw.Progress}
+}
+
 // MarshalJSON exports the log for offline analysis or replay.
 func (l *Log) MarshalJSON() ([]byte, error) {
 	events := l.Events()
 	out := make([]jsonEvent, len(events))
 	for i, e := range events {
-		out[i] = jsonEvent{At: e.At, Kind: e.Kind.String(), App: e.App, AppID: e.AppID, Task: e.Task, Slot: e.Slot, Item: e.Item}
+		out[i] = toJSON(e)
 	}
 	return json.Marshal(out)
 }
@@ -43,7 +57,7 @@ func (l *Log) MarshalJSON() ([]byte, error) {
 // MarshalJSON uses for whole logs — for streaming exports that emit one
 // object per event (e.g. the obs JSONL sink).
 func EventJSON(e Event) any {
-	return jsonEvent{At: e.At, Kind: e.Kind.String(), App: e.App, AppID: e.AppID, Task: e.Task, Slot: e.Slot, Item: e.Item}
+	return toJSON(e)
 }
 
 // ParseEventJSON decodes one interchange object produced by EventJSON,
@@ -57,7 +71,7 @@ func ParseEventJSON(data []byte) (Event, error) {
 	if !ok {
 		return Event{}, fmt.Errorf("trace: unknown kind %q", raw.Kind)
 	}
-	return Event{At: raw.At, Kind: kind, App: raw.App, AppID: raw.AppID, Task: raw.Task, Slot: raw.Slot, Item: raw.Item}, nil
+	return fromJSON(raw, kind), nil
 }
 
 // ParseJSON imports a log previously exported with MarshalJSON.
@@ -72,7 +86,7 @@ func ParseJSON(data []byte) (*Log, error) {
 		if !ok {
 			return nil, fmt.Errorf("trace: event %d has unknown kind %q", i, e.Kind)
 		}
-		l.Add(Event{At: e.At, Kind: kind, App: e.App, AppID: e.AppID, Task: e.Task, Slot: e.Slot, Item: e.Item})
+		l.Add(fromJSON(e, kind))
 	}
 	return l, nil
 }

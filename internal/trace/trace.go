@@ -52,6 +52,17 @@ const (
 	// KindSlotOffline marks a slot leaving service permanently (hardware
 	// failure or quarantine); the usable slot count drops by one.
 	KindSlotOffline
+	// KindCheckpointSave marks a periodic checkpoint completing through
+	// the CAP while the item keeps running; Dur is the transfer time and
+	// Progress the nominal work captured by the snapshot.
+	KindCheckpointSave
+	// KindRestore marks an item resuming from its last checkpoint on a
+	// (possibly different) slot; Dur is the CAP restore transfer time and
+	// Progress the nominal work the snapshot carried over.
+	KindRestore
+	// KindCheckpointFault marks a lost or corrupt checkpoint discovered
+	// at restore time; the item falls back to from-scratch re-execution.
+	KindCheckpointFault
 
 	// kindCount is a sentinel one past the last valid Kind. Every new
 	// kind MUST be added above it so iteration (JSON interchange, tests)
@@ -95,12 +106,19 @@ func (k Kind) String() string {
 		return "quarantine"
 	case KindSlotOffline:
 		return "slot-offline"
+	case KindCheckpointSave:
+		return "ckpt-save"
+	case KindRestore:
+		return "restore"
+	case KindCheckpointFault:
+		return "ckpt-fault"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
-// Event is one recorded occurrence. Fields that do not apply are -1.
+// Event is one recorded occurrence. Fields that do not apply are -1
+// (Task/Slot/Item) or 0 (Dur/Progress).
 type Event struct {
 	At    sim.Time
 	Kind  Kind
@@ -109,6 +127,11 @@ type Event struct {
 	Task  int
 	Slot  int
 	Item  int
+	// Dur carries the transfer time of checkpoint save/restore events.
+	Dur sim.Duration
+	// Progress carries the nominal work captured or resumed by a
+	// checkpoint save/restore event.
+	Progress sim.Duration
 }
 
 // String renders the event as one log line.
@@ -123,6 +146,12 @@ func (e Event) String() string {
 	}
 	if e.Item >= 0 {
 		fmt.Fprintf(&b, " item=%d", e.Item)
+	}
+	if e.Dur > 0 {
+		fmt.Fprintf(&b, " dur=%v", e.Dur)
+	}
+	if e.Progress > 0 {
+		fmt.Fprintf(&b, " progress=%v", e.Progress)
 	}
 	return b.String()
 }

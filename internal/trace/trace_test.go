@@ -42,14 +42,23 @@ func TestEventString(t *testing.T) {
 	}
 	// Fields that do not apply are suppressed.
 	s2 := Event{Kind: KindArrival, App: "x", Task: -1, Slot: -1, Item: -1}.String()
-	if strings.Contains(s2, "task=") || strings.Contains(s2, "slot=") {
+	if strings.Contains(s2, "task=") || strings.Contains(s2, "slot=") ||
+		strings.Contains(s2, "dur=") || strings.Contains(s2, "progress=") {
 		t.Fatalf("suppressed fields leaked: %q", s2)
+	}
+	// Checkpoint events render transfer time and captured progress.
+	s3 := Event{Kind: KindRestore, App: "x", Task: 0, Slot: 1, Item: 2,
+		Dur: 5 * sim.Millisecond, Progress: 40 * sim.Millisecond}.String()
+	if !strings.Contains(s3, "dur=") || !strings.Contains(s3, "progress=") {
+		t.Fatalf("checkpoint fields missing: %q", s3)
 	}
 }
 
 func TestKindStrings(t *testing.T) {
 	kinds := []Kind{KindArrival, KindReconfigStart, KindReconfigDone, KindItemStart,
-		KindItemDone, KindTaskDone, KindPreemptRequest, KindPreempt, KindCheckpoint, KindRetire, KindFault, Kind(99)}
+		KindItemDone, KindTaskDone, KindPreemptRequest, KindPreempt, KindCheckpoint, KindRetire, KindFault,
+		KindRetry, KindWatchdog, KindQuarantine, KindSlotOffline,
+		KindCheckpointSave, KindRestore, KindCheckpointFault, Kind(99)}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

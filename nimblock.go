@@ -33,6 +33,7 @@ import (
 	"nimblock/internal/metrics"
 	"nimblock/internal/sched"
 	"nimblock/internal/sched/baseline"
+	"nimblock/internal/sched/ckpt"
 	"nimblock/internal/sched/fcfs"
 	"nimblock/internal/sched/prema"
 	"nimblock/internal/sched/rr"
@@ -71,6 +72,10 @@ const (
 	AlgoNimblockNoPipe Algorithm = "NimblockNoPipe"
 	// AlgoNimblockNoPreemptNoPipe disables both (ablation).
 	AlgoNimblockNoPreemptNoPipe Algorithm = "NimblockNoPreemptNoPipe"
+	// AlgoNimblockCheckpoint is the full algorithm plus mid-batch
+	// SLO-rescue preemption; pair it with Config.Checkpoint so rescue
+	// preemptions are honoured mid-item via checkpoint/restore.
+	AlgoNimblockCheckpoint Algorithm = "NimblockCheckpoint"
 	// AlgoBaseline gives the whole board to one application at a time.
 	AlgoBaseline Algorithm = "Baseline"
 	// AlgoFCFS shares slots first-come, first-served.
@@ -86,6 +91,7 @@ func Algorithms() []Algorithm {
 	return []Algorithm{
 		AlgoBaseline, AlgoFCFS, AlgoPREMA, AlgoRR,
 		AlgoNimblock, AlgoNimblockNoPreempt, AlgoNimblockNoPipe, AlgoNimblockNoPreemptNoPipe,
+		AlgoNimblockCheckpoint,
 	}
 }
 
@@ -134,8 +140,16 @@ type Config struct {
 	Interconnect string
 	// CheckpointPreemption switches batch-boundary preemption to classic
 	// mid-item checkpointing with the given state save/restore cost per
-	// side (0 keeps the paper's batch-preemption).
+	// side (0 keeps the paper's batch-preemption). Superseded by
+	// Checkpoint, the full subsystem; setting both is an error.
 	CheckpointPreemption time.Duration
+	// Checkpoint enables the full checkpoint/restore subsystem: items
+	// checkpoint at preemption points (periodically and on demand),
+	// state streams through the configuration port at a cost
+	// proportional to its size, and watchdog kills, slot failures, and
+	// mid-item preemptions resume from the last checkpoint instead of
+	// re-executing from scratch.
+	Checkpoint CheckpointConfig
 	// Horizon bounds virtual time (default ~55 hours); Run fails if
 	// applications are still pending then.
 	Horizon time.Duration
@@ -143,6 +157,21 @@ type Config struct {
 	// simulation emits it — independent of EnableTrace. See the Observer
 	// interface for the contract.
 	Observer Observer
+}
+
+// CheckpointConfig configures the checkpoint/restore subsystem.
+type CheckpointConfig struct {
+	// Enabled turns the subsystem on.
+	Enabled bool
+	// Period saves a checkpoint periodically while an item runs (zero:
+	// on-demand captures only, at preemptions).
+	Period time.Duration
+	// StateBytes is the per-task checkpoint state size used when an
+	// application declares none (default 1 MiB).
+	StateBytes int64
+	// DefaultPoints is the number of uniform preemption points assumed
+	// for tasks that declare none (default 9, every 10%).
+	DefaultPoints int
 }
 
 // DefaultConfig mirrors the paper's evaluation platform with the full
@@ -278,6 +307,8 @@ func newPolicy(cfg Config, board hv.Config) (sched.Scheduler, error) {
 		return core.New(core.Options{Preemption: true}, board.Board), nil
 	case AlgoNimblockNoPreemptNoPipe:
 		return core.New(core.Options{}, board.Board), nil
+	case AlgoNimblockCheckpoint:
+		return ckpt.New(ckpt.DefaultOptions(), board.Board), nil
 	case AlgoBaseline:
 		return baseline.New(), nil
 	case AlgoFCFS:
@@ -344,6 +375,14 @@ func NewSystem(cfg Config) (*System, error) {
 		hcfg.Preempt = hv.PreemptWithCheckpoint
 		hcfg.CheckpointSave = sim.FromStd(cfg.CheckpointPreemption)
 		hcfg.CheckpointRestore = sim.FromStd(cfg.CheckpointPreemption)
+	}
+	if cfg.Checkpoint.Enabled {
+		hcfg.Checkpoint = hv.CheckpointConfig{
+			Enabled:       true,
+			Period:        sim.FromStd(cfg.Checkpoint.Period),
+			StateBytes:    cfg.Checkpoint.StateBytes,
+			DefaultPoints: cfg.Checkpoint.DefaultPoints,
+		}
 	}
 	pol, err := newPolicy(cfg, hcfg)
 	if err != nil {
@@ -446,8 +485,20 @@ type RecoveryStats struct {
 	Quarantined  int
 	SlotsOffline int
 	// WastedWork is fabric time burned on executions whose results were
-	// lost.
+	// lost. With Config.Checkpoint enabled, only progress since the last
+	// checkpoint is wasted.
 	WastedWork time.Duration
+	// ResumedItems counts items that resumed from a checkpoint instead
+	// of re-executing; SavedWork is the work those restores carried
+	// over; CheckpointSaves and CheckpointFaults count state captures
+	// and snapshots found lost or corrupt at restore time.
+	ResumedItems     int
+	CheckpointSaves  int
+	CheckpointFaults int
+	SavedWork        time.Duration
+	// CheckpointOverhead is time spent streaming checkpoint state
+	// through the configuration port (never counted in WastedWork).
+	CheckpointOverhead time.Duration
 	// EffectiveSlots is the time-weighted average usable slot count —
 	// the board size the run actually had.
 	EffectiveSlots float64
@@ -458,13 +509,18 @@ type RecoveryStats struct {
 func (s *System) Recovery() RecoveryStats {
 	rec := s.hv.Recovery()
 	return RecoveryStats{
-		FaultsInjected: rec.FaultsInjected,
-		Retries:        rec.Retries,
-		Recovered:      rec.Recovered,
-		WatchdogKills:  rec.WatchdogKills,
-		Quarantined:    rec.Quarantined,
-		SlotsOffline:   rec.SlotsOffline,
-		WastedWork:     rec.WastedWork.Std(),
-		EffectiveSlots: metrics.EffectiveSlots(rec.Timeline, s.eng.Now()),
+		FaultsInjected:     rec.FaultsInjected,
+		Retries:            rec.Retries,
+		Recovered:          rec.Recovered,
+		WatchdogKills:      rec.WatchdogKills,
+		Quarantined:        rec.Quarantined,
+		SlotsOffline:       rec.SlotsOffline,
+		WastedWork:         rec.WastedWork.Std(),
+		ResumedItems:       rec.ResumedItems,
+		CheckpointSaves:    rec.CheckpointSaves,
+		CheckpointFaults:   rec.CheckpointFaults,
+		SavedWork:          rec.SavedWork.Std(),
+		CheckpointOverhead: rec.CheckpointOverhead.Std(),
+		EffectiveSlots:     metrics.EffectiveSlots(rec.Timeline, s.eng.Now()),
 	}
 }
