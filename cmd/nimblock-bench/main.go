@@ -1,9 +1,9 @@
 // Command nimblock-bench is the benchmark-regression harness: it runs the
 // key experiment drivers N times under controlled timing, both through the
 // serial reference path (one worker) and the parallel runner, and emits
-// BENCH_<rev>.json with ns/op, allocs/op, and the parallel speedup. Commit
-// the file to record the performance trajectory of the repository; compare
-// two files to spot a regression.
+// BENCH_<rev>.json with ns/op, allocs/op, bytes/op, simulator events/sec,
+// and the parallel speedup. Commit the file to record the performance
+// trajectory of the repository; compare two files to spot a regression.
 package main
 
 import (
@@ -23,12 +23,14 @@ import (
 
 // Sample is one measured benchmark.
 type Sample struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	Iters       int     `json:"iters"`
-	Rounds      int     `json:"rounds"`
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	EventsPerOp  float64 `json:"events_per_op,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	Iters        int     `json:"iters"`
+	Rounds       int     `json:"rounds"`
 }
 
 // Report is the BENCH_<rev>.json payload.
@@ -51,7 +53,7 @@ func main() {
 		rounds    = flag.Int("rounds", 3, "measurement rounds per benchmark; the fastest round is reported")
 		benchtime = flag.Duration("benchtime", time.Second, "minimum measuring time per round")
 		full      = flag.Bool("full", false, "paper-scale stimulus instead of quick scale")
-		baseline  = flag.String("baseline", "", "committed BENCH_<rev>.json to gate against: exit 1 if any shared benchmark regresses more than -tolerance in ns/op or allocs/op")
+		baseline  = flag.String("baseline", "", "committed BENCH_<rev>.json to gate against: exit 1 if any shared benchmark regresses more than -tolerance in ns/op, allocs/op, or bytes/op")
 		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional regression against -baseline")
 	)
 	flag.Parse()
@@ -98,8 +100,8 @@ func main() {
 	record := func(s Sample) {
 		report.Benchmarks = append(report.Benchmarks, s)
 		byName[s.Name] = s
-		fmt.Fprintf(os.Stderr, "%-24s %14.0f ns/op %12.0f allocs/op (%d iters x %d rounds)\n",
-			s.Name, s.NsPerOp, s.AllocsPerOp, s.Iters, s.Rounds)
+		fmt.Fprintf(os.Stderr, "%-24s %14.0f ns/op %12.0f allocs/op %11.0f events/sec (%d iters x %d rounds)\n",
+			s.Name, s.NsPerOp, s.AllocsPerOp, s.EventsPerSec, s.Iters, s.Rounds)
 	}
 	for _, p := range pairs {
 		record(measure(p.name+"Serial", *rounds, *benchtime, func() {
@@ -133,11 +135,12 @@ func main() {
 }
 
 // gate compares the run against a committed baseline report: every
-// benchmark present in both must stay within tolerance on ns/op and
-// allocs/op. Timing gates are noisy on shared CI runners, so the
-// tolerance is generous (15%) and allocs/op — which is deterministic —
-// carries the same bound. Benchmarks only one side knows are skipped,
-// so adding or retiring a benchmark does not break the gate.
+// benchmark present in both must stay within tolerance on ns/op,
+// allocs/op, and bytes/op. Timing gates are noisy on shared CI runners,
+// so the tolerance is generous (15%); allocs/op and bytes/op — which
+// are deterministic — carry the same bound. Benchmarks only one side
+// knows are skipped, so adding or retiring a benchmark does not break
+// the gate.
 func gate(path string, got map[string]Sample, tolerance float64) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -166,6 +169,7 @@ func gate(path string, got map[string]Sample, tolerance float64) error {
 		}
 		check("ns/op", b.NsPerOp, s.NsPerOp)
 		check("allocs/op", b.AllocsPerOp, s.AllocsPerOp)
+		check("bytes/op", b.BytesPerOp, s.BytesPerOp)
 	}
 	if compared == 0 {
 		return fmt.Errorf("bench gate: no benchmark shared with %s", path)
@@ -179,13 +183,16 @@ func gate(path string, got map[string]Sample, tolerance float64) error {
 
 // measure times fn until benchtime elapses (at least one iteration),
 // repeats for the given number of rounds, and keeps the fastest round —
-// the standard defense against scheduler noise.
+// the standard defense against scheduler noise. Simulator events fired
+// during the fastest round (experiments.EventsFired deltas) become the
+// sample's events/op and events/sec.
 func measure(name string, rounds int, benchtime time.Duration, fn func()) Sample {
 	fn() // warm caches (saturation analysis, graph memos) out of band
 	best := Sample{Name: name, Rounds: rounds}
 	for r := 0; r < rounds; r++ {
 		var ms0, ms1 runtime.MemStats
 		runtime.ReadMemStats(&ms0)
+		ev0 := experiments.EventsFired()
 		iters := 0
 		start := time.Now()
 		for time.Since(start) < benchtime || iters == 0 {
@@ -193,12 +200,15 @@ func measure(name string, rounds int, benchtime time.Duration, fn func()) Sample
 			iters++
 		}
 		elapsed := time.Since(start)
+		events := experiments.EventsFired() - ev0
 		runtime.ReadMemStats(&ms1)
 		nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
 		if best.Iters == 0 || nsPerOp < best.NsPerOp {
 			best.NsPerOp = nsPerOp
 			best.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(iters)
 			best.BytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(iters)
+			best.EventsPerOp = float64(events) / float64(iters)
+			best.EventsPerSec = float64(events) / elapsed.Seconds()
 			best.Iters = iters
 		}
 	}

@@ -53,15 +53,24 @@ func (im *Image) ID() string {
 	return fmt.Sprintf("%s/t%d/s%d", im.Header.App, im.Header.Task, im.Header.Slot)
 }
 
+// imgKey addresses one image within a store. A struct key avoids the
+// per-lookup string formatting a path-style key would cost: Lookup sits
+// on the reconfiguration hot path.
+type imgKey struct {
+	app  string
+	task int
+	slot int
+}
+
 // Store models the hypervisor's bitstream filesystem (the SD card).
 type Store struct {
-	images map[string]*Image
+	images map[imgKey]*Image
 	bytes  int64
 }
 
 // NewStore returns an empty bitstream store.
 func NewStore() *Store {
-	return &Store{images: map[string]*Image{}}
+	return &Store{images: map[imgKey]*Image{}}
 }
 
 // RelocatableSlot marks an image as slot-agnostic: with bitstream
@@ -96,23 +105,28 @@ func (s *Store) register(g *taskgraph.Graph, report *hls.Report, slots, batch, p
 			if relocatable {
 				imgSlot = RelocatableSlot
 			}
-			im := &Image{
-				Header: Header{
-					App:       g.Name(),
-					Task:      task,
-					TaskName:  g.Task(task).Name,
-					Slot:      imgSlot,
-					Batch:     batch,
-					Priority:  priority,
-					Estimate:  report.Task(task),
-					NumInputs: len(g.Pred(task)),
-				},
-				Bytes: SlotImageBytes + HeaderBytes,
+			hdr := Header{
+				App:       g.Name(),
+				Task:      task,
+				TaskName:  g.Task(task).Name,
+				Slot:      imgSlot,
+				Batch:     batch,
+				Priority:  priority,
+				Estimate:  report.Task(task),
+				NumInputs: len(g.Pred(task)),
 			}
-			if _, dup := s.images[im.ID()]; !dup {
-				s.bytes += int64(im.Bytes)
+			key := imgKey{app: hdr.App, task: task, slot: imgSlot}
+			if im, dup := s.images[key]; dup {
+				// Re-registration overwrites the stored image in place, as
+				// writing the same SD-card path would. The image size never
+				// changes (uniform slots), so holders of the pointer see
+				// only refreshed metadata.
+				im.Header = hdr
+				continue
 			}
-			s.images[im.ID()] = im
+			im := &Image{Header: hdr, Bytes: SlotImageBytes + HeaderBytes}
+			s.bytes += int64(im.Bytes)
+			s.images[key] = im
 		}
 	}
 	return nil
@@ -121,15 +135,13 @@ func (s *Store) register(g *taskgraph.Graph, report *hls.Report, slots, batch, p
 // Lookup fetches the bitstream for (app, task, slot), falling back to
 // the task's relocatable image if one was registered.
 func (s *Store) Lookup(app string, task, slot int) (*Image, error) {
-	id := fmt.Sprintf("%s/t%d/s%d", app, task, slot)
-	if im, ok := s.images[id]; ok {
+	if im, ok := s.images[imgKey{app: app, task: task, slot: slot}]; ok {
 		return im, nil
 	}
-	reloc := fmt.Sprintf("%s/t%d/s%d", app, task, RelocatableSlot)
-	if im, ok := s.images[reloc]; ok {
+	if im, ok := s.images[imgKey{app: app, task: task, slot: RelocatableSlot}]; ok {
 		return im, nil
 	}
-	return nil, fmt.Errorf("bitstream: no image %s", id)
+	return nil, fmt.Errorf("bitstream: no image %s/t%d/s%d", app, task, slot)
 }
 
 // Count reports the number of stored images.

@@ -54,6 +54,7 @@ type Scheduler struct {
 	board fpga.Config
 	pool  *sched.TokenPool
 	cache map[satKey]saturate.Result
+	cands []*sched.App // scratch, reused across Schedule calls
 }
 
 // New returns a Nimblock scheduler that will plan against boards shaped
@@ -90,9 +91,9 @@ func (s *Scheduler) Pipelining() bool { return s.opts.Pipelining }
 func (s *Scheduler) Schedule(w sched.World, why sched.Reason) {
 	apps := w.Apps()
 	s.pool.Accumulate(w.Now(), apps)
-	cands := sched.Candidates(apps)
-	s.reallocate(w, cands)
-	s.selectAndLaunch(w, cands)
+	s.cands = sched.CandidatesInto(s.cands, apps)
+	s.reallocate(w, s.cands)
+	s.selectAndLaunch(w, s.cands)
 }
 
 // analysis returns the cached saturation analysis for the application on
@@ -221,15 +222,16 @@ func (s *Scheduler) preempt(w sched.World) {
 			return
 		}
 	}
+	// An app occupying several slots is examined once per slot, but its
+	// over-consumption is identical each time and the comparison is
+	// strict, so the first slot decides — no dedup set needed.
 	var victim *sched.App
 	over := 0
-	seen := map[int64]bool{}
 	for slot := 0; slot < w.NumSlots(); slot++ {
 		a, _, ok := w.SlotOccupant(slot)
-		if !ok || seen[a.ID] {
+		if !ok {
 			continue
 		}
-		seen[a.ID] = true
 		if c := a.OverConsumption(); c > over {
 			over, victim = c, a
 		}

@@ -152,6 +152,7 @@ func runChaosSequence(cfg Config, policy string, seq workload.Sequence) ([]hv.Re
 		return nil, hv.RecoveryStats{}, 0, err
 	}
 	eng := sim.NewEngine()
+	defer countEvents(eng)
 	h, err := hv.New(eng, cfg.HV, pol)
 	if err != nil {
 		return nil, hv.RecoveryStats{}, 0, err

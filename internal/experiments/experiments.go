@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nimblock/internal/apps"
 	"nimblock/internal/core"
@@ -141,6 +142,20 @@ func cachedSingleSlot(board fpga.Config, app string, batch int) sim.Duration {
 	return d.(sim.Duration)
 }
 
+// eventsFired accumulates simulator event counts across every run in
+// the process: one atomic add per run (not per event), so parallel
+// workers do not contend. cmd/nimblock-bench reads it to report
+// events/sec alongside ns/op.
+var eventsFired atomic.Int64
+
+// EventsFired reports the total simulator events fired by experiment
+// runs so far in this process.
+func EventsFired() int64 { return eventsFired.Load() }
+
+// countEvents books a finished run's event count; use with defer right
+// after creating a run's engine.
+func countEvents(eng *sim.Engine) { eventsFired.Add(eng.Fired()) }
+
 // RunSequence replays one event sequence under one policy and returns
 // per-event results (AppIDs follow event order, starting at 1).
 func RunSequence(cfg Config, policy string, seq workload.Sequence) ([]hv.Result, error) {
@@ -152,6 +167,7 @@ func RunSequence(cfg Config, policy string, seq workload.Sequence) ([]hv.Result,
 		return nil, err
 	}
 	eng := sim.NewEngine()
+	defer countEvents(eng)
 	hcfg := cfg.HV
 	if cfg.NewObserver != nil {
 		hcfg.Observer = obs.Tee(hcfg.Observer, cfg.NewObserver())

@@ -75,6 +75,7 @@ func runNimblockJobs(cfg Config, jobs []optsched.Job) (sim.Duration, error) {
 		return 0, err
 	}
 	eng := sim.NewEngine()
+	defer countEvents(eng)
 	h, err := hv.New(eng, cfg.HV, pol)
 	if err != nil {
 		return 0, err

@@ -154,6 +154,7 @@ func runOverloadOnce(cfg Config, rate float64, seed int64, reg *obs.Registry) (o
 		Pool:        overloadPool,
 	}, seed)
 	eng := sim.NewEngine()
+	defer countEvents(eng)
 	hcfg := cfg.HV
 	if cfg.NewObserver != nil {
 		hcfg.Observer = obs.Tee(hcfg.Observer, cfg.NewObserver())

@@ -49,6 +49,7 @@ func ScaleOut(cfg Config) (*ScaleOutResult, error) {
 				si, seq := si, seq
 				jobs = append(jobs, func(context.Context) ([]float64, error) {
 					eng := sim.NewEngine()
+					defer countEvents(eng)
 					ccfg := cluster.Config{Boards: boards, HV: cfg.HV, Dispatch: d, Seed: cfg.Seed}
 					cl, err := cluster.New(eng, ccfg, func(b hv.Config) sched.Scheduler {
 						return core.New(core.DefaultOptions(), b.Board)

@@ -42,6 +42,7 @@ func UtilizationStudy(cfg Config) (*UtilizationResult, error) {
 				return nil, err
 			}
 			eng := sim.NewEngine()
+			defer countEvents(eng)
 			h, err := hv.New(eng, cfg.HV, p)
 			if err != nil {
 				return nil, err

@@ -159,6 +159,7 @@ type Board struct {
 	stats       Stats
 	slotStats   []SlotStats
 	failPending []bool // permanent failure arrived while reconfiguring
+	freeScratch []int  // reused by FreeSlots
 }
 
 // NewBoard programs the static region and returns a board with all slots
@@ -489,13 +490,18 @@ func (b *Board) Release(slot int) error {
 	return nil
 }
 
-// FreeSlots lists the IDs of slots currently free.
+// FreeSlots lists the IDs of slots currently free. The returned slice
+// is a board-owned scratch buffer valid until the next FreeSlots call on
+// this board; callers must not retain or mutate it. This is the hottest
+// query on the scheduling path — reusing the buffer keeps it
+// allocation-free.
 func (b *Board) FreeSlots() []int {
-	var free []int
+	free := b.freeScratch[:0]
 	for _, s := range b.slots {
 		if s.State == SlotFree {
 			free = append(free, s.ID)
 		}
 	}
+	b.freeScratch = free
 	return free
 }

@@ -13,7 +13,7 @@ package hv
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"nimblock/internal/bitstream"
 	"nimblock/internal/fpga"
@@ -307,6 +307,14 @@ type Hypervisor struct {
 
 	tickPending bool
 	err         error
+
+	// Pre-bound closures for the per-event hot path: scheduling a tick,
+	// wake, or data-ready retry must not allocate a fresh closure each
+	// time (these fire millions of times per run).
+	tickFn  func()
+	wakeFns [5]func()        // indexed by sched.Reason
+	kickFns []func()         // per-slot tryStart retries
+	owners  map[int64]string // app ID -> buffer-owner label
 }
 
 // New builds a hypervisor on the given engine with the given policy.
@@ -365,6 +373,19 @@ func New(eng *sim.Engine, cfg Config, policy sched.Scheduler) (*Hypervisor, erro
 		handoff: map[int64]map[[3]int]sim.Time{},
 		prodAt:  map[int64]map[[2]int]prodInfo{},
 		ckpt:    map[int64]map[[2]int]ckptRecord{},
+		owners:  map[int64]string{},
+	}
+	h.tickFn = func() {
+		h.tickPending = false
+		if len(h.pending) == 0 || h.err != nil {
+			return
+		}
+		h.poke(sched.ReasonTick)
+		h.ensureTick()
+	}
+	for r := range h.wakeFns {
+		why := sched.Reason(r)
+		h.wakeFns[r] = func() { h.poke(why) }
 	}
 	// Observe every board fault for retry tracing and accounting,
 	// chaining any caller-provided hook.
@@ -383,6 +404,11 @@ func New(eng *sim.Engine, cfg Config, policy sched.Scheduler) (*Hypervisor, erro
 	h.board = board
 	h.slots = make([]slotRuntime, board.NumSlots())
 	h.slotBusy = make([]sim.Duration, board.NumSlots())
+	h.kickFns = make([]func(), board.NumSlots())
+	for i := range h.kickFns {
+		slot := i
+		h.kickFns[i] = func() { h.tryStart(slot) }
+	}
 	if cfg.Preempt == PreemptWithCheckpoint && (cfg.CheckpointSave < 0 || cfg.CheckpointRestore < 0) {
 		return nil, fmt.Errorf("hv: negative checkpoint costs")
 	}
@@ -485,11 +511,20 @@ func (h *Hypervisor) arrive(app *sched.App) {
 		}
 	}
 	h.pending = append(h.pending, app)
-	sort.SliceStable(h.pending, func(i, j int) bool {
-		if h.pending[i].Arrival != h.pending[j].Arrival {
-			return h.pending[i].Arrival < h.pending[j].Arrival
+	slices.SortStableFunc(h.pending, func(x, y *sched.App) int {
+		if x.Arrival != y.Arrival {
+			if x.Arrival < y.Arrival {
+				return -1
+			}
+			return 1
 		}
-		return h.pending[i].ID < h.pending[j].ID
+		if x.ID < y.ID {
+			return -1
+		}
+		if x.ID > y.ID {
+			return 1
+		}
+		return 0
 	})
 	h.acct[app.ID] = &Result{
 		AppID:       app.ID,
@@ -511,14 +546,7 @@ func (h *Hypervisor) ensureTick() {
 		return
 	}
 	h.tickPending = true
-	h.eng.After(h.cfg.SchedInterval, func() {
-		h.tickPending = false
-		if len(h.pending) == 0 || h.err != nil {
-			return
-		}
-		h.poke(sched.ReasonTick)
-		h.ensureTick()
-	})
+	h.eng.After(h.cfg.SchedInterval, h.tickFn)
 }
 
 // poke invokes the policy unless the run has already failed.
@@ -532,6 +560,10 @@ func (h *Hypervisor) poke(why sched.Reason) {
 // wake defers a poke to the next event at the same virtual time; used
 // when the trigger occurs inside a policy callback (re-entrancy guard).
 func (h *Hypervisor) wake(why sched.Reason) {
+	if int(why) < len(h.wakeFns) && h.wakeFns[why] != nil {
+		h.eng.After(0, h.wakeFns[why])
+		return
+	}
 	h.eng.After(0, func() { h.poke(why) })
 }
 
@@ -785,6 +817,33 @@ func (h *Hypervisor) reconfigDone(slot int, a *sched.App, task int, img *bitstre
 	h.poke(sched.ReasonReconfigDone)
 }
 
+// owner returns the application's buffer-owner label, formatted once
+// per app instead of once per allocation and release.
+func (h *Hypervisor) owner(a *sched.App) string {
+	s, ok := h.owners[a.ID]
+	if !ok {
+		s = fmt.Sprintf("%s#%d", a.Name, a.ID)
+		h.owners[a.ID] = s
+	}
+	return s
+}
+
+// taskLabels pre-formats the output-buffer labels for the task indices
+// any real graph uses; taskLabel falls back to formatting past that.
+var taskLabels = [...]string{
+	"task0.out", "task1.out", "task2.out", "task3.out",
+	"task4.out", "task5.out", "task6.out", "task7.out",
+	"task8.out", "task9.out", "task10.out", "task11.out",
+	"task12.out", "task13.out", "task14.out", "task15.out",
+}
+
+func taskLabel(t int) string {
+	if t >= 0 && t < len(taskLabels) {
+		return taskLabels[t]
+	}
+	return fmt.Sprintf("task%d.out", t)
+}
+
 // allocOutputBuffer gives the task a place to write results; consumers
 // hold references until they finish the batch. Re-activations after
 // preemption reuse the existing buffer.
@@ -801,9 +860,7 @@ func (h *Hypervisor) allocOutputBuffer(a *sched.App, task int) error {
 	if refs == 0 {
 		refs = 1 // sink: released when the task itself completes
 	}
-	owner := fmt.Sprintf("%s#%d", a.Name, a.ID)
-	label := fmt.Sprintf("task%d.out", task)
-	b, err := h.mem.Allocate(owner, label, h.cfg.BufferBytes, refs)
+	b, err := h.mem.Allocate(h.owner(a), taskLabel(task), h.cfg.BufferBytes, refs)
 	if err != nil {
 		return err
 	}
@@ -1261,7 +1318,7 @@ func (h *Hypervisor) tryStart(slot int) {
 	// Inter-slot hand-off: the item's input data may still be in flight
 	// from producer slots; retry once it lands.
 	if avail := h.dataReadyAt(a, task, slot, item); avail > h.eng.Now() {
-		h.eng.At(avail, func() { h.tryStart(slot) })
+		h.eng.At(avail, h.kickFns[slot])
 		return
 	}
 	if err := a.MarkItemStarted(task, item); err != nil {
@@ -1475,10 +1532,11 @@ func (h *Hypervisor) retire(a *sched.App) error {
 	h.results = append(h.results, *res)
 	// Any buffers still owned by the app would be leaks; reclaim and
 	// surface them.
-	owner := fmt.Sprintf("%s#%d", a.Name, a.ID)
+	owner := h.owner(a)
 	if n := h.mem.ReleaseOwner(owner); n != 0 {
 		return fmt.Errorf("hv: %s retired with %d leaked buffers", owner, n)
 	}
+	delete(h.owners, a.ID)
 	delete(h.bufOut, a.ID)
 	delete(h.handoff, a.ID)
 	delete(h.prodAt, a.ID)
@@ -1515,7 +1573,15 @@ func (h *Hypervisor) Collect() ([]Result, error) {
 		return nil, fmt.Errorf("hv: %d/%d applications unfinished at horizon %v under %s: %v",
 			len(stuck), len(h.apps), h.cfg.Horizon, h.policy.Name(), stuck)
 	}
-	sort.Slice(h.results, func(i, j int) bool { return h.results[i].AppID < h.results[j].AppID })
+	slices.SortFunc(h.results, func(x, y Result) int {
+		if x.AppID < y.AppID {
+			return -1
+		}
+		if x.AppID > y.AppID {
+			return 1
+		}
+		return 0
+	})
 	return h.results, nil
 }
 

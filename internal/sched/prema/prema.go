@@ -10,14 +10,24 @@
 package prema
 
 import (
-	"sort"
+	"slices"
 
 	"nimblock/internal/sched"
+	"nimblock/internal/sim"
 )
+
+// byRem pairs a candidate with its remaining-work estimate so the sort
+// computes each estimate once instead of O(n log n) times.
+type byRem struct {
+	app *sched.App
+	rem sim.Duration
+}
 
 // Scheduler is the task-based PREMA policy.
 type Scheduler struct {
-	pool *sched.TokenPool
+	pool  *sched.TokenPool
+	cands []*sched.App // scratch, reused across Schedule calls
+	order []byRem      // scratch, reused across Schedule calls
 }
 
 // New returns a PREMA scheduler.
@@ -33,18 +43,32 @@ func (s *Scheduler) Pipelining() bool { return false }
 func (s *Scheduler) Schedule(w sched.World, why sched.Reason) {
 	apps := w.Apps()
 	s.pool.Accumulate(w.Now(), apps)
-	cands := sched.Candidates(apps)
+	s.cands = sched.CandidatesInto(s.cands, apps)
 	// Shortest estimated remaining work first (PREMA's selection rule).
-	sort.SliceStable(cands, func(i, j int) bool {
-		ri, rj := cands[i].RemainingEstimate(), cands[j].RemainingEstimate()
-		if ri != rj {
-			return ri < rj
+	order := s.order[:0]
+	for _, a := range s.cands {
+		order = append(order, byRem{app: a, rem: a.RemainingEstimate()})
+	}
+	slices.SortStableFunc(order, func(x, y byRem) int {
+		if x.rem != y.rem {
+			if x.rem < y.rem {
+				return -1
+			}
+			return 1
 		}
-		return cands[i].ID < cands[j].ID
+		if x.app.ID < y.app.ID {
+			return -1
+		}
+		if x.app.ID > y.app.ID {
+			return 1
+		}
+		return 0
 	})
+	s.order = order
 	free := w.FreeSlots()
 	idx := 0
-	for _, a := range cands {
+	for _, c := range order {
+		a := c.app
 		// Re-evaluate after each configuration: prefetching a task makes
 		// its successors configurable.
 		for {

@@ -12,7 +12,7 @@
 package rr
 
 import (
-	"sort"
+	"slices"
 
 	"nimblock/internal/sched"
 )
@@ -29,6 +29,7 @@ type Scheduler struct {
 	queues [][]entry
 	issued map[int64]map[int]bool // app ID -> task -> queued at least once
 	seq    int64
+	free   []bool // scratch for dispatch's free-slot lookup
 }
 
 // New returns a round-robin scheduler.
@@ -87,12 +88,17 @@ func (s *Scheduler) enqueue(w sched.World, e entry) bool {
 		return false
 	}
 	s.queues[q] = append(s.queues[q], e)
-	sort.SliceStable(s.queues[q], func(i, j int) bool {
-		ei, ej := s.queues[q][i], s.queues[q][j]
-		if ei.app.Priority != ej.app.Priority {
-			return ei.app.Priority > ej.app.Priority
+	slices.SortStableFunc(s.queues[q], func(x, y entry) int {
+		if x.app.Priority != y.app.Priority {
+			return y.app.Priority - x.app.Priority
 		}
-		return ei.seq < ej.seq
+		if x.seq < y.seq {
+			return -1
+		}
+		if x.seq > y.seq {
+			return 1
+		}
+		return 0
 	})
 	return true
 }
@@ -150,7 +156,13 @@ func (s *Scheduler) shortestQueue(w sched.World) int {
 // dispatch configures queue heads into their slots when free, returning
 // how many reconfigurations were issued.
 func (s *Scheduler) dispatch(w sched.World) int {
-	free := map[int]bool{}
+	if s.free == nil {
+		s.free = make([]bool, len(s.queues))
+	}
+	free := s.free
+	for i := range free {
+		free[i] = false
+	}
 	for _, f := range w.FreeSlots() {
 		free[f] = true
 	}
@@ -161,7 +173,11 @@ func (s *Scheduler) dispatch(w sched.World) int {
 		}
 		for len(s.queues[slot]) > 0 {
 			head := s.queues[slot][0]
-			s.queues[slot] = s.queues[slot][1:]
+			// Pop by copying down so the queue keeps its backing array;
+			// re-slicing forward would force enqueue to reallocate forever.
+			q := s.queues[slot]
+			copy(q, q[1:])
+			s.queues[slot] = q[:len(q)-1]
 			if head.app.Retired() || !head.app.Configurable(head.task) {
 				// Stale entry (task already finished or configured).
 				continue

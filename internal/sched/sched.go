@@ -86,6 +86,9 @@ type World interface {
 	// occupied; see FreeSlots for availability).
 	SlotUsable(slot int) bool
 	// FreeSlots lists usable slots with no logic configured or in flight.
+	// The returned slice is implementation-owned scratch, valid only until
+	// the next FreeSlots call on the same world; callers must not retain
+	// or mutate it.
 	FreeSlots() []int
 	// CAPBusy reports whether a reconfiguration is streaming right now.
 	CAPBusy() bool
@@ -168,11 +171,13 @@ type App struct {
 
 	state    []TaskState
 	slot     []int
-	done     [][]bool
+	done     []bool // task-major: task t item i at t*Batch+i
 	doneCnt  []int
 	inflight []int
 	tasksFin int
 	retired  bool
+
+	cfgScratch []int // reused by ConfigurableTasks
 }
 
 // NewApp builds runtime state for a submission.
@@ -187,6 +192,10 @@ func NewApp(id int64, g *taskgraph.Graph, report *hls.Report, batch, priority in
 		return nil, fmt.Errorf("sched: app %d (%s) priority %d < 1", id, g.Name(), priority)
 	}
 	n := g.NumTasks()
+	// One backing array serves the three per-task int slices; done is a
+	// single task-major bitmap. Apps are created per submission on the
+	// simulation hot path, so allocation count matters.
+	ints := make([]int, 3*n)
 	a := &App{
 		ID:       id,
 		Name:     g.Name(),
@@ -196,15 +205,14 @@ func NewApp(id int64, g *taskgraph.Graph, report *hls.Report, batch, priority in
 		Priority: priority,
 		Arrival:  arrival,
 		state:    make([]TaskState, n),
-		slot:     make([]int, n),
-		done:     make([][]bool, n),
-		doneCnt:  make([]int, n),
-		inflight: make([]int, n),
+		slot:     ints[0:n:n],
+		done:     make([]bool, n*batch),
+		doneCnt:  ints[n : 2*n : 2*n],
+		inflight: ints[2*n : 3*n : 3*n],
 	}
 	for i := 0; i < n; i++ {
 		a.slot[i] = -1
 		a.inflight[i] = -1
-		a.done[i] = make([]bool, batch)
 	}
 	return a, nil
 }
@@ -219,7 +227,7 @@ func (a *App) TaskSlot(t int) int { return a.slot[t] }
 func (a *App) DoneCount(t int) int { return a.doneCnt[t] }
 
 // ItemDone reports whether task t has completed item i.
-func (a *App) ItemDone(t, i int) bool { return a.done[t][i] }
+func (a *App) ItemDone(t, i int) bool { return a.done[t*a.Batch+i] }
 
 // InflightItem reports the item task t is currently processing, or -1.
 func (a *App) InflightItem(t int) int { return a.inflight[t] }
@@ -264,14 +272,19 @@ func (a *App) Configurable(t int) bool {
 	return true
 }
 
-// ConfigurableTasks lists configurable tasks in topological order.
+// ConfigurableTasks lists configurable tasks in topological order. The
+// returned slice is app-owned scratch, valid only until the next
+// ConfigurableTasks call on the same app; callers must not retain or
+// mutate it. Policies call this in their inner loops, so it must not
+// allocate.
 func (a *App) ConfigurableTasks() []int {
-	var out []int
+	out := a.cfgScratch[:0]
 	for _, t := range a.Graph.Topo() {
 		if a.Configurable(t) {
 			out = append(out, t)
 		}
 	}
+	a.cfgScratch = out
 	return out
 }
 
@@ -288,13 +301,13 @@ func (a *App) NextReadyItem(t int, pipelining bool) int {
 		}
 	}
 	for i := 0; i < a.Batch; i++ {
-		if a.done[t][i] || a.inflight[t] == i {
+		if a.done[t*a.Batch+i] || a.inflight[t] == i {
 			continue
 		}
 		ready := true
 		if pipelining {
 			for _, p := range a.Graph.Pred(t) {
-				if !a.done[p][i] {
+				if !a.done[p*a.Batch+i] {
 					ready = false
 					break
 				}
@@ -408,7 +421,7 @@ func (a *App) MarkItemStarted(t, i int) error {
 	if a.inflight[t] != -1 {
 		return fmt.Errorf("sched: %s task %d already processing item %d", a.Name, t, a.inflight[t])
 	}
-	if i < 0 || i >= a.Batch || a.done[t][i] {
+	if i < 0 || i >= a.Batch || a.done[t*a.Batch+i] {
 		return fmt.Errorf("sched: %s task %d item %d invalid or done", a.Name, t, i)
 	}
 	a.inflight[t] = i
@@ -423,7 +436,7 @@ func (a *App) MarkItemDone(t, i int) (taskDone bool, err error) {
 		return false, fmt.Errorf("sched: %s task %d finishing item %d but in-flight is %d", a.Name, t, i, a.inflight[t])
 	}
 	a.inflight[t] = -1
-	a.done[t][i] = true
+	a.done[t*a.Batch+i] = true
 	a.doneCnt[t]++
 	if a.doneCnt[t] == a.Batch {
 		a.state[t] = TaskDone

@@ -1,7 +1,7 @@
 package sched
 
 import (
-	"sort"
+	"slices"
 
 	"nimblock/internal/sim"
 )
@@ -33,6 +33,7 @@ type TokenPool struct {
 	Alpha float64
 
 	seen map[int64]sim.Time // app ID -> last accumulation time
+	live map[int64]bool     // scratch for Accumulate's retirement sweep
 }
 
 // NewTokenPool returns a pool with the default alpha.
@@ -47,7 +48,11 @@ func (p *TokenPool) Accumulate(now sim.Time, apps []*App) {
 	if p.seen == nil {
 		p.seen = map[int64]sim.Time{}
 	}
-	live := map[int64]bool{}
+	if p.live == nil {
+		p.live = map[int64]bool{}
+	}
+	live := p.live
+	clear(live)
 	for _, a := range apps {
 		live[a.ID] = true
 		last, ok := p.seen[a.ID]
@@ -119,20 +124,39 @@ func (p *TokenPool) updateCandidates(now sim.Time, apps []*App) {
 // pool (earliest CandidateSince first, ties by arrival then ID): the
 // order Nimblock allocates and selects in.
 func Candidates(apps []*App) []*App {
-	var out []*App
+	return CandidatesInto(nil, apps)
+}
+
+// CandidatesInto is Candidates appending into dst (reset to length zero
+// first), letting policies reuse a scratch slice across scheduling
+// opportunities instead of allocating per call.
+func CandidatesInto(dst []*App, apps []*App) []*App {
+	out := dst[:0]
 	for _, a := range apps {
 		if a.Candidate {
 			out = append(out, a)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].CandidateSince != out[j].CandidateSince {
-			return out[i].CandidateSince < out[j].CandidateSince
+	slices.SortStableFunc(out, func(x, y *App) int {
+		if x.CandidateSince != y.CandidateSince {
+			if x.CandidateSince < y.CandidateSince {
+				return -1
+			}
+			return 1
 		}
-		if out[i].Arrival != out[j].Arrival {
-			return out[i].Arrival < out[j].Arrival
+		if x.Arrival != y.Arrival {
+			if x.Arrival < y.Arrival {
+				return -1
+			}
+			return 1
 		}
-		return out[i].ID < out[j].ID
+		if x.ID < y.ID {
+			return -1
+		}
+		if x.ID > y.ID {
+			return 1
+		}
+		return 0
 	})
 	return out
 }

@@ -1,0 +1,352 @@
+package sim
+
+// The determinism oracle: the pre-wheel binary-heap engine, kept here as
+// a reference implementation. Randomized interleavings of
+// At/AtCancellable/Cancel/Step/Run/RunUntil are driven against both
+// engines and must produce identical firing orders, clock advancement,
+// Pending counts, and Cancel results — byte-identical traces are the
+// contract the wheel must honour.
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// heapEvent mirrors the old event struct.
+type heapEvent struct {
+	at      Time
+	seq     int64
+	id      EventID
+	fn      func()
+	index   int
+	tracked bool
+}
+
+type refHeap []*heapEvent
+
+func (h refHeap) Len() int { return len(h) }
+
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *refHeap) Push(x any) {
+	e := x.(*heapEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// heapEngine is the old container/heap engine with the same API surface
+// as Engine.
+type heapEngine struct {
+	now     Time
+	pq      refHeap
+	live    map[EventID]*heapEvent
+	nextSeq int64
+	nextID  EventID
+	stopped bool
+}
+
+func (e *heapEngine) Now() Time    { return e.now }
+func (e *heapEngine) Pending() int { return len(e.pq) }
+
+func (e *heapEngine) schedule(at Time, fn func(), tracked bool) *heapEvent {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if at < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.nextSeq++
+	ev := &heapEvent{at: at, seq: e.nextSeq, fn: fn, tracked: tracked}
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+func (e *heapEngine) At(at Time, fn func()) { e.schedule(at, fn, false) }
+
+func (e *heapEngine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+func (e *heapEngine) AtCancellable(at Time, fn func()) EventID {
+	ev := e.schedule(at, fn, true)
+	e.nextID++
+	ev.id = e.nextID
+	if e.live == nil {
+		e.live = map[EventID]*heapEvent{}
+	}
+	e.live[ev.id] = ev
+	return ev.id
+}
+
+func (e *heapEngine) AfterCancellable(d Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtCancellable(e.now.Add(d), fn)
+}
+
+func (e *heapEngine) Cancel(id EventID) bool {
+	ev, ok := e.live[id]
+	if !ok {
+		return false
+	}
+	delete(e.live, id)
+	heap.Remove(&e.pq, ev.index)
+	return true
+}
+
+func (e *heapEngine) Stop() { e.stopped = true }
+
+func (e *heapEngine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*heapEvent)
+	if ev.tracked {
+		delete(e.live, ev.id)
+	}
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+func (e *heapEngine) Run() int {
+	e.stopped = false
+	n := 0
+	for !e.stopped && e.Step() {
+		n++
+	}
+	return n
+}
+
+func (e *heapEngine) RunUntil(deadline Time) int {
+	e.stopped = false
+	n := 0
+	for !e.stopped && len(e.pq) > 0 && e.pq[0].at <= deadline {
+		e.Step()
+		n++
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+// simEngine is the common surface the oracle drives on both engines.
+type simEngine interface {
+	Now() Time
+	Pending() int
+	At(Time, func())
+	After(Duration, func())
+	AtCancellable(Time, func()) EventID
+	AfterCancellable(Duration, func()) EventID
+	Cancel(EventID) bool
+	Step() bool
+	Run() int
+	RunUntil(Time) int
+	Stop()
+}
+
+// oracle ops, encoded as bytes so the fuzzer shares the driver.
+const (
+	opAt byte = iota
+	opAfter
+	opAtCancellable
+	opAfterCancellable
+	opCancel
+	opStep
+	opRun
+	opRunUntil
+	opNested // schedule an event whose callback schedules/cancels more
+	opCount
+)
+
+// driveOps applies one op script to an engine and returns the trace:
+// every fired event as (tag, time), plus clock/pending/return-value
+// checkpoints after each op. Callbacks may schedule and cancel, so the
+// trace also exercises same-instant and in-callback paths.
+func driveOps(eng simEngine, data []byte) []int64 {
+	var trace []int64
+	record := func(tag int, at Time) {
+		trace = append(trace, int64(tag), int64(at))
+	}
+	var ids []EventID
+	tag := 0
+	i := 0
+	next := func() int64 {
+		if i >= len(data) {
+			return 0
+		}
+		v := int64(data[i])
+		i++
+		return v
+	}
+	for i < len(data) {
+		op := data[i] % byte(opCount)
+		i++
+		switch op {
+		case opAt:
+			t := tag
+			tag++
+			eng.At(eng.Now().Add(Duration(next()*3)), func() { record(t, eng.Now()) })
+		case opAfter:
+			t := tag
+			tag++
+			eng.After(Duration(next()*5-64), func() { record(t, eng.Now()) })
+		case opAtCancellable:
+			t := tag
+			tag++
+			ids = append(ids, eng.AtCancellable(eng.Now().Add(Duration(next()*3)), func() { record(t, eng.Now()) }))
+		case opAfterCancellable:
+			t := tag
+			tag++
+			ids = append(ids, eng.AfterCancellable(Duration(next()*5-64), func() { record(t, eng.Now()) }))
+		case opCancel:
+			if len(ids) > 0 {
+				id := ids[int(next())%len(ids)]
+				ok := eng.Cancel(id)
+				if ok {
+					trace = append(trace, -1)
+				} else {
+					trace = append(trace, -2)
+				}
+			}
+		case opStep:
+			if eng.Step() {
+				trace = append(trace, -3)
+			}
+		case opRun:
+			trace = append(trace, -4, int64(eng.Run()))
+		case opRunUntil:
+			trace = append(trace, -5, int64(eng.RunUntil(eng.Now().Add(Duration(next()*7)))))
+		case opNested:
+			t := tag
+			tag++
+			d := Duration(next() * 3)
+			inner := Duration(next() * 2)
+			eng.After(d, func() {
+				record(t, eng.Now())
+				id := eng.AfterCancellable(inner, func() { record(t+100000, eng.Now()) })
+				eng.After(inner, func() { record(t+200000, eng.Now()) })
+				if inner%3 == 0 {
+					if eng.Cancel(id) {
+						trace = append(trace, -6)
+					}
+				}
+				eng.After(0, func() { record(t+300000, eng.Now()) })
+			})
+			tag++ // reserve tag space for nested callbacks
+		}
+		trace = append(trace, -7, int64(eng.Now()), int64(eng.Pending()))
+	}
+	trace = append(trace, -8, int64(eng.Run()), int64(eng.Now()), int64(eng.Pending()))
+	return trace
+}
+
+func compareEngines(t *testing.T, data []byte) {
+	t.Helper()
+	got := driveOps(NewEngine(), data)
+	want := driveOps(&heapEngine{}, data)
+	if len(got) != len(want) {
+		t.Fatalf("trace length mismatch: wheel %d heap %d\nops=%v", len(got), len(want), data)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("trace diverges at %d: wheel %d heap %d\nops=%v\nwheel=%v\nheap=%v",
+				i, got[i], want[i], data, got, want)
+		}
+	}
+}
+
+// TestEngineMatchesHeapOracle drives randomized op scripts through the
+// wheel engine and the reference heap engine and requires identical
+// traces.
+func TestEngineMatchesHeapOracle(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(200)
+		data := make([]byte, n)
+		rng.Read(data)
+		compareEngines(t, data)
+	}
+}
+
+// TestEngineOracleFarFuture forces the overflow list and rewind paths:
+// events beyond the wheel horizon, then earlier arrivals behind the
+// advanced reference.
+func TestEngineOracleFarFuture(t *testing.T) {
+	run := func(eng simEngine) []int64 {
+		var trace []int64
+		record := func(tag int) { trace = append(trace, int64(tag), int64(eng.Now())) }
+		horizon := Time(1) << 45 // beyond the 64^7-us wheel span
+		eng.At(horizon, func() { record(1) })
+		eng.At(horizon+1, func() { record(2) })
+		id := eng.AtCancellable(horizon+2, func() { record(3) })
+		eng.At(5, func() { record(4) })
+		trace = append(trace, int64(eng.RunUntil(10)), int64(eng.Now()))
+		// The engine has peeked at the far-future minimum; schedule behind it.
+		eng.At(20, func() { record(5) })
+		eng.Cancel(id)
+		trace = append(trace, int64(eng.Run()), int64(eng.Now()), int64(eng.Pending()))
+		return trace
+	}
+	got := run(NewEngine())
+	want := run(&heapEngine{})
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("far-future trace diverges at %d: wheel=%v heap=%v", i, got, want)
+		}
+	}
+}
+
+// FuzzEngineOracle lets the fuzzer search for op scripts where the wheel
+// and the heap reference disagree.
+func FuzzEngineOracle(f *testing.F) {
+	f.Add([]byte{0, 10, 2, 20, 4, 0, 6})
+	f.Add([]byte{8, 3, 3, 8, 0, 0, 6, 5, 5, 5})
+	f.Add([]byte{2, 255, 4, 0, 7, 200, 6})
+	rng := rand.New(rand.NewSource(7))
+	seed := make([]byte, 64)
+	rng.Read(seed)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip()
+		}
+		got := driveOps(NewEngine(), data)
+		want := driveOps(&heapEngine{}, data)
+		if len(got) != len(want) {
+			t.Fatalf("trace length mismatch: wheel %d heap %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trace diverges at %d: wheel %d heap %d", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -45,6 +45,7 @@ type Graph struct {
 	succ  [][]int // adjacency: succ[i] lists tasks depending on i
 	pred  [][]int // reverse adjacency
 	topo  []int   // one valid topological order
+	rank  []int   // rank[task] = position of task in topo
 	depth []int   // longest path (in edges) from any source to each node
 	fp    uint64  // structural fingerprint, computed once in Build
 }
@@ -142,6 +143,10 @@ func (b *Builder) Build() (*Graph, error) {
 		return nil, fmt.Errorf("taskgraph %q: %w", b.name, err)
 	}
 	g.topo = topo
+	g.rank = make([]int, len(topo))
+	for pos, v := range topo {
+		g.rank[v] = pos
+	}
 	g.depth = computeDepths(g.pred, topo)
 	g.fp = fingerprint(g)
 	return g, nil
@@ -285,14 +290,9 @@ func (g *Graph) Depth(i int) int { return g.depth[i] }
 
 // TopoRank returns the position of each task in the topological order:
 // rank[task] = index in Topo(). Later rank means later in execution order,
-// which is what the preemption algorithm uses to pick a victim task.
-func (g *Graph) TopoRank() []int {
-	rank := make([]int, len(g.tasks))
-	for pos, v := range g.topo {
-		rank[v] = pos
-	}
-	return rank
-}
+// which is what the preemption algorithm uses to pick a victim task. The
+// slice is computed once at build time and must not be modified.
+func (g *Graph) TopoRank() []int { return g.rank }
 
 // Sources returns tasks with no predecessors.
 func (g *Graph) Sources() []int {
