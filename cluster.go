@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"nimblock/internal/cluster"
+	"nimblock/internal/faults"
+	"nimblock/internal/health"
 	"nimblock/internal/hv"
 	"nimblock/internal/sched"
 	"nimblock/internal/sim"
@@ -41,6 +43,54 @@ type ClusterConfig struct {
 	// Admission, when non-nil, bounds what the cluster accepts; rejected
 	// submissions come back from Run as Rejected results, not errors.
 	Admission *AdmissionConfig
+	// Health, when non-nil, arms board-level failure domains: liveness
+	// tracking, circuit-breaker re-admission, failover of work off dead
+	// boards (checkpoint migration when checkpointing is enabled), and
+	// optional hedged dispatch. It is armed automatically when the
+	// embedded Config.FaultPlan schedules board-crash, board-hang, or
+	// board-degrade events.
+	Health *HealthConfig
+}
+
+// HealthConfig tunes the cluster's board-level failure domain layer.
+// The zero value of every field selects a sensible default.
+type HealthConfig struct {
+	// LivenessInterval is how often each board's event-progress
+	// heartbeat is polled (default 500 ms); LivenessMisses is how many
+	// consecutive static polls with work outstanding declare the board
+	// dead (default 3).
+	LivenessInterval time.Duration
+	LivenessMisses   int
+	// BackoffBase and BackoffMax bound the circuit breaker's
+	// re-admission backoff after a board death (defaults 2 s and 60 s);
+	// each repeated death doubles the wait, jittered +/-20%.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// RetryBudget is how many times one submission may be re-dispatched
+	// after losing its board before it surfaces as a Failed result
+	// (default 2).
+	RetryBudget int
+	// HedgePriority, when > 0, duplicates submissions with priority >=
+	// it onto the two best healthy boards, cancelling the slower copy
+	// when the faster retires.
+	HedgePriority int
+}
+
+// internal maps the public knobs onto the health package options.
+func (h *HealthConfig) internal() *health.Options {
+	if h == nil {
+		return nil
+	}
+	return &health.Options{
+		Tracker: health.Config{
+			LivenessInterval: sim.FromStd(h.LivenessInterval),
+			LivenessMisses:   h.LivenessMisses,
+			BackoffBase:      sim.FromStd(h.BackoffBase),
+			BackoffMax:       sim.FromStd(h.BackoffMax),
+		},
+		RetryBudget:   h.RetryBudget,
+		HedgePriority: h.HedgePriority,
+	}
 }
 
 // DefaultClusterConfig is a two-board, least-loaded Nimblock cluster.
@@ -55,12 +105,20 @@ func DefaultClusterConfig() ClusterConfig {
 // ClusterResult is a Result annotated with the board that served it.
 // When Rejected is set the submission was turned away at admission:
 // Board is -1, RejectReason names the outcome ("shed", "deadline",
-// "quota"), and only the identifying fields are meaningful.
+// "quota"), and only the identifying fields are meaningful. When Failed
+// is set the submission was accepted but lost permanently to board
+// deaths: FailReason is "retries-exhausted" or "stranded" and Board is
+// the last board that held it (or -1).
 type ClusterResult struct {
 	Result
 	Board        int
 	Rejected     bool
 	RejectReason string
+	Failed       bool
+	FailReason   string
+	// Attempts counts placements: 1 for a submission that completed
+	// where it first landed, more after failover.
+	Attempts int
 }
 
 // Cluster is a multi-FPGA system: Submit applications, then Run.
@@ -103,6 +161,22 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	// One observer watches every board; events carry board-local app IDs,
 	// so observers aggregating per-app state should key on (App, AppID).
 	hcfg.Observer = wrapObserver(cfg.Observer)
+	var boardFaults []faults.BoardEvent
+	if cfg.FaultPlan != "" {
+		plan, err := faults.ParsePlan(cfg.FaultPlan)
+		if err != nil {
+			return nil, err
+		}
+		// Board-scoped events drive the fleet health monitor; everything
+		// else stays with the per-board injector.
+		boardFaults = plan.BoardEvents()
+		factory, err := plan.Factory()
+		if err != nil {
+			return nil, err
+		}
+		hcfg.Board.NewInjector = factory
+		hcfg.Board.MaxRetries = 10
+	}
 	eng := sim.NewEngine()
 	mk := func(board hv.Config) sched.Scheduler {
 		p, err := newPolicy(cfg.Config, board)
@@ -116,11 +190,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	cl, err := cluster.New(eng, cluster.Config{
-		Boards:    cfg.Boards,
-		HV:        hcfg,
-		Dispatch:  d,
-		Seed:      cfg.Seed,
-		Admission: cfg.Admission.internal(),
+		Boards:      cfg.Boards,
+		HV:          hcfg,
+		Dispatch:    d,
+		Seed:        cfg.Seed,
+		Admission:   cfg.Admission.internal(),
+		Health:      cfg.Health.internal(),
+		BoardFaults: boardFaults,
 	}, mk)
 	if err != nil {
 		return nil, err
@@ -181,7 +257,60 @@ func (c *Cluster) Run() ([]ClusterResult, error) {
 			Board:        r.Board,
 			Rejected:     r.Rejected,
 			RejectReason: r.RejectReason,
+			Failed:       r.Failed,
+			FailReason:   r.FailReason,
+			Attempts:     r.Attempts,
 		}
 	}
 	return out, nil
+}
+
+// BoardHealth reports every board's health state by name ("healthy",
+// "degraded", "draining", "dead", "recovering"); nil when the failure
+// domain layer is off.
+func (c *Cluster) BoardHealth() []string {
+	states := c.cl.BoardStates()
+	if states == nil {
+		return nil
+	}
+	out := make([]string, len(states))
+	for i, s := range states {
+		out[i] = s.String()
+	}
+	return out
+}
+
+// FailoverStats is the cluster's board-failure accounting.
+type FailoverStats struct {
+	// Deaths, Freezes, Degrades, and Recoveries count board-level
+	// events; Redispatched, MigratedItems, and FailedSubmissions count
+	// what happened to the work on dead boards; Hedged and
+	// HedgeCancelled count duplicated SLO-critical placements.
+	Deaths, Freezes, Degrades, Recoveries int
+	Redispatched, MigratedItems           int
+	FailedSubmissions                     int
+	Hedged, HedgeCancelled                int
+	// WastedWork is fabric time lost to board deaths net of migrated
+	// progress; MigratedWork is the progress checkpoint migration
+	// preserved.
+	WastedWork, MigratedWork time.Duration
+}
+
+// FailoverStats reports the board-failure accounting (zero when the
+// failure domain layer is off).
+func (c *Cluster) FailoverStats() FailoverStats {
+	st := c.cl.FailoverStats()
+	return FailoverStats{
+		Deaths:            st.Deaths,
+		Freezes:           st.Freezes,
+		Degrades:          st.Degrades,
+		Recoveries:        st.Recoveries,
+		Redispatched:      st.Redispatched,
+		MigratedItems:     st.MigratedItems,
+		FailedSubmissions: st.FailedSubmissions,
+		Hedged:            st.Hedged,
+		HedgeCancelled:    st.HedgeCancelled,
+		WastedWork:        st.WastedWork.Std(),
+		MigratedWork:      st.MigratedWork.Std(),
+	}
 }

@@ -22,6 +22,8 @@ import (
 	"sort"
 
 	"nimblock/internal/admit"
+	"nimblock/internal/faults"
+	"nimblock/internal/health"
 	"nimblock/internal/hv"
 	"nimblock/internal/sched"
 	"nimblock/internal/sim"
@@ -78,6 +80,16 @@ type Config struct {
 	// the controller rejects are reported as Rejected results from Run
 	// instead of being dispatched.
 	Admission *admit.Config
+	// Health, when non-nil, arms the board-level failure domain layer:
+	// per-board liveness tracking, health-aware dispatch, failover of
+	// work off dead boards (checkpoint migration when the board config
+	// enables hv.CheckpointConfig), circuit-breaker re-admission, and
+	// hedged dispatch for priority >= Health.HedgePriority submissions.
+	// It is enabled automatically when BoardFaults is non-empty.
+	Health *health.Options
+	// BoardFaults schedules board-level fault events (crash, hang,
+	// degrade) against the fleet, typically via faults.Plan.BoardEvents.
+	BoardFaults []faults.BoardEvent
 }
 
 // Result is a per-application outcome annotated with its board. When
@@ -90,6 +102,15 @@ type Result struct {
 	Board        int
 	Rejected     bool
 	RejectReason string
+	// Failed marks work that was admitted but lost permanently to board
+	// deaths: its retry budget ran out (FailReason "retries-exhausted")
+	// or no board ever came back to run it ("stranded"). Board is the
+	// last board that held it, or -1 if it never ran.
+	Failed     bool
+	FailReason string
+	// Attempts counts placements: 1 for work that ran where it first
+	// landed, more when board deaths forced re-dispatch, 0 for rejected.
+	Attempts int
 }
 
 // SubmitOptions carries the admission-relevant attributes of one
@@ -130,6 +151,19 @@ type Cluster struct {
 	rejected map[int]*submission       // submission index -> rejected record
 	reasons  map[int]string            // submission index -> admission outcome
 	errs     []error                   // dispatch-time submit failures
+
+	// Failure-domain state (nil/empty when Config.Health is off; see
+	// failover.go).
+	mkPolicy func(hv.Config) sched.Scheduler // retained to rebuild dead boards
+	mon      *health.Monitor
+	hopt     health.Options
+	subs     map[int]*submission // submission index -> record (for re-dispatch)
+	retries  map[int]int         // submission index -> re-dispatches so far
+	failed   map[int]string      // submission index -> terminal failure reason
+	lastOn   map[int]int         // submission index -> last board that held it
+	parked   []parkedWork        // evacuees waiting for a placeable board
+	hedges   map[int]*hedge      // submission index -> hedge state
+	done     map[int]Result      // results harvested off boards that later died
 }
 
 // New builds a cluster; mkPolicy supplies a fresh scheduling policy per
@@ -153,6 +187,8 @@ func New(eng *sim.Engine, cfg Config, mkPolicy func(board hv.Config) sched.Sched
 		placed:   map[int]int{},
 		rejected: map[int]*submission{},
 		reasons:  map[int]string{},
+		mkPolicy: mkPolicy,
+		subs:     map[int]*submission{},
 	}
 	if cfg.Admission != nil {
 		ctrl, err := admit.New(*cfg.Admission)
@@ -162,18 +198,7 @@ func New(eng *sim.Engine, cfg Config, mkPolicy func(board hv.Config) sched.Sched
 		c.ctrl = ctrl
 	}
 	for i := 0; i < cfg.Boards; i++ {
-		bcfg := cfg.HV
-		if cfg.BoardConfigs != nil {
-			bcfg = cfg.BoardConfigs[i]
-		}
-		board, user := i, bcfg.OnRetire
-		bcfg.OnRetire = func(id int64) {
-			if user != nil {
-				user(id)
-			}
-			c.onRetire(board, id)
-		}
-		h, err := hv.New(eng, bcfg, mkPolicy(bcfg))
+		h, err := c.newBoard(i)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: board %d: %w", i, err)
 		}
@@ -181,7 +206,24 @@ func New(eng *sim.Engine, cfg Config, mkPolicy func(board hv.Config) sched.Sched
 		c.tickets = append(c.tickets, map[int64]*admit.Ticket{})
 		c.idxOf = append(c.idxOf, map[int64]int{})
 	}
+	if err := c.initHealth(); err != nil {
+		return nil, err
+	}
 	return c, nil
+}
+
+// newBoard builds (or rebuilds, after a recovery) board i's hypervisor
+// with the cluster's retire hook chained onto any user-provided one.
+func (c *Cluster) newBoard(i int) (*hv.Hypervisor, error) {
+	bcfg := c.boardConfig(i)
+	board, user := i, bcfg.OnRetire
+	bcfg.OnRetire = func(id int64) {
+		if user != nil {
+			user(id)
+		}
+		c.onRetire(board, id)
+	}
+	return hv.New(c.eng, bcfg, c.mkPolicy(bcfg))
 }
 
 // Boards reports the cluster size.
@@ -212,6 +254,7 @@ func (c *Cluster) SubmitWith(g *taskgraph.Graph, batch, priority int, arrival si
 		return fmt.Errorf("cluster: nil graph")
 	}
 	sub := &submission{idx: c.expected, g: g, batch: batch, priority: priority, opts: opts}
+	c.subs[sub.idx] = sub
 	c.expected++
 	c.eng.At(arrival, func() {
 		// Buffer and drain once all arrivals at this instant are in: the
@@ -270,7 +313,17 @@ func (c *Cluster) pump() {
 // dispatch time are recorded and surfaced from Run — never a panic: a
 // malformed submission must not take down the whole cluster run.
 func (c *Cluster) dispatch(sub *submission, t *admit.Ticket) {
+	if c.mon != nil && c.hopt.HedgePriority > 0 && sub.priority >= c.hopt.HedgePriority {
+		if c.hedgeDispatch(sub, t) {
+			return
+		}
+	}
 	b := c.pick()
+	if b < 0 {
+		// No placeable board right now: park until one recovers.
+		c.park(parkedWork{sub: sub, ticket: t})
+		return
+	}
 	id, err := c.boards[b].SubmitID(sub.g, sub.batch, sub.priority, c.eng.Now())
 	if err != nil {
 		c.errs = append(c.errs, fmt.Errorf("cluster: submission %d (%s) on board %d: %w", sub.idx, sub.g.Name(), b, err))
@@ -284,6 +337,10 @@ func (c *Cluster) dispatch(sub *submission, t *admit.Ticket) {
 	if t != nil {
 		c.tickets[b][id] = t
 	}
+	if c.mon != nil {
+		c.lastOn[sub.idx] = b
+		c.mon.Kick()
+	}
 }
 
 // reject records an admission rejection for reporting from Run.
@@ -296,6 +353,9 @@ func (c *Cluster) reject(sub *submission, reason string) {
 // the next event tick (outside the hypervisor's retire processing),
 // dispatches any queued work the freed slot clears.
 func (c *Cluster) onRetire(board int, id int64) {
+	if c.mon != nil {
+		c.retired(board, id)
+	}
 	t, ok := c.tickets[board][id]
 	if !ok {
 		return
@@ -333,9 +393,26 @@ func (c *Cluster) boardConfig(i int) hv.Config {
 // admission controller's optimistic view of how soon new work could
 // start.
 func (c *Cluster) minLoad() sim.Duration {
-	best := c.boards[0].OutstandingEstimate()
-	for i := 1; i < len(c.boards); i++ {
-		if l := c.boards[i].OutstandingEstimate(); l < best {
+	boards := []int(nil)
+	if c.mon != nil {
+		boards = c.placeable()
+	}
+	if boards == nil {
+		best := c.boards[0].OutstandingEstimate()
+		for i := 1; i < len(c.boards); i++ {
+			if l := c.boards[i].OutstandingEstimate(); l < best {
+				best = l
+			}
+		}
+		return best
+	}
+	if len(boards) == 0 {
+		// Nothing placeable: admission sees an effectively infinite queue.
+		return c.cfg.HV.Horizon.Sub(0)
+	}
+	best := c.boards[boards[0]].OutstandingEstimate()
+	for _, b := range boards[1:] {
+		if l := c.boards[b].OutstandingEstimate(); l < best {
 			best = l
 		}
 	}
@@ -344,32 +421,18 @@ func (c *Cluster) minLoad() sim.Duration {
 
 // pick applies the dispatch policy. Load ties break toward the lowest
 // board index (strict "<" keeps the earliest minimum), so placement is
-// deterministic and independent of event ordering.
+// deterministic and independent of event ordering. With the failure
+// domain layer armed, only placeable boards (best health score first)
+// are considered; -1 means nothing can take work right now.
 func (c *Cluster) pick() int {
-	switch c.cfg.Dispatch {
-	case LeastLoaded:
-		best, bestLoad := 0, c.boards[0].OutstandingEstimate()
-		for i := 1; i < len(c.boards); i++ {
-			if l := c.boards[i].OutstandingEstimate(); l < bestLoad {
-				best, bestLoad = i, l
-			}
-		}
-		return best
-	case LeastPending:
-		best, bestN := 0, c.boards[0].PendingCount()
-		for i := 1; i < len(c.boards); i++ {
-			if n := c.boards[i].PendingCount(); n < bestN {
-				best, bestN = i, n
-			}
-		}
-		return best
-	case RandomBoard:
-		return c.rng.Intn(len(c.boards))
-	default:
-		b := c.next
-		c.next = (c.next + 1) % len(c.boards)
-		return b
+	if c.mon == nil {
+		return c.pickAmong(nil)
 	}
+	cands := c.placeable()
+	if len(cands) == 0 {
+		return -1
+	}
+	return c.pickAmong(cands)
 }
 
 // Run drives the shared engine until every application on every board
@@ -379,6 +442,9 @@ func (c *Cluster) pick() int {
 // accumulated during the run are returned joined.
 func (c *Cluster) Run() ([]Result, error) {
 	c.eng.RunUntil(c.cfg.HV.Horizon)
+	if c.mon != nil {
+		c.strand()
+	}
 	if err := errors.Join(c.errs...); err != nil {
 		return nil, err
 	}
@@ -394,9 +460,38 @@ func (c *Cluster) Run() ([]Result, error) {
 			if !ok {
 				return nil, fmt.Errorf("cluster: board %d reported unknown app %d", i, r.AppID)
 			}
-			out[idx] = Result{Result: r, Board: i}
+			out[idx] = c.annotate(idx, Result{Result: r, Board: i})
 			filled++
 		}
+	}
+	// Results harvested off boards that died mid-run, then work lost to
+	// those deaths permanently — distinct terminal outcomes, one result
+	// each, so the conservation check below still balances.
+	for idx, r := range c.done {
+		out[idx] = c.annotate(idx, r)
+		filled++
+	}
+	for idx, reason := range c.failed {
+		sub := c.subs[idx]
+		board := -1
+		if b, ok := c.lastOn[idx]; ok {
+			board = b
+		}
+		out[idx] = Result{
+			Result: hv.Result{
+				AppID:       -1,
+				App:         sub.g.Name(),
+				Batch:       sub.batch,
+				Priority:    sub.priority,
+				Arrival:     sub.arrival,
+				FirstLaunch: -1,
+			},
+			Board:      board,
+			Failed:     true,
+			FailReason: reason,
+			Attempts:   c.retries[idx],
+		}
+		filled++
 	}
 	for idx, sub := range c.rejected {
 		out[idx] = Result{

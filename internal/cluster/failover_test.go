@@ -1,0 +1,414 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/faults"
+	"nimblock/internal/health"
+	"nimblock/internal/hv"
+	"nimblock/internal/sim"
+)
+
+// newFailoverCluster builds a cluster with the failure-domain layer
+// armed and the given board events scheduled.
+func newFailoverCluster(t *testing.T, boards int, cfg Config, events []faults.BoardEvent) (*sim.Engine, *Cluster) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg.Boards = boards
+	if cfg.HV.Board.Slots == 0 {
+		cfg.HV = hv.DefaultConfig()
+	}
+	cfg.BoardFaults = events
+	c, err := New(eng, cfg, mkNimblock(cfg.HV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, c
+}
+
+// classify asserts the exactly-one-terminal-outcome invariant and
+// returns the counts.
+func classify(t *testing.T, c *Cluster, res []Result) (completed, rejected, failed int) {
+	t.Helper()
+	for i, r := range res {
+		switch {
+		case r.Rejected:
+			rejected++
+			if r.Failed {
+				t.Fatalf("result %d both rejected and failed: %+v", i, r)
+			}
+		case r.Failed:
+			failed++
+			if r.FailReason == "" {
+				t.Fatalf("result %d failed without a reason: %+v", i, r)
+			}
+			if r.Response != 0 || r.Retire != 0 {
+				t.Fatalf("result %d failed but carries completion times: %+v", i, r)
+			}
+		default:
+			completed++
+			if r.Board < 0 || r.Board >= c.Boards() || r.Response <= 0 {
+				t.Fatalf("result %d completed but malformed: %+v", i, r)
+			}
+			if r.Attempts < 1 {
+				t.Fatalf("result %d completed with %d attempts", i, r.Attempts)
+			}
+		}
+	}
+	return
+}
+
+func TestBoardCrashRedispatchesWork(t *testing.T) {
+	events := []faults.BoardEvent{{
+		Kind: faults.BoardCrash, Board: 0,
+		At: sim.Time(300 * sim.Millisecond), Recover: sim.Time(20 * sim.Second),
+	}}
+	_, c := newFailoverCluster(t, 2, Config{Dispatch: RoundRobin, Seed: 1}, events)
+	submitMix(t, c, 8)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 8 {
+		t.Fatalf("%d results for 8 submissions", len(res))
+	}
+	completed, _, failed := classify(t, c, res)
+	if completed+failed != 8 {
+		t.Fatalf("conservation broken: %d completed + %d failed != 8", completed, failed)
+	}
+	st := c.FailoverStats()
+	if st.Deaths == 0 {
+		t.Fatal("crash fault never declared a death")
+	}
+	if st.Redispatched == 0 && failed == 0 {
+		t.Fatal("board died with work aboard but nothing was re-dispatched or failed")
+	}
+	if completed == 0 {
+		t.Fatal("no submission survived a single-board crash in a 2-board fleet")
+	}
+}
+
+func TestBoardHangIsDetectedByLiveness(t *testing.T) {
+	events := []faults.BoardEvent{{
+		Kind: faults.BoardHang, Board: 1,
+		At: sim.Time(300 * sim.Millisecond), Recover: sim.Time(60 * sim.Second),
+	}}
+	hopt := &health.Options{Tracker: health.Config{
+		LivenessInterval: 200 * sim.Millisecond,
+		LivenessMisses:   3,
+	}}
+	_, c := newFailoverCluster(t, 2, Config{Dispatch: RoundRobin, Seed: 2, Health: hopt}, events)
+	submitMix(t, c, 8)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed, _, failed := classify(t, c, res)
+	if completed+failed != 8 {
+		t.Fatalf("conservation broken: %d + %d != 8", completed, failed)
+	}
+	st := c.FailoverStats()
+	if st.Freezes != 1 {
+		t.Fatalf("Freezes = %d, want 1", st.Freezes)
+	}
+	if st.Deaths == 0 {
+		t.Fatal("liveness never declared the frozen board dead")
+	}
+}
+
+func TestBoardDegradeSlowsButCompletes(t *testing.T) {
+	run := func(events []faults.BoardEvent) sim.Duration {
+		_, c := newFailoverCluster(t, 1, Config{Dispatch: RoundRobin, Seed: 3}, events)
+		submitMix(t, c, 4)
+		res, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst sim.Duration
+		for _, r := range res {
+			if r.Failed || r.Rejected {
+				t.Fatalf("degrade must not lose work: %+v", r)
+			}
+			if r.Response > worst {
+				worst = r.Response
+			}
+		}
+		return worst
+	}
+	clean := run([]faults.BoardEvent{{
+		// A zero-effect marker event keeps the failure-domain layer armed
+		// so both runs go through identical dispatch paths.
+		Kind: faults.BoardDegrade, Board: 0, Factor: 1.0001,
+		At: 0, Until: sim.Time(1 * sim.Millisecond),
+	}})
+	slowed := run([]faults.BoardEvent{{
+		Kind: faults.BoardDegrade, Board: 0, Factor: 4,
+		At: 0, Until: sim.Time(600 * sim.Second),
+	}})
+	if slowed <= clean {
+		t.Fatalf("4x degrade did not slow the run: clean %v, degraded %v", clean, slowed)
+	}
+}
+
+// TestCheckpointMigrationReducesWaste is the acceptance check that
+// migrated items resume from their snapshots: the same crash with the
+// checkpoint subsystem on wastes measurably less fabric time than full
+// re-execution, and the migration counters prove snapshots moved.
+func TestCheckpointMigrationReducesWaste(t *testing.T) {
+	run := func(ckpt bool) health.Stats {
+		cfg := Config{Dispatch: RoundRobin, Seed: 4, HV: hv.DefaultConfig()}
+		if ckpt {
+			cfg.HV.Checkpoint = hv.CheckpointConfig{Enabled: true, Period: 20 * sim.Millisecond}
+		}
+		// OpticalFlow items run 507ms; a crash at 1s lands mid-item with
+		// several periodic snapshots already captured.
+		events := []faults.BoardEvent{{
+			Kind: faults.BoardCrash, Board: 0,
+			At: sim.Time(1 * sim.Second), Recover: sim.Time(60 * sim.Second),
+		}}
+		_, c := newFailoverCluster(t, 2, cfg, events)
+		for i := 0; i < 4; i++ {
+			g := apps.MustGraph(apps.OpticalFlow)
+			if err := c.Submit(g, 2, 3, sim.Time(i)*sim.Time(50*sim.Millisecond)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		completed, _, failed := classify(t, c, res)
+		if completed+failed != 4 {
+			t.Fatalf("conservation broken: %d + %d != 4", completed, failed)
+		}
+		return c.FailoverStats()
+	}
+	plain := run(false)
+	migrated := run(true)
+	if plain.Redispatched == 0 {
+		t.Fatal("crash re-dispatched nothing; the scenario is too gentle to compare")
+	}
+	if migrated.MigratedItems == 0 {
+		t.Fatal("checkpoint run migrated no items")
+	}
+	if migrated.MigratedWork <= 0 {
+		t.Fatalf("migrated %d items but preserved no work", migrated.MigratedItems)
+	}
+	if migrated.WastedWork >= plain.WastedWork {
+		t.Fatalf("checkpoint migration did not reduce waste: with %v, without %v",
+			migrated.WastedWork, plain.WastedWork)
+	}
+}
+
+func TestHedgedDispatchDuplicatesAndCancels(t *testing.T) {
+	hopt := &health.Options{HedgePriority: 8}
+	_, c := newFailoverCluster(t, 2, Config{Dispatch: LeastPending, Seed: 5, Health: hopt}, nil)
+	lo := apps.MustGraph(apps.LeNet)
+	hi := apps.MustGraph(apps.OpticalFlow)
+	if err := c.Submit(lo, 2, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(hi, 2, 9, sim.Time(10*sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("%d results for 2 submissions", len(res))
+	}
+	completed, _, failed := classify(t, c, res)
+	if completed != 2 || failed != 0 {
+		t.Fatalf("completed %d failed %d, want 2/0", completed, failed)
+	}
+	st := c.FailoverStats()
+	if st.Hedged != 1 {
+		t.Fatalf("Hedged = %d, want 1 (only the priority-9 submission)", st.Hedged)
+	}
+	if st.HedgeCancelled != 1 {
+		t.Fatalf("HedgeCancelled = %d, want 1 (the loser copy)", st.HedgeCancelled)
+	}
+}
+
+// TestHedgeSurvivesBoardDeath crashes the fleet under hedged traffic:
+// each submission must still end exactly once.
+func TestHedgeSurvivesBoardDeath(t *testing.T) {
+	hopt := &health.Options{HedgePriority: 1}
+	events := []faults.BoardEvent{{
+		Kind: faults.BoardCrash, Board: 0,
+		At: sim.Time(250 * sim.Millisecond), Recover: sim.Time(20 * sim.Second),
+	}}
+	_, c := newFailoverCluster(t, 3, Config{Dispatch: RoundRobin, Seed: 6, Health: hopt}, events)
+	submitMix(t, c, 9)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed, _, failed := classify(t, c, res)
+	if completed+failed != 9 {
+		t.Fatalf("conservation broken: %d + %d != 9", completed, failed)
+	}
+	if c.FailoverStats().Hedged == 0 {
+		t.Fatal("no submission was hedged despite HedgePriority=1")
+	}
+}
+
+// TestRecoveredBoardServesAgain checks the full circuit-breaker cycle:
+// a crashed board revives, waits out its backoff, and takes new work
+// within the same run.
+func TestRecoveredBoardServesAgain(t *testing.T) {
+	hopt := &health.Options{Tracker: health.Config{
+		BackoffBase: 100 * sim.Millisecond,
+		BackoffMax:  200 * sim.Millisecond,
+	}}
+	events := []faults.BoardEvent{{
+		Kind: faults.BoardCrash, Board: 0,
+		At: sim.Time(200 * sim.Millisecond), Recover: sim.Time(2 * sim.Second),
+	}}
+	_, c := newFailoverCluster(t, 2, Config{Dispatch: RoundRobin, Seed: 7, Health: hopt}, events)
+	submitMix(t, c, 6)
+	// Late arrivals land well after the board re-admits.
+	for i := 0; i < 4; i++ {
+		g := apps.MustGraph(apps.LeNet)
+		at := sim.Time(30*sim.Second) + sim.Time(i)*sim.Time(sim.Second)
+		if err := c.Submit(g, 2, 3, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed, _, failed := classify(t, c, res)
+	if completed+failed != 10 {
+		t.Fatalf("conservation broken: %d + %d != 10", completed, failed)
+	}
+	st := c.FailoverStats()
+	if st.Recoveries == 0 {
+		t.Fatal("scheduled recovery never revived the board")
+	}
+	onRevived := 0
+	for _, r := range res {
+		if !r.Failed && !r.Rejected && r.Board == 0 && r.Arrival >= sim.Time(30*sim.Second) {
+			onRevived++
+		}
+	}
+	if onRevived == 0 {
+		t.Fatal("revived board 0 never served post-recovery work")
+	}
+	states := c.BoardStates()
+	if states[0] == health.Dead || states[0] == health.Draining {
+		t.Fatalf("board 0 ended the run %v", states[0])
+	}
+}
+
+// TestFailoverConservation extends the conservation property to board
+// deaths: across random workloads, board-level fault schedules, retry
+// budgets, hedging, and checkpointing, every submission ends as exactly
+// one of {completed, failed-after-retries} under every dispatch policy
+// — never lost, never double-counted — and the failover counters agree
+// with the results.
+func TestFailoverConservation(t *testing.T) {
+	pool := []string{apps.LeNet, apps.ImageCompression, apps.Rendering3D, apps.OpticalFlow}
+	policies := []Dispatch{RoundRobin, LeastLoaded, LeastPending, RandomBoard}
+	for seed := int64(0); seed < 20; seed++ {
+		for _, d := range policies {
+			seed, d := seed, d
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, d), func(t *testing.T) {
+				t.Parallel()
+				rng := rand.New(rand.NewSource(seed))
+				boards := 1 + rng.Intn(3)
+				cfg := Config{Dispatch: d, Seed: seed, HV: hv.DefaultConfig()}
+				if rng.Intn(2) == 0 {
+					cfg.HV.Checkpoint = hv.CheckpointConfig{Enabled: true, Period: 30 * sim.Millisecond}
+				}
+				hopt := &health.Options{RetryBudget: 1 + rng.Intn(3)}
+				if rng.Intn(2) == 0 && boards > 1 {
+					hopt.HedgePriority = 5
+				}
+				cfg.Health = hopt
+				var events []faults.BoardEvent
+				for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+					b := rng.Intn(boards)
+					at := sim.Time(rng.Int63n(int64(3 * sim.Second)))
+					var recover sim.Time
+					if rng.Intn(2) == 0 {
+						recover = at + sim.Time(1+rng.Int63n(int64(10*sim.Second)))
+					}
+					switch rng.Intn(3) {
+					case 0:
+						events = append(events, faults.BoardEvent{Kind: faults.BoardCrash, Board: b, At: at, Recover: recover})
+					case 1:
+						events = append(events, faults.BoardEvent{Kind: faults.BoardHang, Board: b, At: at, Recover: recover})
+					default:
+						events = append(events, faults.BoardEvent{
+							Kind: faults.BoardDegrade, Board: b, At: at,
+							Until: at + sim.Time(1+rng.Int63n(int64(5*sim.Second))), Factor: 1.5 + rng.Float64()*6,
+						})
+					}
+				}
+				_, c := newFailoverCluster(t, boards, cfg, events)
+				n := 6 + rng.Intn(10)
+				for i := 0; i < n; i++ {
+					g := apps.MustGraph(pool[rng.Intn(len(pool))])
+					arrival := sim.Time(rng.Int63n(int64(2 * sim.Second)))
+					if err := c.Submit(g, 1+rng.Intn(3), 1+rng.Intn(9), arrival); err != nil {
+						t.Fatal(err)
+					}
+				}
+				res, err := c.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res) != n {
+					t.Fatalf("%d results for %d submissions", len(res), n)
+				}
+				completed, rejected, failed := classify(t, c, res)
+				if rejected != 0 {
+					t.Fatalf("no admission configured but %d rejected", rejected)
+				}
+				if completed+failed != n {
+					t.Fatalf("conservation broken: %d completed + %d failed != %d", completed, failed, n)
+				}
+				st := c.FailoverStats()
+				if failed != st.FailedSubmissions {
+					t.Fatalf("%d failed results but stats count %d", failed, st.FailedSubmissions)
+				}
+				for i, r := range res {
+					if !r.Failed && !r.Rejected && r.Attempts > hopt.RetryBudget+1 {
+						t.Fatalf("result %d used %d attempts with budget %d", i, r.Attempts, hopt.RetryBudget)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPickTieBreaksDeterministically is the regression test for
+// deterministic board selection: under equal health scores and equal
+// load, every load-aware policy must choose the lowest index.
+func TestPickTieBreaksDeterministically(t *testing.T) {
+	for _, d := range []Dispatch{LeastLoaded, LeastPending} {
+		t.Run(d.String(), func(t *testing.T) {
+			// Health off: idle boards tie on load.
+			_, c := newCluster(t, 4, d)
+			if b := c.pick(); b != 0 {
+				t.Fatalf("%s picked board %d on an idle fleet, want 0", d, b)
+			}
+			// Health on: same tie, now through the placeable filter.
+			_, ch := newFailoverCluster(t, 4, Config{Dispatch: d, Seed: 8, Health: &health.Options{}}, nil)
+			if b := ch.pick(); b != 0 {
+				t.Fatalf("%s picked board %d with health armed, want 0", d, b)
+			}
+			// A degraded board 0 loses the tie to the first clean board.
+			ch.mon.Tracker(0).MarkDegraded()
+			if b := ch.pick(); b != 1 {
+				t.Fatalf("%s picked board %d with board 0 degraded, want 1", d, b)
+			}
+		})
+	}
+}

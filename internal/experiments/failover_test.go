@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFailoverQuick(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Sequences = 1
+	cfg.Events = 8
+	r, err := Failover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalWastedOff, totalWastedOn float64
+	var totalMigrated int
+	for _, mtbf := range FailoverMTBFs {
+		for _, rec := range FailoverRecoveries {
+			modes := r.Cells[mtbf][rec]
+			if len(modes) != 2 {
+				t.Fatalf("mtbf %v recovery %v: %d modes", mtbf, rec, len(modes))
+			}
+			for mode, c := range modes {
+				// Conservation: every cell accounts for the full stimulus.
+				if c.Completed+c.Failed != cfg.Events {
+					t.Errorf("mtbf %v recovery %v ckpt %s: %d+%d results for %d submissions",
+						mtbf, rec, mode, c.Completed, c.Failed, cfg.Events)
+				}
+				if c.Deaths == 0 {
+					t.Errorf("mtbf %v recovery %v ckpt %s: no board ever died", mtbf, rec, mode)
+				}
+				if c.Recoveries == 0 {
+					t.Errorf("mtbf %v recovery %v ckpt %s: no board ever recovered", mtbf, rec, mode)
+				}
+				if c.Completed > 0 && (c.Goodput <= 0 || c.P99Response <= 0) {
+					t.Errorf("mtbf %v recovery %v ckpt %s: goodput %v p99 %v with %d completed",
+						mtbf, rec, mode, c.Goodput, c.P99Response, c.Completed)
+				}
+				if mode == "off" {
+					totalWastedOff += c.WastedWork
+					if c.MigratedItems != 0 || c.MigratedWork != 0 {
+						t.Errorf("mtbf %v recovery %v: migration without checkpoints (%d items)",
+							mtbf, rec, c.MigratedItems)
+					}
+				} else {
+					totalWastedOn += c.WastedWork
+					totalMigrated += c.MigratedItems
+				}
+			}
+		}
+	}
+	// The headline comparison: checkpoint migration preserves progress,
+	// so the checkpointed column wastes strictly less fabric work
+	// overall and actually migrates items.
+	if totalMigrated == 0 {
+		t.Error("checkpointing on but nothing migrated across the whole sweep")
+	}
+	if totalWastedOn >= totalWastedOff {
+		t.Errorf("checkpoint migration did not reduce wasted work: %v (on) >= %v (off)",
+			totalWastedOn, totalWastedOff)
+	}
+	dump := r.Render()
+	if !strings.Contains(dump, "Failover: board MTBF 2s") || !strings.Contains(dump, "p99 resp") {
+		t.Fatalf("render missing expected rows:\n%s", dump)
+	}
+}

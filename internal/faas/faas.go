@@ -22,6 +22,8 @@ import (
 	"sort"
 
 	"nimblock/internal/admit"
+	"nimblock/internal/faults"
+	"nimblock/internal/health"
 	"nimblock/internal/hv"
 	"nimblock/internal/sched"
 	"nimblock/internal/sim"
@@ -58,6 +60,19 @@ type Config struct {
 	// Admission, when non-nil, bounds accepted invocations; rejections
 	// are reported as Rejected results from Run.
 	Admission *admit.Config
+	// Health, when non-nil, arms the board-level failure domain layer:
+	// liveness tracking, health-aware placement, failover of invocations
+	// off dead boards (checkpoint migration when HV.Checkpoint is
+	// enabled), and circuit-breaker re-admission. A dead board loses its
+	// deployed bitstreams, so re-invocations pay a fresh cold start.
+	// Hedged dispatch is a cluster-only feature: invocations are cheap
+	// to re-run and warm affinity would make duplicate placement fight
+	// the cold-start model. Enabled automatically when BoardFaults is
+	// non-empty.
+	Health *health.Options
+	// BoardFaults schedules board-level fault events (crash, hang,
+	// degrade), typically via faults.Plan.BoardEvents.
+	BoardFaults []faults.BoardEvent
 }
 
 // DefaultConfig is a four-board platform with a 500 ms cold start.
@@ -85,6 +100,15 @@ type Result struct {
 	Items        int
 	Rejected     bool
 	RejectReason string
+	// Failed marks invocations lost permanently to board deaths: the
+	// retry budget ran out ("retries-exhausted") or no board ever came
+	// back ("stranded"). Board is the last board that held it, or -1.
+	Failed     bool
+	FailReason string
+	// Attempts counts placements: 1 for an invocation that ran where it
+	// first landed, more after failover, 0 for rejected (or failed
+	// before any board could take it).
+	Attempts int
 }
 
 // Stats aggregates platform counters. Invocations counts accepted
@@ -109,6 +133,10 @@ type invocation struct {
 	items    int
 	cold     bool
 	board    int
+	// attempts counts successful placements; retries counts board
+	// deaths survived so far (failover bookkeeping).
+	attempts int
+	retries  int
 }
 
 // Platform is the serverless front-end.
@@ -126,6 +154,14 @@ type Platform struct {
 	errs        []error
 	stats       Stats
 	expected    int
+
+	// Failure-domain state (nil/empty when Config.Health is off; see
+	// failover.go).
+	mkPolicy func() sched.Scheduler // retained to rebuild dead boards
+	mon      *health.Monitor
+	hopt     health.Options
+	parked   []parkedInv
+	done     []Result // results settled before Run (harvested or failed)
 }
 
 // New builds a platform; mkPolicy supplies one scheduler per board.
@@ -140,11 +176,12 @@ func New(eng *sim.Engine, cfg Config, mkPolicy func() sched.Scheduler) (*Platfor
 		return nil, fmt.Errorf("faas: nil policy factory")
 	}
 	p := &Platform{
-		eng:     eng,
-		cfg:     cfg,
-		funcs:   map[string]Function{},
-		inv:     map[invKey]*invocation{},
-		tickets: map[invKey]*admit.Ticket{},
+		eng:      eng,
+		cfg:      cfg,
+		funcs:    map[string]Function{},
+		inv:      map[invKey]*invocation{},
+		tickets:  map[invKey]*admit.Ticket{},
+		mkPolicy: mkPolicy,
 	}
 	if cfg.Admission != nil {
 		ctrl, err := admit.New(*cfg.Admission)
@@ -154,15 +191,7 @@ func New(eng *sim.Engine, cfg Config, mkPolicy func() sched.Scheduler) (*Platfor
 		p.ctrl = ctrl
 	}
 	for i := 0; i < cfg.Boards; i++ {
-		bcfg := cfg.HV
-		board, user := i, bcfg.OnRetire
-		bcfg.OnRetire = func(id int64) {
-			if user != nil {
-				user(id)
-			}
-			p.onRetire(board, id)
-		}
-		h, err := hv.New(eng, bcfg, mkPolicy())
+		h, err := p.newBoard(i)
 		if err != nil {
 			return nil, err
 		}
@@ -170,7 +199,24 @@ func New(eng *sim.Engine, cfg Config, mkPolicy func() sched.Scheduler) (*Platfor
 		p.deployed = append(p.deployed, map[string]bool{})
 		p.outstanding = append(p.outstanding, 0)
 	}
+	if err := p.initHealth(); err != nil {
+		return nil, err
+	}
 	return p, nil
+}
+
+// newBoard builds (or rebuilds, after a recovery) board i's hypervisor
+// with the platform's retire hook chained onto any user-provided one.
+func (p *Platform) newBoard(i int) (*hv.Hypervisor, error) {
+	bcfg := p.cfg.HV
+	board, user := i, bcfg.OnRetire
+	bcfg.OnRetire = func(id int64) {
+		if user != nil {
+			user(id)
+		}
+		p.onRetire(board, id)
+	}
+	return hv.New(p.eng, bcfg, p.mkPolicy())
 }
 
 // Register adds a function to the registry. Functions must be registered
@@ -255,8 +301,21 @@ func (p *Platform) reject(in *invocation, reason string) {
 // surfaced from Run, never panicked: one bad invocation must not take
 // down the platform.
 func (p *Platform) dispatch(in *invocation, t *admit.Ticket) {
+	p.place(parkedInv{in: in, ticket: t})
+}
+
+// place lands one invocation (fresh, parked, or evacuated) on a board,
+// seeding any surviving checkpoints so migrated items resume instead of
+// re-executing. With no placeable board it parks the invocation until
+// one recovers.
+func (p *Platform) place(pk parkedInv) {
+	in := pk.in
 	fn := p.funcs[in.function]
 	board, cold := p.pick(in.function)
+	if board < 0 {
+		p.parked = append(p.parked, pk)
+		return
+	}
 	arrival := p.eng.Now()
 	if cold {
 		arrival = arrival.Add(p.cfg.ColdStart)
@@ -265,7 +324,7 @@ func (p *Platform) dispatch(in *invocation, t *admit.Ticket) {
 	if err != nil {
 		p.errs = append(p.errs, fmt.Errorf("faas: invocation of %q: %w", in.function, err))
 		if p.ctrl != nil {
-			p.ctrl.Release(t) // free the admission slot the failed dispatch held
+			p.ctrl.Release(pk.ticket) // free the admission slot the failed dispatch held
 		}
 		return
 	}
@@ -275,14 +334,18 @@ func (p *Platform) dispatch(in *invocation, t *admit.Ticket) {
 	} else {
 		p.stats.WarmStarts++
 	}
-	p.stats.Invocations++
+	if in.attempts == 0 {
+		p.stats.Invocations++
+	}
+	in.attempts++
 	p.outstanding[board]++
 	in.cold, in.board = cold, board
 	key := invKey{board, id}
 	p.inv[key] = in
-	if t != nil {
-		p.tickets[key] = t
+	if pk.ticket != nil {
+		p.tickets[key] = pk.ticket
 	}
+	p.settleMigration(board, id, pk)
 }
 
 // onRetire keeps the per-board outstanding count honest and releases the
@@ -294,6 +357,12 @@ func (p *Platform) onRetire(board int, id int64) {
 		return
 	}
 	p.outstanding[board]--
+	if p.mon != nil {
+		p.mon.Tracker(board).ReportSuccess()
+		if len(p.parked) > 0 {
+			p.eng.After(0, p.unpark)
+		}
+	}
 	if t, ok := p.tickets[key]; ok {
 		delete(p.tickets, key)
 		p.ctrl.Release(t)
@@ -320,6 +389,9 @@ func (p *Platform) pick(function string) (board int, cold bool) {
 	warmBest, warmLoad := -1, 0
 	coldBest, coldLoad := -1, 0
 	for i := range p.boards {
+		if p.mon != nil && !p.mon.Tracker(i).Placeable(p.eng.Now()) {
+			continue
+		}
 		load := p.outstanding[i]
 		if p.deployed[i][function] {
 			if warmBest == -1 || load < warmLoad {
@@ -330,6 +402,9 @@ func (p *Platform) pick(function string) (board int, cold bool) {
 		}
 	}
 	if warmBest == -1 {
+		if coldBest == -1 {
+			return -1, false // nothing placeable right now
+		}
 		return coldBest, true
 	}
 	threshold := p.cfg.ScaleUp
@@ -345,11 +420,18 @@ func (p *Platform) pick(function string) (board int, cold bool) {
 // minLoad is the least-loaded board's outstanding work estimate, the
 // admission controller's view of how soon a new invocation could start.
 func (p *Platform) minLoad() sim.Duration {
-	best := p.boards[0].OutstandingEstimate()
-	for i := 1; i < len(p.boards); i++ {
-		if l := p.boards[i].OutstandingEstimate(); l < best {
-			best = l
+	best, any := sim.Duration(0), false
+	for i := range p.boards {
+		if p.mon != nil && !p.mon.Tracker(i).Placeable(p.eng.Now()) {
+			continue
 		}
+		if l := p.boards[i].OutstandingEstimate(); !any || l < best {
+			best, any = l, true
+		}
+	}
+	if !any {
+		// Nothing placeable: admission sees an effectively infinite queue.
+		return p.cfg.HV.Horizon.Sub(0)
 	}
 	return best
 }
@@ -379,10 +461,14 @@ func (p *Platform) Outstanding(board int) int { return p.outstanding[board] }
 // submit failures accumulated during the run are returned joined.
 func (p *Platform) Run() ([]Result, error) {
 	p.eng.RunUntil(p.cfg.HV.Horizon)
+	if p.mon != nil {
+		p.strand()
+	}
 	if err := errors.Join(p.errs...); err != nil {
 		return nil, err
 	}
 	out := append([]Result(nil), p.rejects...)
+	out = append(out, p.done...)
 	for bi, b := range p.boards {
 		results, err := b.Collect()
 		if err != nil {
@@ -400,6 +486,7 @@ func (p *Platform) Run() ([]Result, error) {
 				InvokedAt: info.invoked,
 				Latency:   r.Retire.Sub(info.invoked),
 				Items:     info.items,
+				Attempts:  info.attempts,
 			})
 		}
 	}

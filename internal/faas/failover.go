@@ -1,0 +1,260 @@
+package faas
+
+// Board-level failure domains for the serverless front-end. The same
+// health monitor the cluster uses drives per-board liveness here; the
+// differences are serverless-specific: a dead board loses its deployed
+// bitstreams (re-invocations pay a fresh cold start on the next board),
+// and there is no hedged dispatch — invocations are cheap to re-run and
+// duplicate placement would fight the warm-affinity model.
+
+import (
+	"fmt"
+
+	"nimblock/internal/admit"
+	"nimblock/internal/health"
+	"nimblock/internal/hv"
+	"nimblock/internal/sim"
+)
+
+// parkedInv is one invocation waiting for a placeable board: a fresh
+// arrival during a full outage, or an evacuee carried off a dead board.
+type parkedInv struct {
+	in     *invocation
+	ticket *admit.Ticket
+	// snaps and workDone travel with an evacuee: surviving checkpoints
+	// to seed into the next board, and the fabric time already spent.
+	snaps    []hv.Snapshot
+	workDone sim.Duration
+	// redispatch marks evacuees, so placement books the failover
+	// accounting.
+	redispatch bool
+}
+
+// initHealth arms the failure-domain layer when configured. With no
+// Health options and no board faults the platform behaves exactly as it
+// did without this layer.
+func (p *Platform) initHealth() error {
+	if p.cfg.Health == nil && len(p.cfg.BoardFaults) == 0 {
+		return nil
+	}
+	opt := health.Options{}
+	if p.cfg.Health != nil {
+		opt = *p.cfg.Health
+	}
+	opt = opt.WithDefaults()
+	p.hopt = opt
+	ins := health.NewInstruments(opt.Registry)
+	hooks := health.Hooks{
+		Progress:  func(b int) uint64 { return p.boards[b].Progress() },
+		Busy:      func(b int) bool { return p.boards[b].PendingCount() > 0 },
+		OnDead:    p.boardDead,
+		OnFreeze:  func(b int) { p.boards[b].Freeze() },
+		OnDegrade: func(b int, factor float64) { p.boards[b].SetSlowdown(factor) },
+		OnRevive:  p.boardRevive,
+	}
+	p.mon = health.NewMonitor(p.eng, len(p.boards), opt.Tracker, hooks, ins)
+	if err := p.mon.Schedule(p.cfg.BoardFaults); err != nil {
+		return fmt.Errorf("faas: %w", err)
+	}
+	return nil
+}
+
+// settleMigration finishes a placement: seeds evacuated checkpoints so
+// migrated items resume through the target's CAP, books failover
+// accounting, and keeps the liveness poll armed.
+func (p *Platform) settleMigration(board int, id int64, pk parkedInv) {
+	if p.mon == nil {
+		return
+	}
+	st := p.mon.StatsRef()
+	ins := p.mon.Instruments()
+	var migrated sim.Duration
+	if len(pk.snaps) > 0 && p.cfg.HV.Checkpoint.Enabled {
+		p.boards[board].SeedCheckpoints(id, pk.snaps)
+		for _, s := range pk.snaps {
+			migrated += s.Progress
+		}
+		st.MigratedItems += len(pk.snaps)
+		st.MigratedWork += migrated
+		if ins != nil {
+			ins.MigratedItems.Add(int64(len(pk.snaps)))
+			ins.MigratedWork.Add(migrated.Seconds())
+		}
+	}
+	if pk.redispatch {
+		wasted := pk.workDone - migrated
+		if wasted < 0 {
+			wasted = 0
+		}
+		st.Redispatched++
+		st.WastedWork += wasted
+		if ins != nil {
+			ins.Redispatched.Inc()
+			ins.WastedWork.Add(wasted.Seconds())
+		}
+	}
+	p.mon.Kick()
+}
+
+// boardDead fails a dead board's invocations over. Results that retired
+// before the death are settled now — the board is rebuilt immediately
+// and its replacement reuses local IDs, so every stale key must go
+// first. The board's bitstream deployments die with it.
+func (p *Platform) boardDead(b int) {
+	evs := p.boards[b].Evacuate()
+	results, err := p.boards[b].Collect()
+	if err != nil {
+		p.errs = append(p.errs, fmt.Errorf("faas: harvesting dead board %d: %w", b, err))
+	}
+	for _, r := range results {
+		info, ok := p.inv[invKey{b, r.AppID}]
+		if !ok {
+			p.errs = append(p.errs, fmt.Errorf("faas: dead board %d reported unknown app %d", b, r.AppID))
+			continue
+		}
+		p.done = append(p.done, Result{
+			Function:  info.function,
+			Board:     b,
+			Cold:      info.cold,
+			InvokedAt: info.invoked,
+			Latency:   r.Retire.Sub(info.invoked),
+			Items:     info.items,
+			Attempts:  info.attempts,
+		})
+	}
+	type evac struct {
+		in *invocation
+		t  *admit.Ticket
+		ev hv.Evacuee
+	}
+	var work []evac
+	for _, ev := range evs {
+		key := invKey{b, ev.ID}
+		in, ok := p.inv[key]
+		if !ok {
+			p.errs = append(p.errs, fmt.Errorf("faas: dead board %d evacuated unknown app %d", b, ev.ID))
+			continue
+		}
+		work = append(work, evac{in, p.tickets[key], ev})
+	}
+	for key := range p.inv {
+		if key.board == b {
+			delete(p.inv, key)
+			delete(p.tickets, key)
+		}
+	}
+	if h, err := p.newBoard(b); err != nil {
+		p.errs = append(p.errs, fmt.Errorf("faas: rebuilding board %d: %w", b, err))
+	} else {
+		p.boards[b] = h
+	}
+	p.deployed[b] = map[string]bool{}
+	p.outstanding[b] = 0
+	for _, w := range work {
+		p.failover(w.in, w.t, w.ev)
+	}
+}
+
+// failover re-places one evacuated invocation, failing it permanently
+// once its retry budget runs out.
+func (p *Platform) failover(in *invocation, t *admit.Ticket, ev hv.Evacuee) {
+	in.retries++
+	if in.retries > p.hopt.RetryBudget {
+		st := p.mon.StatsRef()
+		st.WastedWork += ev.WorkDone
+		if ins := p.mon.Instruments(); ins != nil {
+			ins.WastedWork.Add(ev.WorkDone.Seconds())
+		}
+		p.fail(in, "retries-exhausted", t)
+		return
+	}
+	p.place(parkedInv{in: in, ticket: t, snaps: ev.Snapshots, workDone: ev.WorkDone, redispatch: true})
+}
+
+// fail records a permanent loss: the invocation surfaces from Run as a
+// Failed result instead of vanishing, and its admission slot is freed.
+func (p *Platform) fail(in *invocation, reason string, t *admit.Ticket) {
+	board := -1
+	if in.attempts > 0 {
+		board = in.board
+	}
+	p.done = append(p.done, Result{
+		Function:   in.function,
+		Board:      board,
+		InvokedAt:  in.invoked,
+		Items:      in.items,
+		Failed:     true,
+		FailReason: reason,
+		Attempts:   in.attempts,
+	})
+	if p.ctrl != nil && t != nil {
+		p.ctrl.Release(t)
+		if p.ctrl.QueueDepth() > 0 {
+			p.eng.After(0, p.pump)
+		}
+	}
+	st := p.mon.StatsRef()
+	st.FailedSubmissions++
+	if ins := p.mon.Instruments(); ins != nil {
+		ins.Failed.Inc()
+	}
+}
+
+// unpark retries placement for everything parked; invocations that
+// still have no placeable board stay parked.
+func (p *Platform) unpark() {
+	if len(p.parked) == 0 {
+		return
+	}
+	waiting := p.parked
+	p.parked = nil
+	for _, pk := range waiting {
+		// place re-parks internally when nothing is placeable.
+		p.place(pk)
+	}
+}
+
+// strand fails everything still parked when the run ends: no board ever
+// came back to take it.
+func (p *Platform) strand() {
+	st := p.mon.StatsRef()
+	ins := p.mon.Instruments()
+	for _, pk := range p.parked {
+		st.WastedWork += pk.workDone
+		if ins != nil {
+			ins.WastedWork.Add(pk.workDone.Seconds())
+		}
+		p.fail(pk.in, "stranded", pk.ticket)
+	}
+	p.parked = nil
+}
+
+// boardRevive runs when a dead board's scheduled recovery arrives. The
+// hypervisor was already rebuilt at death; what remains is waking
+// parked work once the circuit breaker re-admits the board.
+func (p *Platform) boardRevive(b int) {
+	at := p.mon.Tracker(b).ReadmitAt()
+	p.eng.At(at, p.unpark)
+}
+
+// FailoverStats reports the platform's failover accounting; the zero
+// Stats when the failure-domain layer is off.
+func (p *Platform) FailoverStats() health.Stats {
+	if p.mon == nil {
+		return health.Stats{}
+	}
+	return p.mon.Stats()
+}
+
+// BoardStates reports every board's health state; nil when the
+// failure-domain layer is off.
+func (p *Platform) BoardStates() []health.State {
+	if p.mon == nil {
+		return nil
+	}
+	out := make([]health.State, len(p.boards))
+	for b := range p.boards {
+		out[b] = p.mon.Tracker(b).State()
+	}
+	return out
+}

@@ -21,6 +21,7 @@ package faults
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"nimblock/internal/fpga"
 	"nimblock/internal/sim"
@@ -54,6 +55,19 @@ const (
 	// through the CAP and then fail validation — restore time is spent,
 	// then the item re-executes from scratch.
 	CheckpointCorrupt
+	// BoardCrash kills an entire board at time From: every slot, the CAP,
+	// and all in-flight work. The fleet health layer declares the board
+	// dead and fails work over; an optional Recover time schedules the
+	// board's return through the circuit breaker.
+	BoardCrash
+	// BoardHang freezes a board at time From: events stop, heartbeats
+	// stall, and liveness detection must notice the silence. Recover,
+	// when set, revives the board.
+	BoardHang
+	// BoardDegrade multiplies every item latency on the board by Factor
+	// over the [From, Until) window, marking the board degraded so
+	// health-aware dispatch steers new work elsewhere.
+	BoardDegrade
 
 	numKinds
 )
@@ -77,6 +91,12 @@ func (k Kind) keyword() string {
 		return "lost"
 	case CheckpointCorrupt:
 		return "corrupt"
+	case BoardCrash:
+		return "board-crash"
+	case BoardHang:
+		return "board-hang"
+	case BoardDegrade:
+		return "board-degrade"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -109,10 +129,24 @@ type Fault struct {
 	// Prob is the per-opportunity trigger probability in [0,1].
 	// PermanentSlot ignores it (the failure is certain).
 	Prob float64
-	// Factor is the TaskSlowdown latency multiplier (> 1).
+	// Factor is the TaskSlowdown or BoardDegrade latency multiplier
+	// (> 1).
 	Factor float64
 	// Stall is the CAPStall extra latency.
 	Stall sim.Duration
+	// Board scopes board-level faults (BoardCrash, BoardHang,
+	// BoardDegrade) to one board index in a fleet. Other kinds must
+	// leave it 0.
+	Board int
+	// Recover schedules the board's return for BoardCrash and BoardHang
+	// (must be after From); 0 means the board never comes back.
+	Recover sim.Time
+}
+
+// boardScoped reports whether the kind targets a whole board rather
+// than a slot, app, or checkpoint.
+func (k Kind) boardScoped() bool {
+	return k == BoardCrash || k == BoardHang || k == BoardDegrade
 }
 
 // active reports whether the window covers now.
@@ -148,12 +182,27 @@ func (f Fault) validate(i int) error {
 	if f.Until != 0 && f.Until <= f.From {
 		return fmt.Errorf("faults: fault %d: empty window [%v,%v)", i, f.From, f.Until)
 	}
+	if f.Board < 0 {
+		return fmt.Errorf("faults: fault %d: board %d invalid", i, f.Board)
+	}
+	if !f.Kind.boardScoped() {
+		if f.Board != 0 {
+			return fmt.Errorf("faults: fault %d: board= only applies to board-level kinds", i)
+		}
+		if f.Recover != 0 {
+			return fmt.Errorf("faults: fault %d: recover= only applies to board-crash and board-hang", i)
+		}
+	} else {
+		if f.Slot != AnySlot || f.App != "" || f.Task != AnyTask {
+			return fmt.Errorf("faults: fault %d: %v scopes to a board, not slot/app/task", i, f.Kind)
+		}
+	}
 	switch f.Kind {
 	case PermanentSlot:
 		if f.Slot == AnySlot {
 			return fmt.Errorf("faults: fault %d: permanent failure needs an explicit slot", i)
 		}
-	case TaskSlowdown:
+	case TaskSlowdown, BoardDegrade:
 		if !(f.Factor > 1 && f.Factor <= 1e6) { // also rejects NaN and Inf
 			return fmt.Errorf("faults: fault %d: slowdown factor %v outside (1,1e6]", i, f.Factor)
 		}
@@ -161,16 +210,27 @@ func (f Fault) validate(i int) error {
 		if f.Stall <= 0 {
 			return fmt.Errorf("faults: fault %d: stall duration %v must be positive", i, f.Stall)
 		}
+	case BoardCrash, BoardHang:
+		if f.Until != 0 {
+			return fmt.Errorf("faults: fault %d: %v fires at a point in time, not a window", i, f.Kind)
+		}
+		if f.Recover != 0 && f.Recover <= f.From {
+			return fmt.Errorf("faults: fault %d: recover %v not after at %v", i,
+				sim.Duration(f.Recover), sim.Duration(f.From))
+		}
 	}
-	if f.Kind != TaskSlowdown && f.Factor != 0 {
-		return fmt.Errorf("faults: fault %d: factor only applies to slow", i)
+	if f.Kind == BoardDegrade && f.Recover != 0 {
+		return fmt.Errorf("faults: fault %d: board-degrade ends with until=, not recover=", i)
+	}
+	if f.Kind != TaskSlowdown && f.Kind != BoardDegrade && f.Factor != 0 {
+		return fmt.Errorf("faults: fault %d: factor only applies to slow and board-degrade", i)
 	}
 	if f.Kind != CAPStall && f.Stall != 0 {
 		return fmt.Errorf("faults: fault %d: delay only applies to stall", i)
 	}
-	if f.Kind == PermanentSlot {
+	if f.Kind == PermanentSlot || f.Kind.boardScoped() {
 		if f.Prob != 0 {
-			return fmt.Errorf("faults: fault %d: dead is unconditional, prob does not apply", i)
+			return fmt.Errorf("faults: fault %d: %v is unconditional, prob does not apply", i, f.Kind)
 		}
 	} else if f.Prob == 0 {
 		return fmt.Errorf("faults: fault %d: %v fault with zero probability never fires", i, f.Kind)
@@ -327,6 +387,42 @@ func (in *Injector) Checkpoint(now sim.Time, app string, task, slot int) fpga.Ch
 			}
 		}
 	}
+	return out
+}
+
+// BoardEvent is one board-level fault extracted from a plan for the
+// fleet health layer: a crash or hang at At (with optional Recover), or
+// a degrade over [At, Until).
+type BoardEvent struct {
+	Kind    Kind
+	Board   int
+	At      sim.Time
+	Until   sim.Time // BoardDegrade window end (0 = open)
+	Recover sim.Time // BoardCrash/BoardHang revival time (0 = never)
+	Factor  float64  // BoardDegrade multiplier
+}
+
+// BoardEvents extracts the plan's board-level faults in deterministic
+// order (time, then board index). Slot/app/checkpoint faults stay with
+// the per-board injector; board events are consumed by the cluster and
+// serverless health monitors instead.
+func (p Plan) BoardEvents() []BoardEvent {
+	var out []BoardEvent
+	for _, f := range p.Faults {
+		if !f.Kind.boardScoped() {
+			continue
+		}
+		out = append(out, BoardEvent{
+			Kind: f.Kind, Board: f.Board, At: f.From,
+			Until: f.Until, Recover: f.Recover, Factor: f.Factor,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Board < out[j].Board
+	})
 	return out
 }
 

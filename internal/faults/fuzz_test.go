@@ -14,6 +14,9 @@ func FuzzPlan(f *testing.F) {
 	f.Add("stall prob=0.1 delay=20ms # comment")
 	f.Add("crc prob=1e-3\nseed -9000")
 	f.Add("lost prob=0.05 app=LeNet from=1s\ncorrupt prob=0.02 slot=3")
+	f.Add("board-crash board=1 at=5s recover=30s")
+	f.Add("board-hang board=0 at=10s\nboard-crash board=2 at=1s")
+	f.Add("board-degrade board=2 factor=3 from=5s until=25s\nseed 7")
 	f.Fuzz(func(t *testing.T, text string) {
 		p, err := ParsePlan(text)
 		if err != nil {
@@ -33,6 +36,17 @@ func FuzzPlan(f *testing.F) {
 		// Every parseable plan must build an injector.
 		if _, err := New(p); err != nil {
 			t.Fatalf("parsed plan %q rejected by New: %v", text, err)
+		}
+		// Board-event extraction must be total on valid plans and cover
+		// exactly the board-scoped faults.
+		scoped := 0
+		for _, fl := range p.Faults {
+			if fl.Kind.boardScoped() {
+				scoped++
+			}
+		}
+		if evs := p.BoardEvents(); len(evs) != scoped {
+			t.Fatalf("plan %q has %d board faults but %d board events", text, scoped, len(evs))
 		}
 	})
 }

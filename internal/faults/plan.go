@@ -23,6 +23,9 @@ import (
 //	stall prob=0.1 delay=20ms                 # CAP stall
 //	lost  prob=0.05 app=LeNet                 # checkpoint gone at restore
 //	corrupt prob=0.02                         # checkpoint fails validation
+//	board-crash board=1 at=5s recover=30s     # whole board dies, revives at 30s
+//	board-hang board=0 at=10s                 # board freezes, never returns
+//	board-degrade board=2 factor=3 from=5s until=25s  # 3x slowdown window
 //
 // String renders the canonical form; ParsePlan(p.String()) reproduces p.
 
@@ -115,12 +118,18 @@ func parseFault(fields []string) (Fault, error) {
 			var d sim.Duration
 			d, err = parseDuration(val)
 			f.Stall = d
+		case "board":
+			f.Board, err = parseInt(val, 0)
+		case "recover":
+			var d sim.Duration
+			d, err = parseDuration(val)
+			f.Recover = sim.Time(d)
 		case "at", "from":
-			if key == "at" && kind != PermanentSlot {
-				return Fault{}, fmt.Errorf("field at= only applies to dead")
+			if key == "at" && !pointInTime(kind) {
+				return Fault{}, fmt.Errorf("field at= only applies to dead, board-crash, and board-hang")
 			}
-			if key == "from" && kind == PermanentSlot {
-				return Fault{}, fmt.Errorf("dead uses at=, not from=")
+			if key == "from" && pointInTime(kind) {
+				return Fault{}, fmt.Errorf("%s uses at=, not from=", kind)
 			}
 			var d sim.Duration
 			d, err = parseDuration(val)
@@ -136,10 +145,16 @@ func parseFault(fields []string) (Fault, error) {
 			return Fault{}, fmt.Errorf("field %q: %v", kv, err)
 		}
 	}
-	if kind == PermanentSlot && !seen["at"] {
-		return Fault{}, fmt.Errorf("dead needs at=")
+	if pointInTime(kind) && !seen["at"] {
+		return Fault{}, fmt.Errorf("%s needs at=", kind)
 	}
 	return f, nil
+}
+
+// pointInTime reports whether the kind fires at one instant (at=)
+// rather than over a window (from=/until=).
+func pointInTime(k Kind) bool {
+	return k == PermanentSlot || k == BoardCrash || k == BoardHang
 }
 
 func parseInt(s string, min int) (int, error) {
@@ -181,6 +196,9 @@ func (p Plan) String() string {
 func (f Fault) String() string {
 	var parts []string
 	parts = append(parts, f.Kind.keyword())
+	if f.Kind.boardScoped() {
+		parts = append(parts, fmt.Sprintf("board=%d", f.Board))
+	}
 	if f.Slot != AnySlot {
 		parts = append(parts, fmt.Sprintf("slot=%d", f.Slot))
 	}
@@ -199,13 +217,16 @@ func (f Fault) String() string {
 	if f.Stall != 0 {
 		parts = append(parts, "delay="+f.Stall.String())
 	}
-	if f.Kind == PermanentSlot {
+	if pointInTime(f.Kind) {
 		parts = append(parts, "at="+sim.Duration(f.From).String())
 	} else if f.From != 0 {
 		parts = append(parts, "from="+sim.Duration(f.From).String())
 	}
 	if f.Until != 0 {
 		parts = append(parts, "until="+sim.Duration(f.Until).String())
+	}
+	if f.Recover != 0 {
+		parts = append(parts, "recover="+sim.Duration(f.Recover).String())
 	}
 	return strings.Join(parts, " ")
 }

@@ -1,0 +1,259 @@
+package health
+
+import (
+	"testing"
+
+	"nimblock/internal/faults"
+	"nimblock/internal/obs"
+	"nimblock/internal/sim"
+)
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.LivenessInterval != 500*sim.Millisecond || c.LivenessMisses != 3 ||
+		c.BreakerThreshold != 1 || c.BackoffBase != 2*sim.Second ||
+		c.BackoffMax != 60*sim.Second || c.Jitter != 0.2 || c.Probation != 2 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	o := Options{}.WithDefaults()
+	if o.RetryBudget != 2 {
+		t.Fatalf("default retry budget = %d", o.RetryBudget)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{
+		Healthy: "healthy", Degraded: "degraded", Draining: "draining",
+		Dead: "dead", Recovering: "recovering", State(99): "State(99)",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Fatalf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+}
+
+func TestTrackerLifecycle(t *testing.T) {
+	tr := NewTracker(Config{BackoffBase: sim.Duration(sim.Second)}, 0)
+	if tr.State() != Healthy || !tr.Placeable(0) || tr.Score() != 0 {
+		t.Fatalf("fresh tracker: state=%v placeable=%v score=%d", tr.State(), tr.Placeable(0), tr.Score())
+	}
+	tr.MarkDegraded()
+	if tr.State() != Degraded || !tr.Placeable(0) || tr.Score() != 1 {
+		t.Fatalf("degraded tracker: state=%v placeable=%v score=%d", tr.State(), tr.Placeable(0), tr.Score())
+	}
+	tr.ClearDegraded()
+	tr.BeginDrain()
+	if tr.State() != Draining || tr.Placeable(0) {
+		t.Fatalf("draining tracker: state=%v placeable=%v", tr.State(), tr.Placeable(0))
+	}
+	tr.EndDrain()
+	if tr.State() != Healthy {
+		t.Fatalf("drain did not end: %v", tr.State())
+	}
+	tr.MarkDead()
+	if tr.State() != Dead || tr.Placeable(0) {
+		t.Fatalf("dead tracker: state=%v placeable=%v", tr.State(), tr.Placeable(0))
+	}
+	now := sim.Time(10 * sim.Second)
+	at := tr.Revive(now)
+	if tr.State() != Recovering || at <= now || at != tr.ReadmitAt() {
+		t.Fatalf("revive: state=%v at=%v readmit=%v", tr.State(), at, tr.ReadmitAt())
+	}
+	if tr.Placeable(at - 1) {
+		t.Fatal("placeable before the breaker backoff expired")
+	}
+	if !tr.Placeable(at) {
+		t.Fatal("not placeable at the re-admission time")
+	}
+	// Probation: default 2 consecutive successes promote to Healthy.
+	tr.ReportSuccess()
+	if tr.State() != Recovering {
+		t.Fatalf("promoted after one success: %v", tr.State())
+	}
+	tr.ReportSuccess()
+	if tr.State() != Healthy {
+		t.Fatalf("not promoted after probation: %v", tr.State())
+	}
+}
+
+// TestBackoffGrowsAndCaps checks the breaker backoff doubles per
+// opening, stays inside the jitter envelope, and saturates at the max.
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	cfg := Config{
+		BackoffBase: sim.Duration(sim.Second),
+		BackoffMax:  8 * sim.Second,
+		Jitter:      0.2,
+	}
+	tr := NewTracker(cfg, 0)
+	want := []sim.Duration{
+		sim.Duration(sim.Second), 2 * sim.Second, 4 * sim.Second,
+		8 * sim.Second, 8 * sim.Second, // capped
+	}
+	for i, base := range want {
+		tr.MarkDead()
+		at := tr.Revive(0)
+		got := sim.Duration(at)
+		lo := sim.Duration(float64(base) * 0.8)
+		hi := sim.Duration(float64(base) * 1.2)
+		if got < lo || got > hi {
+			t.Fatalf("opening %d: backoff %v outside [%v, %v]", i+1, got, lo, hi)
+		}
+	}
+	// Completing probation resets the escalation.
+	tr.ReportSuccess()
+	tr.ReportSuccess()
+	tr.MarkDead()
+	got := sim.Duration(tr.Revive(0))
+	if got > sim.Duration(float64(sim.Second)*1.2) {
+		t.Fatalf("backoff did not reset after recovery: %v", got)
+	}
+}
+
+// TestBreakerThreshold checks sub-threshold failures do not open the
+// breaker and a success closes the window.
+func TestBreakerThreshold(t *testing.T) {
+	tr := NewTracker(Config{BreakerThreshold: 3, BackoffBase: sim.Duration(sim.Second)}, 0)
+	tr.ReportFailure()
+	tr.ReportFailure()
+	if tr.backoff != 0 {
+		t.Fatal("breaker opened below threshold")
+	}
+	tr.ReportSuccess() // resets the consecutive count
+	tr.ReportFailure()
+	tr.ReportFailure()
+	if tr.backoff != 0 {
+		t.Fatal("success did not reset the failure window")
+	}
+	tr.ReportFailure()
+	if tr.backoff == 0 {
+		t.Fatal("threshold failures did not open the breaker")
+	}
+}
+
+// TestNoteLiveness walks the suspect → drain → dead ladder and checks
+// progress clears suspicion.
+func TestNoteLiveness(t *testing.T) {
+	tr := NewTracker(Config{LivenessMisses: 3}, 0)
+	if tr.NoteLiveness(1, true) {
+		t.Fatal("first poll died")
+	}
+	// Static progress with work outstanding: miss 1 suspects (drains).
+	if tr.NoteLiveness(1, true) || tr.State() != Draining {
+		t.Fatalf("after one miss: %v", tr.State())
+	}
+	// Progress resumes: suspicion clears.
+	if tr.NoteLiveness(2, true) || tr.State() != Healthy {
+		t.Fatalf("progress did not clear suspicion: %v", tr.State())
+	}
+	// Idle boards never miss.
+	for i := 0; i < 5; i++ {
+		if tr.NoteLiveness(2, false) {
+			t.Fatal("idle board died")
+		}
+	}
+	if tr.State() != Healthy {
+		t.Fatalf("idle board left healthy: %v", tr.State())
+	}
+	// Three consecutive static busy polls kill the board.
+	tr.NoteLiveness(3, true)
+	died := false
+	for i := 0; i < 3; i++ {
+		died = tr.NoteLiveness(3, true)
+	}
+	if !died || tr.State() != Dead {
+		t.Fatalf("liveness did not declare death: died=%v state=%v", died, tr.State())
+	}
+	// Dead and recovering boards ignore further polls.
+	if tr.NoteLiveness(3, true) {
+		t.Fatal("dead board died again")
+	}
+	tr.Revive(0)
+	if tr.NoteLiveness(3, true) {
+		t.Fatal("recovering board died from stale progress")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMonitor(eng, 2, Config{}, Hooks{
+		Progress: func(int) uint64 { return 0 },
+		Busy:     func(int) bool { return false },
+		OnDead:   func(int) {},
+	}, nil)
+	if err := m.Schedule([]faults.BoardEvent{{Kind: faults.BoardCrash, Board: 2}}); err == nil {
+		t.Fatal("out-of-range board accepted")
+	}
+	if err := m.Schedule([]faults.BoardEvent{{Kind: faults.Kind(-1), Board: 0}}); err == nil {
+		t.Fatal("non-board kind accepted")
+	}
+	if err := m.Schedule([]faults.BoardEvent{{Kind: faults.BoardCrash, Board: 1, At: 5}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMonitorCrashReviveCycle drives a scheduled crash + recovery
+// through the monitor and checks hooks fire in order and the stats and
+// instruments agree.
+func TestMonitorCrashReviveCycle(t *testing.T) {
+	eng := sim.NewEngine()
+	reg := obs.NewRegistry()
+	ins := NewInstruments(reg)
+	var deaths, revives []int
+	m := NewMonitor(eng, 2, Config{BackoffBase: 100 * sim.Millisecond}, Hooks{
+		Progress: func(int) uint64 { return 0 },
+		Busy:     func(int) bool { return false },
+		OnDead:   func(b int) { deaths = append(deaths, b) },
+		OnRevive: func(b int) { revives = append(revives, b) },
+	}, ins)
+	err := m.Schedule([]faults.BoardEvent{{
+		Kind: faults.BoardCrash, Board: 1,
+		At: sim.Time(sim.Second), Recover: sim.Time(2 * sim.Second),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(10 * sim.Second))
+	if len(deaths) != 1 || deaths[0] != 1 || len(revives) != 1 || revives[0] != 1 {
+		t.Fatalf("deaths=%v revives=%v", deaths, revives)
+	}
+	st := m.Stats()
+	if st.Deaths != 1 || st.Recoveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if m.Tracker(1).State() != Recovering {
+		t.Fatalf("board 1 state %v after revive", m.Tracker(1).State())
+	}
+	if !m.Tracker(1).Placeable(eng.Now()) {
+		t.Fatal("backoff long expired but board not placeable")
+	}
+}
+
+// TestMonitorLivenessDeclaresFrozenDead feeds a static progress counter
+// through the poll loop: the busy board must drain and then die without
+// any scheduled crash.
+func TestMonitorLivenessDeclaresFrozenDead(t *testing.T) {
+	eng := sim.NewEngine()
+	var dead []int
+	frozen := false
+	m := NewMonitor(eng, 1, Config{LivenessInterval: 100 * sim.Millisecond, LivenessMisses: 3}, Hooks{
+		Progress: func(int) uint64 { return 7 }, // never advances
+		Busy:     func(int) bool { return true },
+		OnDead:   func(b int) { dead = append(dead, b) },
+		OnFreeze: func(int) { frozen = true },
+	}, nil)
+	err := m.Schedule([]faults.BoardEvent{{Kind: faults.BoardHang, Board: 0, At: sim.Time(50 * sim.Millisecond)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(5 * sim.Second))
+	if !frozen {
+		t.Fatal("freeze hook never fired")
+	}
+	if len(dead) != 1 || dead[0] != 0 {
+		t.Fatalf("deaths = %v, want [0]", dead)
+	}
+	if st := m.Stats(); st.Freezes != 1 || st.Deaths != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,258 @@
+package hv
+
+// Board-level failure-domain support: the cluster and serverless
+// front-ends treat each hypervisor as a failure domain that can freeze
+// (board-hang), die (board-crash or liveness timeout), or degrade
+// (board-wide slowdown). A frozen board stops processing events — every
+// callback is guarded by halted() — so its heartbeat counter stalls and
+// the fleet's liveness monitor notices. A dead board is evacuated: its
+// unfinished submissions (with any surviving checkpoints) are handed
+// back for re-dispatch, and the hypervisor is left holding only retired
+// results so Collect still balances.
+
+import (
+	"slices"
+
+	"nimblock/internal/sched"
+	"nimblock/internal/sim"
+)
+
+// halted reports whether the board has stopped serving (frozen or dead).
+func (h *Hypervisor) halted() bool { return h.frozen || h.dead }
+
+// Progress returns the monotonic heartbeat counter: it advances with
+// every emitted event and stalls the moment the board freezes. Fleet
+// liveness polls compare it across intervals.
+func (h *Hypervisor) Progress() uint64 { return h.progress }
+
+// Frozen reports whether the board is frozen (board-hang).
+func (h *Hypervisor) Frozen() bool { return h.frozen }
+
+// Evacuated reports whether the board was declared dead and drained.
+func (h *Hypervisor) Evacuated() bool { return h.dead }
+
+// SetSlowdown applies a board-wide latency multiplier to every item
+// attempt started from now on (board-degrade). Factors <= 1 clear it.
+// In-flight items keep the factor they started with.
+func (h *Hypervisor) SetSlowdown(f float64) {
+	if f <= 1 {
+		h.slow = 0
+		return
+	}
+	h.slow = f
+}
+
+// Freeze halts the board (board-hang): every slot's pending completion,
+// watchdog, and checkpoint timer is cancelled and all further callbacks
+// are dropped by the halted() guards, so no event — and therefore no
+// heartbeat — is ever emitted again. Freezing is one-way: a frozen
+// board is either evacuated after the fleet declares it dead, or
+// discarded when a scheduled recovery replaces it.
+func (h *Hypervisor) Freeze() {
+	if h.halted() {
+		return
+	}
+	h.frozen = true
+	for s := range h.slots {
+		rt := &h.slots[s]
+		h.eng.Cancel(rt.itemEv)
+		h.eng.Cancel(rt.wdEv)
+		h.eng.Cancel(rt.ckptEv)
+		rt.itemEv, rt.wdEv, rt.ckptEv = 0, 0, 0
+		// Fold the running stretch into doneWall at the freeze instant so
+		// frozen wall time is never billed as fabric work.
+		if rt.active && rt.curItem >= 0 && !rt.saving && !rt.restoring {
+			rt.doneWall += h.eng.Now().Sub(rt.itemStart)
+			rt.itemStart = h.eng.Now()
+		}
+		rt.hung = true
+	}
+	h.tickPending = false
+}
+
+// Snapshot is one surviving checkpoint carried off a dead board.
+type Snapshot struct {
+	Task, Item int
+	// Progress is the nominal work the snapshot captured; Remaining is
+	// the nominal work left after it; Bytes is the state size that must
+	// stream through the target board's CAP before the item resumes.
+	Progress  sim.Duration
+	Remaining sim.Duration
+	Bytes     int64
+}
+
+// Evacuee is one unfinished submission handed back when its board died.
+type Evacuee struct {
+	// ID is the board-local submission ID the front-end keyed its
+	// bookkeeping with.
+	ID       int64
+	App      *sched.App
+	Priority int
+	Batch    int
+	Arrival  sim.Time
+	// WorkDone is the fabric time the dead board had already spent on
+	// the submission (run + reconfiguration + in-flight stretches) —
+	// wasted unless snapshots carry part of it to the next board.
+	WorkDone sim.Duration
+	// Snapshots are the submission's surviving checkpoints, in no
+	// particular order. Seed them into the target hypervisor with
+	// SeedCheckpoints so migrated items resume instead of re-executing.
+	Snapshots []Snapshot
+}
+
+// Evacuate declares the board dead and drains it: every unfinished
+// submission is returned (with its surviving checkpoints) for the fleet
+// to re-dispatch, and the hypervisor forgets it ever saw them, so
+// Collect returns exactly the results that retired before the death.
+func (h *Hypervisor) Evacuate() []Evacuee {
+	h.Freeze()
+	h.dead = true
+	var out []Evacuee
+	gone := map[*sched.App]bool{}
+	for _, a := range h.apps {
+		if a.Retired() {
+			continue
+		}
+		gone[a] = true
+		ev := Evacuee{ID: a.ID, App: a, Priority: a.Priority, Batch: a.Batch, Arrival: a.Arrival}
+		if res, ok := h.acct[a.ID]; ok {
+			ev.WorkDone = res.Run + res.Reconfig
+		}
+		for s := range h.slots {
+			rt := &h.slots[s]
+			if rt.app != a || !rt.active || rt.curItem < 0 {
+				continue
+			}
+			// The dying stretch of an in-flight item was never booked
+			// into Run; Freeze already folded it into doneWall.
+			ev.WorkDone += rt.doneWall
+		}
+		for key, rec := range h.ckpt[a.ID] {
+			if rec.bytes <= 0 || rec.progress <= 0 {
+				continue // legacy flat-cost records cannot migrate
+			}
+			ev.Snapshots = append(ev.Snapshots, Snapshot{
+				Task: key[0], Item: key[1],
+				Progress: rec.progress, Remaining: rec.remaining, Bytes: rec.bytes,
+			})
+		}
+		// Map iteration order is random; keep evacuees deterministic.
+		slices.SortFunc(ev.Snapshots, func(x, y Snapshot) int {
+			if x.Task != y.Task {
+				return x.Task - y.Task
+			}
+			return x.Item - y.Item
+		})
+		a.MarkAborted()
+		h.mem.ReleaseOwner(h.owner(a))
+		delete(h.owners, a.ID)
+		delete(h.bufOut, a.ID)
+		delete(h.handoff, a.ID)
+		delete(h.prodAt, a.ID)
+		delete(h.ckpt, a.ID)
+		delete(h.acct, a.ID)
+		out = append(out, ev)
+	}
+	// Keep only apps whose results already retired so Collect's
+	// conservation check balances.
+	kept := h.apps[:0]
+	for _, a := range h.apps {
+		if !gone[a] {
+			kept = append(kept, a)
+		}
+	}
+	h.apps = kept
+	h.pending = h.pending[:0]
+	h.transit = h.transit[:0]
+	for s := range h.slots {
+		h.slots[s] = slotRuntime{curItem: -1}
+	}
+	return out
+}
+
+// SeedCheckpoints installs snapshots evacuated from a dead board under
+// a freshly submitted ID on this board. When the migrated item starts,
+// the normal restore path streams the state in through this board's CAP
+// — migration is priced by the same cost model as any restore.
+func (h *Hypervisor) SeedCheckpoints(id int64, snaps []Snapshot) {
+	for _, s := range snaps {
+		h.ckptPut(id, s.Task, s.Item, ckptRecord{remaining: s.Remaining, progress: s.Progress, bytes: s.Bytes})
+	}
+}
+
+// Abort cancels one unfinished submission (the hedge loser after its
+// twin retired elsewhere). In-flight items are dropped, loaded slots
+// are released, and a mid-reconfiguration stream is left to drain — its
+// completion callback sees the aborted ID and frees the slot. It
+// returns false if the submission already retired (or was never here),
+// and the fabric time the board had spent on it.
+func (h *Hypervisor) Abort(id int64) (bool, sim.Duration) {
+	var app *sched.App
+	for _, a := range h.apps {
+		if a.ID == id {
+			app = a
+			break
+		}
+	}
+	if app == nil || app.Retired() {
+		return false, 0
+	}
+	var spent sim.Duration
+	if res, ok := h.acct[id]; ok {
+		spent = res.Run + res.Reconfig
+	}
+	for s := range h.slots {
+		rt := &h.slots[s]
+		if rt.app != app {
+			continue
+		}
+		h.eng.Cancel(rt.itemEv)
+		h.eng.Cancel(rt.wdEv)
+		h.eng.Cancel(rt.ckptEv)
+		if !rt.active {
+			// CAP stream in flight: reconfigDone drops it via abortedIDs.
+			continue
+		}
+		if rt.curItem >= 0 && !rt.saving && !rt.restoring {
+			spent += rt.doneWall + h.eng.Now().Sub(rt.itemStart)
+		}
+		if err := h.board.Release(s); err != nil {
+			h.fail(err)
+			return false, 0
+		}
+		h.slots[s] = slotRuntime{curItem: -1}
+		h.wake(sched.ReasonSlotFree)
+	}
+	if h.abortedIDs == nil {
+		h.abortedIDs = map[int64]bool{}
+	}
+	h.abortedIDs[id] = true
+	app.MarkAborted()
+	for i, a := range h.apps {
+		if a == app {
+			h.apps = append(h.apps[:i], h.apps[i+1:]...)
+			break
+		}
+	}
+	for i, a := range h.pending {
+		if a == app {
+			h.pending = append(h.pending[:i], h.pending[i+1:]...)
+			break
+		}
+	}
+	for i, a := range h.transit {
+		if a == app {
+			h.transit = append(h.transit[:i], h.transit[i+1:]...)
+			break
+		}
+	}
+	h.mem.ReleaseOwner(h.owner(app))
+	delete(h.owners, id)
+	delete(h.bufOut, id)
+	delete(h.handoff, id)
+	delete(h.prodAt, id)
+	delete(h.ckpt, id)
+	delete(h.acct, id)
+	h.wake(sched.ReasonAppDone)
+	return true, spent
+}

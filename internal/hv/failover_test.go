@@ -1,0 +1,216 @@
+package hv_test
+
+import (
+	"testing"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/core"
+	"nimblock/internal/hv"
+	"nimblock/internal/sim"
+)
+
+func newFailoverHV(t *testing.T, cfg hv.Config) (*sim.Engine, *hv.Hypervisor) {
+	t.Helper()
+	eng := sim.NewEngine()
+	h, err := hv.New(eng, cfg, core.New(core.DefaultOptions(), cfg.Board))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, h
+}
+
+// TestFreezeStallsHeartbeat pins the liveness contract: a frozen board's
+// progress counter never advances again, while a live board under the
+// same load keeps beating.
+func TestFreezeStallsHeartbeat(t *testing.T) {
+	eng, h := newFailoverHV(t, hv.DefaultConfig())
+	if err := h.Submit(apps.MustGraph(apps.OpticalFlow), 4, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	var atFreeze uint64
+	eng.At(sim.Time(300*sim.Millisecond), func() {
+		h.Freeze()
+		atFreeze = h.Progress()
+	})
+	eng.RunUntil(sim.Time(10 * sim.Second))
+	if atFreeze == 0 {
+		t.Fatal("no heartbeat before the freeze")
+	}
+	if !h.Frozen() {
+		t.Fatal("board not frozen")
+	}
+	if got := h.Progress(); got != atFreeze {
+		t.Fatalf("frozen heartbeat advanced: %d -> %d", atFreeze, got)
+	}
+	if h.PendingCount() == 0 {
+		t.Fatal("frozen board claims its work drained")
+	}
+}
+
+// TestEvacuateConservation kills a board mid-run: retired results stay
+// collectable, unfinished submissions come back as evacuees, and
+// results + evacuees exactly cover the submissions.
+func TestEvacuateConservation(t *testing.T) {
+	eng, h := newFailoverHV(t, hv.DefaultConfig())
+	// LeNet (129 ms nominal) retires before the crash; the OpticalFlow
+	// pair (many seconds) is mid-flight when the board dies.
+	if err := h.Submit(apps.MustGraph(apps.LeNet), 1, 9, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := h.Submit(apps.MustGraph(apps.OpticalFlow), 4, 3, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var evs []hv.Evacuee
+	eng.At(sim.Time(2*sim.Second), func() { evs = h.Evacuate() })
+	eng.RunUntil(sim.Time(60 * sim.Second))
+	if !h.Evacuated() {
+		t.Fatal("board not marked evacuated")
+	}
+	res, err := h.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res)+len(evs) != 3 {
+		t.Fatalf("%d results + %d evacuees != 3 submissions", len(res), len(evs))
+	}
+	if len(res) != 1 || res[0].App != apps.LeNet {
+		t.Fatalf("retired-before-death results = %+v", res)
+	}
+	seen := map[int64]bool{}
+	for i, ev := range evs {
+		if ev.ID <= 0 || ev.App == nil || ev.WorkDone < 0 {
+			t.Fatalf("evacuee %d malformed: %+v", i, ev)
+		}
+		if seen[ev.ID] {
+			t.Fatalf("evacuee ID %d returned twice", ev.ID)
+		}
+		seen[ev.ID] = true
+		if ev.WorkDone <= 0 {
+			t.Fatalf("evacuee %d carried no work despite 2s of runtime: %+v", i, ev)
+		}
+	}
+	if h.Mem().Live() != 0 {
+		t.Fatalf("%d buffers leaked across evacuation", h.Mem().Live())
+	}
+}
+
+// TestEvacuateCarriesSnapshotsAndSeedsResume is the end-to-end
+// migration contract: snapshots evacuated from a dying board, seeded
+// into a fresh one, let the submission finish with strictly less fabric
+// work than a from-scratch run.
+func TestEvacuateCarriesSnapshotsAndSeedsResume(t *testing.T) {
+	cfg := hv.DefaultConfig()
+	cfg.Checkpoint = hv.CheckpointConfig{Enabled: true, Period: 20 * sim.Millisecond}
+	eng, h := newFailoverHV(t, cfg)
+	g := apps.MustGraph(apps.OpticalFlow)
+	batch := 2
+	if err := h.Submit(g, batch, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	var evs []hv.Evacuee
+	// 1 s is mid-item for OpticalFlow's 507 ms items, past several
+	// periodic saves.
+	eng.At(sim.Time(sim.Second), func() { evs = h.Evacuate() })
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	if len(evs) != 1 {
+		t.Fatalf("%d evacuees, want 1", len(evs))
+	}
+	ev := evs[0]
+	if len(ev.Snapshots) == 0 {
+		t.Fatal("no snapshots survived despite periodic checkpointing")
+	}
+	var migrated sim.Duration
+	for _, s := range ev.Snapshots {
+		if s.Progress <= 0 || s.Bytes <= 0 {
+			t.Fatalf("snapshot %+v malformed", s)
+		}
+		migrated += s.Progress
+	}
+
+	// Resume on a fresh board.
+	eng2, h2 := newFailoverHV(t, cfg)
+	id, err := h2.SubmitID(g, batch, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.SeedCheckpoints(id, ev.Snapshots)
+	eng2.RunUntil(cfg.Horizon)
+	res, err := h2.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("%d results, want 1", len(res))
+	}
+	nominal := g.TotalWork() * sim.Duration(batch)
+	if res[0].Run >= nominal {
+		t.Fatalf("resumed run %v >= nominal %v: seeded checkpoints were not used", res[0].Run, nominal)
+	}
+	if nominal-res[0].Run > migrated {
+		t.Fatalf("resumed board skipped %v but snapshots only carried %v", nominal-res[0].Run, migrated)
+	}
+}
+
+// TestAbortDropsHedgeLoser pins Abort's contract: the aborted
+// submission vanishes (no result, slots released, memory clean), the
+// survivor completes, and a second abort reports not-found.
+func TestAbortDropsHedgeLoser(t *testing.T) {
+	eng, h := newFailoverHV(t, hv.DefaultConfig())
+	g := apps.MustGraph(apps.OpticalFlow)
+	loser, err := h.SubmitID(g, 2, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.SubmitID(apps.MustGraph(apps.Rendering3D), 2, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	var ok bool
+	var spent sim.Duration
+	eng.At(sim.Time(700*sim.Millisecond), func() { ok, spent = h.Abort(loser) })
+	eng.RunUntil(hv.DefaultConfig().Horizon)
+	if !ok {
+		t.Fatal("abort of an in-flight submission failed")
+	}
+	if spent <= 0 {
+		t.Fatalf("aborted submission spent %v, want > 0 after 700ms", spent)
+	}
+	res, err := h.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].App != apps.Rendering3D {
+		t.Fatalf("results after abort = %+v", res)
+	}
+	if again, _ := h.Abort(loser); again {
+		t.Fatal("second abort of the same ID succeeded")
+	}
+	if h.Mem().Live() != 0 {
+		t.Fatalf("%d buffers leaked by abort", h.Mem().Live())
+	}
+}
+
+// TestSlowdownStretchesItems checks board-degrade: the same workload
+// takes strictly longer under a 4x slowdown and still completes.
+func TestSlowdownStretchesItems(t *testing.T) {
+	run := func(factor float64) sim.Duration {
+		eng, h := newFailoverHV(t, hv.DefaultConfig())
+		if factor > 1 {
+			h.SetSlowdown(factor)
+		}
+		if err := h.Submit(apps.MustGraph(apps.Rendering3D), 3, 3, 0); err != nil {
+			t.Fatal(err)
+		}
+		eng.RunUntil(hv.DefaultConfig().Horizon)
+		res, err := h.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].Response
+	}
+	clean, slowed := run(1), run(4)
+	if slowed <= clean {
+		t.Fatalf("4x degrade did not slow the board: %v vs %v", slowed, clean)
+	}
+}

@@ -308,6 +308,19 @@ type Hypervisor struct {
 	tickPending bool
 	err         error
 
+	// Board-level failure-domain state (see failover.go). progress is
+	// the monotonic heartbeat counter liveness polls compare; frozen
+	// stops all event processing (board-hang); dead additionally means
+	// the board was evacuated and will never serve again; slow is a
+	// board-wide degrade multiplier applied at item start; abortedIDs
+	// marks hedge-cancelled submissions whose in-flight reconfigurations
+	// must be dropped on completion.
+	progress   uint64
+	frozen     bool
+	dead       bool
+	slow       float64
+	abortedIDs map[int64]bool
+
 	// Pre-bound closures for the per-event hot path: scheduling a tick,
 	// wake, or data-ready retry must not allocate a fresh closure each
 	// time (these fire millions of times per run).
@@ -377,9 +390,14 @@ func New(eng *sim.Engine, cfg Config, policy sched.Scheduler) (*Hypervisor, erro
 	}
 	h.tickFn = func() {
 		h.tickPending = false
-		if len(h.pending) == 0 || h.err != nil {
+		if len(h.pending) == 0 || h.err != nil || h.halted() {
 			return
 		}
+		// The periodic tick is also the liveness heartbeat: it keeps
+		// firing while work is pending no matter how slowly items run, so
+		// only a genuinely frozen board (halted guard above) ever reads
+		// as static progress to the fleet monitor.
+		h.progress++
 		h.poke(sched.ReasonTick)
 		h.ensureTick()
 	}
@@ -504,6 +522,11 @@ func (h *Hypervisor) SubmitID(g *taskgraph.Graph, batch, priority int, arrival s
 }
 
 func (h *Hypervisor) arrive(app *sched.App) {
+	if h.halted() || app.Retired() {
+		// A dead or frozen board processes no arrivals (evacuation
+		// re-homes in-transit work); an aborted hedge copy never lands.
+		return
+	}
 	for i, a := range h.transit {
 		if a == app {
 			h.transit = append(h.transit[:i], h.transit[i+1:]...)
@@ -542,7 +565,7 @@ func (h *Hypervisor) arrive(app *sched.App) {
 // ensureTick keeps the periodic scheduling interval alive while
 // applications are pending.
 func (h *Hypervisor) ensureTick() {
-	if h.tickPending || len(h.pending) == 0 || h.err != nil {
+	if h.tickPending || len(h.pending) == 0 || h.err != nil || h.halted() {
 		return
 	}
 	h.tickPending = true
@@ -551,7 +574,7 @@ func (h *Hypervisor) ensureTick() {
 
 // poke invokes the policy unless the run has already failed.
 func (h *Hypervisor) poke(why sched.Reason) {
-	if h.err != nil {
+	if h.err != nil || h.halted() {
 		return
 	}
 	h.policy.Schedule(h, why)
@@ -581,6 +604,10 @@ func (h *Hypervisor) fail(err error) error {
 // log, nil observer — must stay allocation-free: it runs once per event
 // on the simulator hot path (a test in this package enforces it).
 func (h *Hypervisor) trace(e trace.Event) {
+	// Every emitted event is one heartbeat: a frozen board emits nothing
+	// (its callbacks are guarded), so liveness polls see the counter
+	// stall and declare the board dead.
+	h.progress++
 	h.log.Add(e)
 	if h.obs != nil {
 		h.obs.Observe(e)
@@ -625,7 +652,7 @@ func (h *Hypervisor) quarantine(slot int) {
 // killed — its lost item re-executes elsewhere — and the slot leaves
 // service for good.
 func (h *Hypervisor) forceOffline(slot int) {
-	if h.err != nil || !h.board.SlotUsable(slot) {
+	if h.err != nil || h.halted() || !h.board.SlotUsable(slot) {
 		return
 	}
 	rt := &h.slots[slot]
@@ -676,6 +703,9 @@ func (h *Hypervisor) forceOffline(slot int) {
 // and the item re-executes when the task is rescheduled — from its last
 // checkpoint when checkpointing is enabled, from scratch otherwise.
 func (h *Hypervisor) watchdogFire(slot int, a *sched.App, task, item int) {
+	if h.halted() {
+		return
+	}
 	rt := &h.slots[slot]
 	if rt.app != a || rt.task != task || rt.curItem != item || rt.saving {
 		return // stale timer: the item completed or the slot moved on
@@ -781,6 +811,22 @@ func (h *Hypervisor) Reconfigure(slot int, a *sched.App, task int) error {
 }
 
 func (h *Hypervisor) reconfigDone(slot int, a *sched.App, task int, img *bitstream.Image, err error) {
+	if h.halted() {
+		return // frozen or dead: the board never sees the completion
+	}
+	if h.abortedIDs[a.ID] {
+		// Hedge-cancelled mid-reconfiguration: drop the stream's result
+		// and free the slot for live work.
+		if err == nil {
+			if e := h.board.Release(slot); e != nil {
+				h.fail(e)
+				return
+			}
+		}
+		h.slots[slot] = slotRuntime{curItem: -1}
+		h.wake(sched.ReasonSlotFree)
+		return
+	}
 	rt := &h.slots[slot]
 	if err != nil {
 		// Unrecoverable fault: give the task back to the policy.
@@ -916,6 +962,9 @@ func (h *Hypervisor) startCheckpoint(slot int) {
 	h.acct[a.ID].Run += consumed
 	h.slotBusy[slot] += consumed
 	h.eng.After(h.cfg.CheckpointSave, func() {
+		if h.halted() {
+			return
+		}
 		if cur := &h.slots[slot]; cur.app != a || cur.task != task || !cur.saving {
 			return // slot was reclaimed mid-save (permanent failure)
 		}
@@ -1025,6 +1074,11 @@ func (h *Hypervisor) startAttempt(slot int, a *sched.App, task, item int) {
 			h.rec.FaultsInjected++
 		}
 	}
+	if h.slow > 1 {
+		// Board-wide degrade stretches every attempt started inside the
+		// window, compounding any injected per-item slowdown.
+		rt.factor *= h.slow
+	}
 	rec, ok := h.ckptGet(a.ID, task, item)
 	if ok {
 		probe := fpga.ProbeCheckpoint(h.board.Injector(), h.eng.Now(), a.Name, task, slot)
@@ -1054,6 +1108,9 @@ func (h *Hypervisor) startAttempt(slot int, a *sched.App, task, item int) {
 // through the CAP; either the item resumes from the snapshot or (corrupt
 // snapshot) re-executes from scratch with the transfer time spent.
 func (h *Hypervisor) restoreDone(slot int, a *sched.App, task, item int, rec ckptRecord, corrupt bool, start sim.Time) {
+	if h.halted() {
+		return
+	}
 	rt := &h.slots[slot]
 	if rt.app != a || rt.task != task || rt.curItem != item || !rt.restoring {
 		return // slot was reclaimed mid-restore (permanent failure)
@@ -1112,6 +1169,9 @@ func (h *Hypervisor) beginRun(slot int, a *sched.App, task, item int) {
 // state out through the CAP, and resume. Saves of hung items are
 // pointless (no consistent progress) and are skipped.
 func (h *Hypervisor) ckptSave(slot int, a *sched.App, task, item int) {
+	if h.halted() {
+		return
+	}
 	rt := &h.slots[slot]
 	if rt.app != a || rt.task != task || rt.curItem != item || rt.saving || rt.restoring || rt.hung {
 		return // stale timer
@@ -1152,6 +1212,9 @@ func (h *Hypervisor) ckptSave(slot int, a *sched.App, task, item int) {
 // ckptSaveDone records the snapshot and resumes the paused kernel (or
 // honours a preemption that arrived mid-save).
 func (h *Hypervisor) ckptSaveDone(slot int, a *sched.App, task, item int, snap sim.Duration, bytes int64, start sim.Time) {
+	if h.halted() {
+		return
+	}
 	rt := &h.slots[slot]
 	if rt.app != a || rt.task != task || rt.curItem != item || !rt.saving {
 		return // slot was reclaimed mid-save (permanent failure)
@@ -1206,6 +1269,9 @@ func (h *Hypervisor) startOnDemandCheckpoint(slot int) {
 	bytes := h.taskStateBytes(a, task)
 	start := h.eng.Now()
 	if err := h.board.TransferState(slot, bytes, func(error) {
+		if h.halted() {
+			return
+		}
 		cur := &h.slots[slot]
 		if cur.app != a || cur.task != task || cur.curItem != item || !cur.saving {
 			return // slot was reclaimed mid-save (permanent failure)
@@ -1302,6 +1368,9 @@ func (h *Hypervisor) doPreempt(slot int) {
 // tryStart pulls the next ready batch item into the slot's task, or
 // honours a pending preemption at the boundary.
 func (h *Hypervisor) tryStart(slot int) {
+	if h.halted() {
+		return
+	}
 	rt := &h.slots[slot]
 	if rt.app == nil || !rt.active || rt.curItem != -1 {
 		return
@@ -1358,6 +1427,7 @@ func (h *Hypervisor) tryStart(slot int) {
 			h.rec.FaultsInjected++
 		}
 	}
+	lat = stretchDur(lat, h.slow)
 	rt.itemStart = h.eng.Now()
 	rt.itemLat = lat
 	rt.hung = hung
@@ -1373,6 +1443,9 @@ func (h *Hypervisor) tryStart(slot int) {
 }
 
 func (h *Hypervisor) itemDone(slot int, a *sched.App, task, item int, lat sim.Duration) {
+	if h.halted() {
+		return
+	}
 	rt := &h.slots[slot]
 	if rt.app != a || rt.task != task || rt.curItem != item {
 		h.fail(fmt.Errorf("hv: item completion for %s task %d item %d does not match slot %d state", a.Name, task, item, slot))

@@ -447,6 +447,12 @@ func (a *App) MarkItemDone(t, i int) (taskDone bool, err error) {
 	return false, nil
 }
 
+// MarkAborted force-retires the application regardless of progress:
+// the hypervisor evacuated it off a dead board or cancelled it as a
+// hedge loser. Policies that retain stale references (RR's slot queues)
+// see Retired() and skip it; the app object is otherwise discarded.
+func (a *App) MarkAborted() { a.retired = true }
+
 // Retire marks the application complete.
 func (a *App) Retire() error {
 	if !a.Done() {
