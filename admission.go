@@ -85,6 +85,9 @@ type SubmitOptions struct {
 	// SLO is the latency budget for deadline admission; 0 falls back to
 	// AdmissionConfig.DeadlineFactor.
 	SLO time.Duration
+	// Weight is the tenant's service weight for fairness-aware
+	// scheduling (AlgoNimblockEnergy); <= 0 means 1.
+	Weight float64
 }
 
 func (o SubmitOptions) sloSim() sim.Duration { return sim.FromStd(o.SLO) }

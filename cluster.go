@@ -6,6 +6,7 @@ import (
 
 	"nimblock/internal/cluster"
 	"nimblock/internal/faults"
+	"nimblock/internal/fpga"
 	"nimblock/internal/health"
 	"nimblock/internal/hv"
 	"nimblock/internal/sched"
@@ -26,6 +27,12 @@ const (
 	DispatchLeastPending DispatchPolicy = "least-pending"
 	// DispatchRandom picks a seeded-random board.
 	DispatchRandom DispatchPolicy = "random"
+	// DispatchHeteroAware scores boards by estimated outstanding work
+	// scaled by each board's latency scale and divided by its usable
+	// slot count — the placement policy for heterogeneous fleets (see
+	// ClusterConfig.BoardSpecs). On identical boards it degenerates to
+	// least-loaded ordering.
+	DispatchHeteroAware DispatchPolicy = "hetero-aware"
 )
 
 // ClusterConfig parameterizes a multi-FPGA deployment: Boards identical
@@ -36,6 +43,12 @@ type ClusterConfig struct {
 	Config
 	// Boards is the number of FPGAs (default 2).
 	Boards int
+	// BoardSpecs, when non-empty, gives each board its own capability
+	// spec (slots, bandwidth, latency scale, power model), making the
+	// fleet heterogeneous; its length must equal Boards. Boards without
+	// a spec field set inherit the embedded Config's platform. Pair
+	// with DispatchHeteroAware so placement sees the differences.
+	BoardSpecs []*BoardSpec
 	// Dispatch places arrivals (default DispatchLeastLoaded).
 	Dispatch DispatchPolicy
 	// Seed drives DispatchRandom.
@@ -123,8 +136,12 @@ type ClusterResult struct {
 
 // Cluster is a multi-FPGA system: Submit applications, then Run.
 type Cluster struct {
-	eng *sim.Engine
-	cl  *cluster.Cluster
+	eng     *sim.Engine
+	cl      *cluster.Cluster
+	horizon sim.Time
+	// energy is sampled at engine quiescence during Run (see
+	// System.energy for why).
+	energy *hv.EnergyStats
 }
 
 // NewCluster builds a multi-FPGA deployment.
@@ -145,12 +162,39 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		d = cluster.LeastPending
 	case DispatchRandom:
 		d = cluster.RandomBoard
+	case DispatchHeteroAware:
+		d = cluster.HeteroAware
 	default:
 		return nil, fmt.Errorf("nimblock: unknown dispatch policy %q", cfg.Dispatch)
 	}
 	hcfg := hv.DefaultConfig()
 	if cfg.Slots > 0 {
 		hcfg.Board.Slots = cfg.Slots
+	}
+	if cfg.Config.Board != nil {
+		sp := fpga.Spec(*cfg.Config.Board)
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		hcfg.Board = sp.Apply(hcfg.Board)
+	}
+	var boardConfigs []hv.Config
+	if len(cfg.BoardSpecs) > 0 {
+		if len(cfg.BoardSpecs) != cfg.Boards {
+			return nil, fmt.Errorf("nimblock: %d board specs for %d boards", len(cfg.BoardSpecs), cfg.Boards)
+		}
+		boardConfigs = make([]hv.Config, cfg.Boards)
+		for i, bs := range cfg.BoardSpecs {
+			c := hcfg
+			if bs != nil {
+				sp := fpga.Spec(*bs)
+				if err := sp.Validate(); err != nil {
+					return nil, fmt.Errorf("nimblock: board %d: %w", i, err)
+				}
+				c.Board = sp.Apply(c.Board)
+			}
+			boardConfigs[i] = c
+		}
 	}
 	if cfg.SchedInterval > 0 {
 		hcfg.SchedInterval = sim.FromStd(cfg.SchedInterval)
@@ -190,9 +234,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	cl, err := cluster.New(eng, cluster.Config{
-		Boards:      cfg.Boards,
-		HV:          hcfg,
-		Dispatch:    d,
+		Boards:       cfg.Boards,
+		HV:           hcfg,
+		BoardConfigs: boardConfigs,
+		Dispatch:     d,
 		Seed:        cfg.Seed,
 		Admission:   cfg.Admission.internal(),
 		Health:      cfg.Health.internal(),
@@ -201,7 +246,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{eng: eng, cl: cl}, nil
+	return &Cluster{eng: eng, cl: cl, horizon: hcfg.Horizon}, nil
 }
 
 // Boards reports the cluster size.
@@ -221,6 +266,7 @@ func (c *Cluster) SubmitWith(app *Application, batch, priority int, arrival time
 	return c.cl.SubmitWith(app.graph, batch, priority, sim.Time(sim.FromStd(arrival)), cluster.SubmitOptions{
 		Tenant: opts.Tenant,
 		SLO:    opts.sloSim(),
+		Weight: opts.Weight,
 	})
 }
 
@@ -232,6 +278,12 @@ func (c *Cluster) AdmissionStats() AdmissionStats {
 
 // Run executes the simulation until every application retires.
 func (c *Cluster) Run() ([]ClusterResult, error) {
+	// Drain to quiescence (bounded by the horizon) and sample energy at
+	// the makespan before the collection pass advances the clock to the
+	// horizon.
+	c.eng.DrainUntil(c.horizon)
+	es := c.cl.Energy()
+	c.energy = &es
 	raw, err := c.cl.Run()
 	if err != nil {
 		return nil, err
@@ -263,6 +315,33 @@ func (c *Cluster) Run() ([]ClusterResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// Energy sums integrated energy across the fleet, sampled at the
+// makespan once Run completes; zero unless the board specs carry a
+// power model.
+func (c *Cluster) Energy() EnergyStats {
+	es := c.cl.Energy()
+	if c.energy != nil {
+		es = *c.energy
+	}
+	return EnergyStats{
+		StaticJoules:        es.StaticJoules,
+		ActiveJoules:        es.ActiveJoules,
+		OccupiedSlotSeconds: es.OccupiedSlotSeconds,
+		UsableSlotSeconds:   es.UsableSlotSeconds,
+	}
+}
+
+// TenantServices reports the weighted service delivered to each tenant
+// named in SubmitWith options, merged across boards.
+func (c *Cluster) TenantServices() map[string]time.Duration {
+	raw := c.cl.TenantServices()
+	out := make(map[string]time.Duration, len(raw))
+	for tenant, d := range raw {
+		out[tenant] = d.Std()
+	}
+	return out
 }
 
 // BoardHealth reports every board's health state by name ("healthy",

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nimblock/internal/faas"
+	"nimblock/internal/fpga"
 	"nimblock/internal/hv"
 	"nimblock/internal/sched"
 	"nimblock/internal/sim"
@@ -19,6 +20,12 @@ type ServerlessConfig struct {
 	Config
 	// Boards is the cluster size (default 4).
 	Boards int
+	// BoardSpecs, when non-empty, gives each board its own capability
+	// spec (slots, bandwidth, latency scale, power model), making the
+	// fleet heterogeneous; its length must equal Boards. Placement
+	// scores fold each board's latency scale and width in, so slow or
+	// narrow boards attract proportionally less work.
+	BoardSpecs []*BoardSpec
 	// ColdStart is the bitstream-distribution delay paid the first time
 	// a function lands on a board (default 500 ms).
 	ColdStart time.Duration
@@ -74,12 +81,20 @@ type FunctionOptions struct {
 	Tenant string
 	// SLO is the per-invocation latency budget for deadline admission.
 	SLO time.Duration
+	// Weight is the tenant's service weight for fairness-aware
+	// scheduling (AlgoNimblockEnergy); <= 0 means 1.
+	Weight float64
 }
 
 // Platform is the serverless front-end: Register functions, Invoke them,
 // then Run.
 type Platform struct {
-	p *faas.Platform
+	eng     *sim.Engine
+	p       *faas.Platform
+	horizon sim.Time
+	// energy is sampled at engine quiescence during Run (see
+	// System.energy for why).
+	energy *hv.EnergyStats
 }
 
 // NewPlatform builds a serverless platform.
@@ -107,16 +122,42 @@ func NewPlatform(cfg ServerlessConfig) (*Platform, error) {
 		hcfg.Horizon = sim.Time(sim.FromStd(cfg.Horizon))
 	}
 	hcfg.Observer = wrapObserver(cfg.Observer)
+	if cfg.Config.Board != nil {
+		sp := fpga.Spec(*cfg.Config.Board)
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		hcfg.Board = sp.Apply(hcfg.Board)
+	}
+	var boardConfigs []hv.Config
+	if len(cfg.BoardSpecs) > 0 {
+		if len(cfg.BoardSpecs) != cfg.Boards {
+			return nil, fmt.Errorf("nimblock: %d board specs for %d boards", len(cfg.BoardSpecs), cfg.Boards)
+		}
+		boardConfigs = make([]hv.Config, cfg.Boards)
+		for i, bs := range cfg.BoardSpecs {
+			c := hcfg
+			if bs != nil {
+				sp := fpga.Spec(*bs)
+				if err := sp.Validate(); err != nil {
+					return nil, fmt.Errorf("nimblock: board %d: %w", i, err)
+				}
+				c.Board = sp.Apply(c.Board)
+			}
+			boardConfigs[i] = c
+		}
+	}
 	if _, err := newPolicy(cfg.Config, hcfg); err != nil {
 		return nil, err
 	}
 	eng := sim.NewEngine()
 	p, err := faas.New(eng, faas.Config{
-		Boards:    cfg.Boards,
-		HV:        hcfg,
-		ColdStart: sim.FromStd(cfg.ColdStart),
-		ScaleUp:   cfg.ScaleUp,
-		Admission: cfg.Admission.internal(),
+		Boards:       cfg.Boards,
+		HV:           hcfg,
+		BoardConfigs: boardConfigs,
+		ColdStart:    sim.FromStd(cfg.ColdStart),
+		ScaleUp:      cfg.ScaleUp,
+		Admission:    cfg.Admission.internal(),
 	}, func() sched.Scheduler {
 		pol, err := newPolicy(cfg.Config, hcfg)
 		if err != nil {
@@ -127,7 +168,7 @@ func NewPlatform(cfg ServerlessConfig) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Platform{p: p}, nil
+	return &Platform{eng: eng, p: p, horizon: hcfg.Horizon}, nil
 }
 
 // Register adds a function backed by an application task-graph.
@@ -145,6 +186,7 @@ func (pl *Platform) RegisterWith(name string, app *Application, priority int, op
 		Priority: priority,
 		Tenant:   opts.Tenant,
 		SLO:      sim.FromStd(opts.SLO),
+		Weight:   opts.Weight,
 	})
 }
 
@@ -166,8 +208,41 @@ func (pl *Platform) Stats() PlatformStats {
 	return PlatformStats{Invocations: s.Invocations, ColdStarts: s.ColdStarts, WarmStarts: s.WarmStarts, Rejections: s.Rejections}
 }
 
+// Energy sums integrated energy across the platform's boards, sampled
+// at the makespan once Run completes; zero unless the board specs
+// carry a power model.
+func (pl *Platform) Energy() EnergyStats {
+	es := pl.p.Energy()
+	if pl.energy != nil {
+		es = *pl.energy
+	}
+	return EnergyStats{
+		StaticJoules:        es.StaticJoules,
+		ActiveJoules:        es.ActiveJoules,
+		OccupiedSlotSeconds: es.OccupiedSlotSeconds,
+		UsableSlotSeconds:   es.UsableSlotSeconds,
+	}
+}
+
+// TenantServices reports the weighted service delivered to each
+// function tenant, merged across boards.
+func (pl *Platform) TenantServices() map[string]time.Duration {
+	raw := pl.p.TenantServices()
+	out := make(map[string]time.Duration, len(raw))
+	for tenant, d := range raw {
+		out[tenant] = d.Std()
+	}
+	return out
+}
+
 // Run completes every invocation and returns results in invocation order.
 func (pl *Platform) Run() ([]InvocationResult, error) {
+	// Drain to quiescence (bounded by the horizon) and sample energy at
+	// the makespan before the collection pass advances the clock to the
+	// horizon.
+	pl.eng.DrainUntil(pl.horizon)
+	es := pl.p.Energy()
+	pl.energy = &es
 	raw, err := pl.p.Run()
 	if err != nil {
 		return nil, err

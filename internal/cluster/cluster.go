@@ -43,6 +43,11 @@ const (
 	LeastPending
 	// RandomBoard picks uniformly at random (seeded, deterministic).
 	RandomBoard
+	// HeteroAware ranks boards by estimated completion of the next unit
+	// of work on a heterogeneous fleet: outstanding work stretched by
+	// the board's latency scale and divided by its usable slot count.
+	// On a homogeneous fleet it degenerates to LeastLoaded.
+	HeteroAware
 )
 
 // String names the dispatch policy.
@@ -56,6 +61,8 @@ func (d Dispatch) String() string {
 		return "least-pending"
 	case RandomBoard:
 		return "random"
+	case HeteroAware:
+		return "hetero-aware"
 	default:
 		return fmt.Sprintf("Dispatch(%d)", int(d))
 	}
@@ -122,6 +129,9 @@ type SubmitOptions struct {
 	// SLO is the latency budget for deadline admission; 0 falls back to
 	// the controller's DeadlineFactor (or no deadline test).
 	SLO sim.Duration
+	// Weight is the tenant's fair-share weight for service-proportional
+	// scheduling on the boards (NimblockEnergy); 0 means weight 1.
+	Weight float64
 }
 
 // submission is the cluster-side record of one Submit call.
@@ -324,7 +334,7 @@ func (c *Cluster) dispatch(sub *submission, t *admit.Ticket) {
 		c.park(parkedWork{sub: sub, ticket: t})
 		return
 	}
-	id, err := c.boards[b].SubmitID(sub.g, sub.batch, sub.priority, c.eng.Now())
+	id, err := c.submitTo(b, sub)
 	if err != nil {
 		c.errs = append(c.errs, fmt.Errorf("cluster: submission %d (%s) on board %d: %w", sub.idx, sub.g.Name(), b, err))
 		if c.ctrl != nil {
@@ -341,6 +351,44 @@ func (c *Cluster) dispatch(sub *submission, t *admit.Ticket) {
 		c.lastOn[sub.idx] = b
 		c.mon.Kick()
 	}
+}
+
+// submitTo lands one submission on board b, carrying the tenant
+// identity and fair-share weight through to the board's scheduler when
+// the submission has them (anonymous submissions keep the cheaper
+// untagged path).
+func (c *Cluster) submitTo(b int, sub *submission) (int64, error) {
+	if sub.opts.Tenant != "" {
+		return c.boards[b].SubmitTenant(sub.g, sub.batch, sub.priority, c.eng.Now(), sub.opts.Tenant, sub.opts.Weight)
+	}
+	return c.boards[b].SubmitID(sub.g, sub.batch, sub.priority, c.eng.Now())
+}
+
+// Energy sums the per-board energy reports; each board integrates its
+// own power model, so heterogeneous fleets aggregate correctly.
+func (c *Cluster) Energy() hv.EnergyStats {
+	var total hv.EnergyStats
+	for _, b := range c.boards {
+		es := b.Energy()
+		total.StaticJoules += es.StaticJoules
+		total.ActiveJoules += es.ActiveJoules
+		total.OccupiedSlotSeconds += es.OccupiedSlotSeconds
+		total.UsableSlotSeconds += es.UsableSlotSeconds
+	}
+	return total
+}
+
+// TenantServices merges delivered per-tenant fabric time across the
+// fleet (board-local latency scales already folded in by each board's
+// accounting).
+func (c *Cluster) TenantServices() map[string]sim.Duration {
+	out := map[string]sim.Duration{}
+	for _, b := range c.boards {
+		for tenant, d := range b.TenantServices() {
+			out[tenant] += d
+		}
+	}
+	return out
 }
 
 // reject records an admission rejection for reporting from Run.

@@ -13,6 +13,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"nimblock/internal/admit"
 	"nimblock/internal/health"
@@ -148,6 +149,17 @@ func (c *Cluster) pickAmong(cands []int) int {
 			}
 		}
 		return best
+	case HeteroAware:
+		best, bestScore := -1, 0.0
+		for i := 0; i < n; i++ {
+			if !in(i) {
+				continue
+			}
+			if s := c.heteroScore(i); best < 0 || s < bestScore {
+				best, bestScore = i, s
+			}
+		}
+		return best
 	case RandomBoard:
 		if all {
 			return c.rng.Intn(n)
@@ -163,6 +175,21 @@ func (c *Cluster) pickAmong(cands []int) int {
 		}
 		return -1
 	}
+}
+
+// heteroScore is the HeteroAware placement score of board i: estimated
+// outstanding seconds stretched by the board's latency scale, divided
+// by its usable slot count — a completion-time proxy for the next unit
+// of work. The +1 makes empty boards rank by capability (fast, wide
+// boards first); a board with no usable slots ranks last. Equal scores
+// break toward the lowest board index via pickAmong's strict "<".
+func (c *Cluster) heteroScore(i int) float64 {
+	usable := c.boards[i].Board().UsableSlots()
+	if usable == 0 {
+		return math.Inf(1)
+	}
+	scale := c.boards[i].Board().LatencyScale()
+	return (1 + c.boards[i].OutstandingEstimate().Seconds()) * scale / float64(usable)
 }
 
 // park shelves work until a board becomes placeable again.
@@ -193,7 +220,7 @@ func (c *Cluster) unpark() {
 // re-executing, and booking the re-dispatch accounting.
 func (c *Cluster) place(p parkedWork, target int) {
 	sub := p.sub
-	id, err := c.boards[target].SubmitID(sub.g, sub.batch, sub.priority, c.eng.Now())
+	id, err := c.submitTo(target, sub)
 	if err != nil {
 		c.errs = append(c.errs, fmt.Errorf("cluster: submission %d (%s) on board %d: %w", sub.idx, sub.g.Name(), target, err))
 		if c.ctrl != nil {
@@ -253,7 +280,7 @@ func (c *Cluster) hedgeDispatch(sub *submission, t *admit.Ticket) bool {
 		}
 	}
 	second := c.pickAmong(rest)
-	id1, err := c.boards[first].SubmitID(sub.g, sub.batch, sub.priority, c.eng.Now())
+	id1, err := c.submitTo(first, sub)
 	if err != nil {
 		c.errs = append(c.errs, fmt.Errorf("cluster: submission %d (%s) on board %d: %w", sub.idx, sub.g.Name(), first, err))
 		if c.ctrl != nil {
@@ -261,7 +288,7 @@ func (c *Cluster) hedgeDispatch(sub *submission, t *admit.Ticket) bool {
 		}
 		return true
 	}
-	id2, err := c.boards[second].SubmitID(sub.g, sub.batch, sub.priority, c.eng.Now())
+	id2, err := c.submitTo(second, sub)
 	if err != nil {
 		// The twin failed to submit: keep the single healthy placement.
 		c.errs = append(c.errs, fmt.Errorf("cluster: hedge twin for submission %d on board %d: %w", sub.idx, second, err))

@@ -65,6 +65,8 @@ func (w *fakeWorld) SlotOccupant(slot int) (*sched.App, int, bool) {
 
 func (w *fakeWorld) SlotWaiting(slot int) bool   { return w.waiting[slot] }
 func (w *fakeWorld) PreemptRequested(s int) bool { return w.preempt[s] }
+
+func (w *fakeWorld) TenantService(string) sim.Duration { return 0 }
 func (w *fakeWorld) RequestPreempt(slot int) error {
 	w.preempt[slot] = true
 	w.preempts = append(w.preempts, slot)

@@ -19,6 +19,7 @@ import (
 	"nimblock/internal/sched"
 	"nimblock/internal/sched/baseline"
 	"nimblock/internal/sched/ckpt"
+	"nimblock/internal/sched/energy"
 	"nimblock/internal/sched/fcfs"
 	"nimblock/internal/sched/prema"
 	"nimblock/internal/sched/rr"
@@ -101,6 +102,8 @@ func NewPolicy(name string, board fpga.Config) (sched.Scheduler, error) {
 		return core.New(core.Options{}, board), nil
 	case "NimblockCheckpoint":
 		return ckpt.New(ckpt.DefaultOptions(), board), nil
+	case "NimblockEnergy":
+		return energy.New(board), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown policy %q", name)
 	}
@@ -120,13 +123,17 @@ func cachedGraph(name string) *taskgraph.Graph {
 	return g.(*taskgraph.Graph)
 }
 
-// ssKey identifies one single-slot latency: the board bandwidths are the
-// only board parameters SingleSlotLatencyFor reads.
+// ssKey identifies one single-slot latency: the board bandwidths and
+// latency scale are the only board parameters SingleSlotLatencyFor
+// reads. The scale entered the key with heterogeneous boards — without
+// it, a slow edge board would silently reuse a fast board's cached
+// latency.
 type ssKey struct {
 	app   string
 	batch int
 	capBW float64
 	sdBW  float64
+	scale float64
 }
 
 var ssMemo sync.Map // ssKey -> sim.Duration
@@ -134,7 +141,7 @@ var ssMemo sync.Map // ssKey -> sim.Duration
 // cachedSingleSlot memoizes hv.SingleSlotLatencyFor per (app, batch,
 // board-bandwidth) configuration across scenarios, sweeps, and runs.
 func cachedSingleSlot(board fpga.Config, app string, batch int) sim.Duration {
-	key := ssKey{app: app, batch: batch, capBW: board.CAPBytesPerSec, sdBW: board.SDBytesPerSec}
+	key := ssKey{app: app, batch: batch, capBW: board.CAPBytesPerSec, sdBW: board.SDBytesPerSec, scale: board.LatencyScale}
 	if d, ok := ssMemo.Load(key); ok {
 		return d.(sim.Duration)
 	}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nimblock/internal/obs"
+)
+
+func runHeteroQuick(t *testing.T) *HeteroResult {
+	t.Helper()
+	cfg := QuickConfig()
+	r, err := Hetero(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// Every (ratio, policy) cell must be fully populated: positive energy
+// split, a fairness index in (0, 1], conserved completions, and a
+// positive latency tail.
+func TestHeteroCellShape(t *testing.T) {
+	cfg := QuickConfig()
+	r, err := Hetero(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Sequences * cfg.Events
+	for _, ratio := range HeteroRatios {
+		cells := r.Cells[ratio]
+		if len(cells) != len(HeteroPolicyNames) {
+			t.Fatalf("ratio %v: %d cells, want %d", ratio, len(cells), len(HeteroPolicyNames))
+		}
+		for pol, c := range cells {
+			if c.Completed != want {
+				t.Errorf("ratio %v %s: %d completed, want %d", ratio, pol, c.Completed, want)
+			}
+			if c.StaticJoules <= 0 || c.ActiveJoules <= 0 || c.JoulesPerBatch <= 0 {
+				t.Errorf("ratio %v %s: degenerate energy %+v", ratio, pol, c)
+			}
+			if c.Jain <= 0 || c.Jain > 1 {
+				t.Errorf("ratio %v %s: Jain index %v outside (0,1]", ratio, pol, c.Jain)
+			}
+			if c.MeanResponse <= 0 || c.P99Response < c.MeanResponse {
+				t.Errorf("ratio %v %s: responses mean %v p99 %v", ratio, pol, c.MeanResponse, c.P99Response)
+			}
+		}
+	}
+}
+
+// Acceptance: NimblockEnergy strictly dominates at least one baseline
+// policy on energy at equal-or-better p99 in at least one sweep cell.
+func TestHeteroEnergyPolicyDominates(t *testing.T) {
+	r := runHeteroQuick(t)
+	for _, ratio := range HeteroRatios {
+		e := r.Cells[ratio]["NimblockEnergy"]
+		for _, pol := range []string{"Baseline", "FCFS", "PREMA", "RR"} {
+			c := r.Cells[ratio][pol]
+			if e.JoulesPerBatch < c.JoulesPerBatch && e.P99Response <= c.P99Response {
+				return // dominated pol in this cell
+			}
+		}
+	}
+	t.Fatalf("NimblockEnergy dominates no baseline on energy at equal-or-better p99: %+v", r.Cells)
+}
+
+// Raising the heterogeneity ratio slows the edge boards, so every
+// policy's energy per batch must grow with the ratio (longer runs burn
+// more static power).
+func TestHeteroRatioMonotonicity(t *testing.T) {
+	r := runHeteroQuick(t)
+	for _, pol := range HeteroPolicyNames {
+		lo := r.Cells[HeteroRatios[0]][pol]
+		hi := r.Cells[HeteroRatios[len(HeteroRatios)-1]][pol]
+		if hi.JoulesPerBatch <= lo.JoulesPerBatch {
+			t.Errorf("%s: joules/batch %v at ratio %v not above %v at ratio %v",
+				pol, hi.JoulesPerBatch, HeteroRatios[len(HeteroRatios)-1], lo.JoulesPerBatch, HeteroRatios[0])
+		}
+	}
+}
+
+// The render carries a row per policy and the energy/fairness columns.
+func TestHeteroRender(t *testing.T) {
+	r := runHeteroQuick(t)
+	out := r.Render()
+	for _, pol := range HeteroPolicyNames {
+		if !strings.Contains(out, pol) {
+			t.Errorf("render missing policy %s", pol)
+		}
+	}
+	for _, col := range []string{"J/batch", "Jain", "p99 resp"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("render missing column %s", col)
+		}
+	}
+}
+
+// The sweep publishes energy and fairness into a shared registry when
+// the harness wires an observer.
+func TestHeteroPublishesObsMetrics(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Sequences = 1
+	reg := obs.NewRegistry()
+	cfg.NewObserver = func() obs.Sink { return obs.NewMetrics(reg, cfg.HV.Board.Slots) }
+	if _, err := Hetero(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Gauge("nimblock_energy_static_joules", "").Value(); v <= 0 {
+		t.Fatalf("static energy gauge %v, want > 0", v)
+	}
+	if v := reg.Gauge("nimblock_energy_active_joules", "").Value(); v <= 0 {
+		t.Fatalf("active energy gauge %v, want > 0", v)
+	}
+	if v := reg.Gauge("nimblock_fairness_jain_index", "").Value(); v <= 0 || v > 1 {
+		t.Fatalf("fairness gauge %v outside (0,1]", v)
+	}
+}

@@ -19,6 +19,7 @@ package faas
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"nimblock/internal/admit"
@@ -38,6 +39,9 @@ type Function struct {
 	// Tenant attributes the function's invocations for admission quotas
 	// and fair sharing; "" is the shared default tenant.
 	Tenant string
+	// Weight is the tenant's fair-share weight for service-proportional
+	// scheduling on the boards (NimblockEnergy); 0 means weight 1.
+	Weight float64
 	// SLO is the per-invocation latency budget for deadline admission;
 	// 0 falls back to the admission controller's DeadlineFactor.
 	SLO sim.Duration
@@ -49,6 +53,11 @@ type Config struct {
 	Boards int
 	// HV configures each board.
 	HV hv.Config
+	// BoardConfigs, when non-nil, overrides HV per board, enabling a
+	// heterogeneous platform (mixed slot counts, latency scales, power
+	// envelopes). Its length must equal Boards. Placement folds each
+	// board's latency scale and usable slot count into its load score.
+	BoardConfigs []hv.Config
 	// ColdStart is the delay to distribute a function's bitstreams to a
 	// board that has never run it (network copy to the board's SD card).
 	ColdStart sim.Duration
@@ -175,6 +184,9 @@ func New(eng *sim.Engine, cfg Config, mkPolicy func() sched.Scheduler) (*Platfor
 	if mkPolicy == nil {
 		return nil, fmt.Errorf("faas: nil policy factory")
 	}
+	if cfg.BoardConfigs != nil && len(cfg.BoardConfigs) != cfg.Boards {
+		return nil, fmt.Errorf("faas: %d board configs for %d boards", len(cfg.BoardConfigs), cfg.Boards)
+	}
 	p := &Platform{
 		eng:      eng,
 		cfg:      cfg,
@@ -208,7 +220,7 @@ func New(eng *sim.Engine, cfg Config, mkPolicy func() sched.Scheduler) (*Platfor
 // newBoard builds (or rebuilds, after a recovery) board i's hypervisor
 // with the platform's retire hook chained onto any user-provided one.
 func (p *Platform) newBoard(i int) (*hv.Hypervisor, error) {
-	bcfg := p.cfg.HV
+	bcfg := p.boardConfig(i)
 	board, user := i, bcfg.OnRetire
 	bcfg.OnRetire = func(id int64) {
 		if user != nil {
@@ -262,7 +274,7 @@ func (p *Platform) arrive(function string, items int, invoked sim.Time) {
 	_, evicted, out := p.ctrl.Offer(admit.Request{
 		Tenant:   fn.Tenant,
 		Priority: fn.Priority,
-		Estimate: hv.SingleSlotLatencyFor(p.cfg.HV.Board, fn.Graph, items),
+		Estimate: p.estimate(fn.Graph, items),
 		SLO:      fn.SLO,
 		Arrival:  p.eng.Now(),
 		Payload:  in,
@@ -275,6 +287,20 @@ func (p *Platform) arrive(function string, items int, invoked sim.Time) {
 		p.reject(evicted.Request().Payload.(*invocation), admit.Shed.String())
 	}
 	p.pump()
+}
+
+// estimate is the admission-time work estimate: single-slot latency on
+// the platform's fastest-case board, optimistic across heterogeneous
+// fleets so the deadline test never rejects work a fast board could
+// have finished in time.
+func (p *Platform) estimate(g *taskgraph.Graph, items int) sim.Duration {
+	best := hv.SingleSlotLatencyFor(p.boardConfig(0).Board, g, items)
+	for i := 1; i < len(p.boards); i++ {
+		if e := hv.SingleSlotLatencyFor(p.boardConfig(i).Board, g, items); e < best {
+			best = e
+		}
+	}
+	return best
 }
 
 // pump dispatches every invocation the controller clears.
@@ -320,7 +346,13 @@ func (p *Platform) place(pk parkedInv) {
 	if cold {
 		arrival = arrival.Add(p.cfg.ColdStart)
 	}
-	id, err := p.boards[board].SubmitID(fn.Graph, in.items, fn.Priority, arrival)
+	var id int64
+	var err error
+	if fn.Tenant != "" {
+		id, err = p.boards[board].SubmitTenant(fn.Graph, in.items, fn.Priority, arrival, fn.Tenant, fn.Weight)
+	} else {
+		id, err = p.boards[board].SubmitID(fn.Graph, in.items, fn.Priority, arrival)
+	}
 	if err != nil {
 		p.errs = append(p.errs, fmt.Errorf("faas: invocation of %q: %w", in.function, err))
 		if p.ctrl != nil {
@@ -386,19 +418,21 @@ func (p *Platform) onRetire(board int, id int64) {
 //     strictly less-loaded cold board (an idle warm board still wins);
 //   - single board: always that board, cold exactly once per function.
 func (p *Platform) pick(function string) (board int, cold bool) {
-	warmBest, warmLoad := -1, 0
-	coldBest, coldLoad := -1, 0
+	warmBest, coldBest := -1, -1
+	var warmScore, coldScore float64
+	warmLoad := 0
 	for i := range p.boards {
 		if p.mon != nil && !p.mon.Tracker(i).Placeable(p.eng.Now()) {
 			continue
 		}
-		load := p.outstanding[i]
+		score := p.score(i)
 		if p.deployed[i][function] {
-			if warmBest == -1 || load < warmLoad {
-				warmBest, warmLoad = i, load
+			if warmBest == -1 || score < warmScore {
+				warmBest, warmScore = i, score
+				warmLoad = p.outstanding[i]
 			}
-		} else if coldBest == -1 || load < coldLoad {
-			coldBest, coldLoad = i, load
+		} else if coldBest == -1 || score < coldScore {
+			coldBest, coldScore = i, score
 		}
 	}
 	if warmBest == -1 {
@@ -411,10 +445,56 @@ func (p *Platform) pick(function string) (board int, cold bool) {
 	if threshold <= 0 {
 		threshold = 1
 	}
-	if coldBest != -1 && warmLoad >= threshold && coldLoad < warmLoad {
+	if coldBest != -1 && warmLoad >= threshold && coldScore < warmScore {
 		return coldBest, true
 	}
 	return warmBest, false
+}
+
+// score ranks a board for placement: the outstanding invocation count,
+// stretched by the board's latency scale and divided by its usable slot
+// count, so a slow or narrow board looks busier than a fast wide board
+// at the same queue depth. On a homogeneous platform every factor
+// cancels and the score orders exactly like the raw count did, ties
+// still breaking toward the lowest board index through strict "<".
+func (p *Platform) score(i int) float64 {
+	usable := p.boards[i].Board().UsableSlots()
+	if usable == 0 {
+		return math.Inf(1)
+	}
+	return float64(1+p.outstanding[i]) * p.boards[i].Board().LatencyScale() / float64(usable)
+}
+
+// boardConfig resolves the effective hv.Config of board i.
+func (p *Platform) boardConfig(i int) hv.Config {
+	if p.cfg.BoardConfigs != nil {
+		return p.cfg.BoardConfigs[i]
+	}
+	return p.cfg.HV
+}
+
+// Energy sums the per-board energy reports.
+func (p *Platform) Energy() hv.EnergyStats {
+	var total hv.EnergyStats
+	for _, b := range p.boards {
+		es := b.Energy()
+		total.StaticJoules += es.StaticJoules
+		total.ActiveJoules += es.ActiveJoules
+		total.OccupiedSlotSeconds += es.OccupiedSlotSeconds
+		total.UsableSlotSeconds += es.UsableSlotSeconds
+	}
+	return total
+}
+
+// TenantServices merges delivered per-tenant fabric time across boards.
+func (p *Platform) TenantServices() map[string]sim.Duration {
+	out := map[string]sim.Duration{}
+	for _, b := range p.boards {
+		for tenant, d := range b.TenantServices() {
+			out[tenant] += d
+		}
+	}
+	return out
 }
 
 // minLoad is the least-loaded board's outstanding work estimate, the

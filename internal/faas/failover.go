@@ -69,7 +69,7 @@ func (p *Platform) settleMigration(board int, id int64, pk parkedInv) {
 	st := p.mon.StatsRef()
 	ins := p.mon.Instruments()
 	var migrated sim.Duration
-	if len(pk.snaps) > 0 && p.cfg.HV.Checkpoint.Enabled {
+	if len(pk.snaps) > 0 && p.boardConfig(board).Checkpoint.Enabled {
 		p.boards[board].SeedCheckpoints(id, pk.snaps)
 		for _, s := range pk.snaps {
 			migrated += s.Progress

@@ -2,6 +2,7 @@ package fpga
 
 import (
 	"fmt"
+	"math"
 
 	"nimblock/internal/bitstream"
 	"nimblock/internal/sim"
@@ -93,6 +94,18 @@ type Config struct {
 	// (Header.Slot < 0): the loader patches frame addresses for the
 	// target slot before streaming.
 	AllowRelocation bool
+	// LatencyScale stretches (>1, a slower fabric) or shrinks (<1, a
+	// faster one) every task's compute latency on this board relative to
+	// the reference platform. Zero means 1 (the homogeneous default).
+	LatencyScale float64
+	// StaticWattsPerSlot is the leakage + clock-tree power one usable
+	// slot draws whether or not logic is configured. Zero disables
+	// energy accounting for the static term.
+	StaticWattsPerSlot float64
+	// ActiveWattsPerSlot is the additional dynamic power a slot draws
+	// while occupied (reconfiguring or loaded). Zero disables the
+	// active term.
+	ActiveWattsPerSlot float64
 }
 
 // DefaultConfig reproduces the evaluation platform: 10 slots and ~80 ms
@@ -160,6 +173,17 @@ type Board struct {
 	slotStats   []SlotStats
 	failPending []bool // permanent failure arrived while reconfiguring
 	freeScratch []int  // reused by FreeSlots
+
+	// Energy accounting: piecewise-constant integrals of the occupied
+	// (reconfiguring or loaded) and usable (not offline) slot counts over
+	// virtual time, accrued lazily at every state transition. Pure
+	// counter arithmetic — no allocation, no per-event cost when the
+	// power model is unconfigured.
+	occupied       int
+	usable         int
+	lastAcc        sim.Time
+	occSlotTime    sim.Duration
+	usableSlotTime sim.Duration
 }
 
 // NewBoard programs the static region and returns a board with all slots
@@ -180,11 +204,22 @@ func NewBoard(eng *sim.Engine, cfg Config) (*Board, error) {
 	if cfg.RetryBackoff < 0 || cfg.RetryBackoffCap < 0 {
 		return nil, fmt.Errorf("fpga: negative retry backoff")
 	}
+	if cfg.LatencyScale < 0 || math.IsNaN(cfg.LatencyScale) || math.IsInf(cfg.LatencyScale, 0) {
+		return nil, fmt.Errorf("fpga: latency scale %v must be positive and finite (or zero for the default)", cfg.LatencyScale)
+	}
+	if cfg.StaticWattsPerSlot < 0 || math.IsNaN(cfg.StaticWattsPerSlot) || math.IsInf(cfg.StaticWattsPerSlot, 0) {
+		return nil, fmt.Errorf("fpga: static power %v watts/slot must be non-negative and finite", cfg.StaticWattsPerSlot)
+	}
+	if cfg.ActiveWattsPerSlot < 0 || math.IsNaN(cfg.ActiveWattsPerSlot) || math.IsInf(cfg.ActiveWattsPerSlot, 0) {
+		return nil, fmt.Errorf("fpga: active power %v watts/slot must be non-negative and finite", cfg.ActiveWattsPerSlot)
+	}
 	b := &Board{
 		eng:         eng,
 		cfg:         cfg,
 		slotStats:   make([]SlotStats, cfg.Slots),
 		failPending: make([]bool, cfg.Slots),
+		usable:      cfg.Slots,
+		lastAcc:     eng.Now(),
 	}
 	switch {
 	case cfg.NewInjector != nil:
@@ -200,6 +235,52 @@ func NewBoard(eng *sim.Engine, cfg Config) (*Board, error) {
 
 // Injector returns the active fault injector, or nil on a healthy board.
 func (b *Board) Injector() Injector { return b.inj }
+
+// accrue folds the time since the last slot-count change into the
+// occupied- and usable-slot integrals. It must run immediately before
+// every transition that changes either count.
+func (b *Board) accrue() {
+	now := b.eng.Now()
+	if d := now.Sub(b.lastAcc); d > 0 {
+		b.occSlotTime += d * sim.Duration(b.occupied)
+		b.usableSlotTime += d * sim.Duration(b.usable)
+	}
+	b.lastAcc = now
+}
+
+// OccupiedSlotTime is the integral over virtual time of the number of
+// occupied (reconfiguring or loaded) slots — the active-power term of
+// the energy model — accrued up to the engine's current time.
+func (b *Board) OccupiedSlotTime() sim.Duration {
+	b.accrue()
+	return b.occSlotTime
+}
+
+// UsableSlotTime is the integral over virtual time of the number of
+// slots still in service — the static-power term of the energy model —
+// accrued up to the engine's current time.
+func (b *Board) UsableSlotTime() sim.Duration {
+	b.accrue()
+	return b.usableSlotTime
+}
+
+// LatencyScale resolves the configured task-latency scale factor (1 for
+// the zero default).
+func (b *Board) LatencyScale() float64 {
+	if b.cfg.LatencyScale == 0 {
+		return 1
+	}
+	return b.cfg.LatencyScale
+}
+
+// Energy evaluates the power model at the engine's current time:
+// static watts per usable slot plus active watts per occupied slot,
+// integrated over the run so far. Returns total joules.
+func (b *Board) Energy() float64 {
+	b.accrue()
+	return b.cfg.StaticWattsPerSlot*b.usableSlotTime.Seconds() +
+		b.cfg.ActiveWattsPerSlot*b.occSlotTime.Seconds()
+}
 
 // NumSlots reports the number of reconfigurable regions.
 func (b *Board) NumSlots() int { return len(b.slots) }
@@ -249,6 +330,8 @@ func (b *Board) Reconfigure(slot int, img *bitstream.Image, onDone func(error)) 
 	if s.State != SlotFree {
 		return fmt.Errorf("fpga: slot %d is %v, cannot reconfigure", slot, s.State)
 	}
+	b.accrue()
+	b.occupied++
 	s.State = SlotReconfiguring
 	s.Image = nil
 	b.queue = append(b.queue, reconfigRequest{slot: slot, img: img, onDone: onDone})
@@ -382,6 +465,8 @@ func (b *Board) finish(req reconfigRequest, out ReconfigOutcome, d sim.Duration)
 		b.notifyFault(req.slot, req.tries, out.Class, false)
 		// Unrecoverable: free the slot and report the error.
 		s := b.slots[req.slot]
+		b.accrue()
+		b.occupied--
 		s.State = SlotFree
 		s.Image = nil
 		b.busy = false
@@ -420,6 +505,11 @@ func (b *Board) finish(req reconfigRequest, out ReconfigOutcome, d sim.Duration)
 // takeOffline transitions a slot to SlotOffline unconditionally.
 func (b *Board) takeOffline(slot int) {
 	s := b.slots[slot]
+	b.accrue()
+	if s.State == SlotReconfiguring || s.State == SlotLoaded {
+		b.occupied--
+	}
+	b.usable--
 	s.State = SlotOffline
 	s.Image = nil
 	b.stats.Offline++
@@ -484,6 +574,8 @@ func (b *Board) Release(slot int) error {
 	if s.State != SlotLoaded {
 		return fmt.Errorf("fpga: slot %d is %v, cannot release", slot, s.State)
 	}
+	b.accrue()
+	b.occupied--
 	s.State = SlotFree
 	s.Image = nil
 	b.stats.Releases++

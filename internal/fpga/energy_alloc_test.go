@@ -1,0 +1,27 @@
+package fpga
+
+import (
+	"testing"
+
+	"nimblock/internal/sim"
+)
+
+// Energy accounting rides every slot transition whether or not a power
+// model is configured, so it must be free: accruing the occupancy and
+// usable integrals is pure counter arithmetic with zero allocations.
+// This is the energy counterpart of hv's TestDisabledObserverZeroAlloc.
+func TestEnergyAccountingZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine()
+	b, err := NewBoard(eng, DefaultConfig()) // no power model configured
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		b.accrue()
+		_ = b.OccupiedSlotTime()
+		_ = b.UsableSlotTime()
+		_ = b.Energy()
+	}); n != 0 {
+		t.Fatalf("energy accounting allocates %v per transition, want 0", n)
+	}
+}

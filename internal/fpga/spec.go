@@ -1,0 +1,170 @@
+package fpga
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Spec is a per-board capability description: how many slots the board
+// exposes, how fast its reconfiguration pipeline moves bitstreams, how
+// its fabric speed compares to the reference platform, and what each
+// slot costs in power. It is the serializable face of the heterogeneity
+// fields on Config — front-ends parse one Spec per board and Apply it
+// over a base configuration.
+type Spec struct {
+	// Slots is the number of reconfigurable regions (must be >= 1).
+	Slots int
+	// CAPBytesPerSec and SDBytesPerSec are the reconfiguration pipeline
+	// bandwidths; zero keeps the base config's value.
+	CAPBytesPerSec float64
+	SDBytesPerSec  float64
+	// LatencyScale stretches (>1) or shrinks (<1) task compute latency
+	// on this board; zero keeps the base config's value (default 1).
+	LatencyScale float64
+	// StaticWattsPerSlot and ActiveWattsPerSlot parameterize the power
+	// model (see Board.Energy).
+	StaticWattsPerSlot float64
+	ActiveWattsPerSlot float64
+}
+
+// specKeys maps the textual spec keys to their meaning; kept in one
+// place so ParseSpec and String stay in lockstep.
+const specKeySet = "slots, cap, sd, scale, static, active"
+
+// ParseSpec parses a textual board spec of whitespace- or
+// comma-separated key=value tokens, e.g.
+//
+//	"slots=8 cap=117.3e6 sd=469e6 scale=1.25 static=2.5 active=1.5"
+//
+// Unknown keys, duplicate keys, and malformed numbers are errors, and
+// the assembled spec must pass Validate.
+func ParseSpec(s string) (Spec, error) {
+	var sp Spec
+	seen := map[string]bool{}
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' || r == ',' })
+	if len(fields) == 0 {
+		return Spec{}, fmt.Errorf("fpga: empty board spec")
+	}
+	for _, f := range fields {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("fpga: board spec token %q is not key=value", f)
+		}
+		if seen[key] {
+			return Spec{}, fmt.Errorf("fpga: duplicate board spec key %q", key)
+		}
+		seen[key] = true
+		if key == "slots" {
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fpga: board spec slots=%q: %v", val, err)
+			}
+			sp.Slots = n
+			continue
+		}
+		x, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("fpga: board spec %s=%q: %v", key, val, err)
+		}
+		switch key {
+		case "cap":
+			sp.CAPBytesPerSec = x
+		case "sd":
+			sp.SDBytesPerSec = x
+		case "scale":
+			sp.LatencyScale = x
+		case "static":
+			sp.StaticWattsPerSlot = x
+		case "active":
+			sp.ActiveWattsPerSlot = x
+		default:
+			return Spec{}, fmt.Errorf("fpga: unknown board spec key %q (want one of %s)", key, specKeySet)
+		}
+	}
+	if err := sp.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+// MaxSpecSlots bounds the slot count a board spec may declare. Specs
+// arrive from external text (flags, config files), and per-slot state
+// is allocated eagerly, so an absurd count must fail validation rather
+// than exhaust memory; 1024 is far beyond any real partial-reconfig
+// overlay.
+const MaxSpecSlots = 1024
+
+// Validate rejects physically meaningless specs: slot counts outside
+// [1, MaxSpecSlots], NaN/Inf or negative power, non-positive or
+// non-finite scale factors, and non-positive bandwidths. Zero is
+// allowed for every field except Slots, meaning "inherit from the base
+// config".
+func (sp Spec) Validate() error {
+	if sp.Slots < 1 {
+		return fmt.Errorf("fpga: board spec needs at least one slot, got %d", sp.Slots)
+	}
+	if sp.Slots > MaxSpecSlots {
+		return fmt.Errorf("fpga: board spec slots %d exceeds the %d maximum", sp.Slots, MaxSpecSlots)
+	}
+	if bad(sp.CAPBytesPerSec) || sp.CAPBytesPerSec < 0 {
+		return fmt.Errorf("fpga: board spec CAP bandwidth %v must be positive and finite", sp.CAPBytesPerSec)
+	}
+	if bad(sp.SDBytesPerSec) || sp.SDBytesPerSec < 0 {
+		return fmt.Errorf("fpga: board spec SD bandwidth %v must be positive and finite", sp.SDBytesPerSec)
+	}
+	if bad(sp.LatencyScale) || sp.LatencyScale < 0 {
+		return fmt.Errorf("fpga: board spec scale %v must be positive and finite", sp.LatencyScale)
+	}
+	if bad(sp.StaticWattsPerSlot) || sp.StaticWattsPerSlot < 0 {
+		return fmt.Errorf("fpga: board spec static power %v must be non-negative and finite", sp.StaticWattsPerSlot)
+	}
+	if bad(sp.ActiveWattsPerSlot) || sp.ActiveWattsPerSlot < 0 {
+		return fmt.Errorf("fpga: board spec active power %v must be non-negative and finite", sp.ActiveWattsPerSlot)
+	}
+	return nil
+}
+
+func bad(x float64) bool { return math.IsNaN(x) || math.IsInf(x, 0) }
+
+// Apply overlays the spec on a base board configuration: Slots always
+// applies; every other field applies only when non-zero, so a sparse
+// spec inherits the platform defaults.
+func (sp Spec) Apply(cfg Config) Config {
+	cfg.Slots = sp.Slots
+	if sp.CAPBytesPerSec != 0 {
+		cfg.CAPBytesPerSec = sp.CAPBytesPerSec
+	}
+	if sp.SDBytesPerSec != 0 {
+		cfg.SDBytesPerSec = sp.SDBytesPerSec
+	}
+	if sp.LatencyScale != 0 {
+		cfg.LatencyScale = sp.LatencyScale
+	}
+	if sp.StaticWattsPerSlot != 0 {
+		cfg.StaticWattsPerSlot = sp.StaticWattsPerSlot
+	}
+	if sp.ActiveWattsPerSlot != 0 {
+		cfg.ActiveWattsPerSlot = sp.ActiveWattsPerSlot
+	}
+	return cfg
+}
+
+// String renders the spec in the syntax ParseSpec accepts, omitting
+// zero (inherited) fields.
+func (sp Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "slots=%d", sp.Slots)
+	emit := func(key string, v float64) {
+		if v != 0 {
+			fmt.Fprintf(&b, " %s=%s", key, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	emit("cap", sp.CAPBytesPerSec)
+	emit("sd", sp.SDBytesPerSec)
+	emit("scale", sp.LatencyScale)
+	emit("static", sp.StaticWattsPerSlot)
+	emit("active", sp.ActiveWattsPerSlot)
+	return b.String()
+}

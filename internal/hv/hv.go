@@ -321,6 +321,18 @@ type Hypervisor struct {
 	slow       float64
 	abortedIDs map[int64]bool
 
+	// scale is the board's fabric latency scale factor (heterogeneous
+	// fleets; 1 on the reference platform). It stretches compute time
+	// exactly like a board-wide degrade, but permanently and in either
+	// direction, and widens watchdog deadlines to match.
+	scale float64
+
+	// tenantSvc accumulates fabric compute time delivered per tenant;
+	// fairness-aware policies read it through the World interface and
+	// reports compute Jain's index over it. Apps without a tenant are
+	// not tracked.
+	tenantSvc map[string]sim.Duration
+
 	// Pre-bound closures for the per-event hot path: scheduling a tick,
 	// wake, or data-ready retry must not allocate a fresh closure each
 	// time (these fire millions of times per run).
@@ -387,6 +399,8 @@ func New(eng *sim.Engine, cfg Config, policy sched.Scheduler) (*Hypervisor, erro
 		prodAt:  map[int64]map[[2]int]prodInfo{},
 		ckpt:    map[int64]map[[2]int]ckptRecord{},
 		owners:  map[int64]string{},
+
+		tenantSvc: map[string]sim.Duration{},
 	}
 	h.tickFn = func() {
 		h.tickPending = false
@@ -420,6 +434,7 @@ func New(eng *sim.Engine, cfg Config, policy sched.Scheduler) (*Hypervisor, erro
 	}
 	h.cfg = cfg
 	h.board = board
+	h.scale = board.LatencyScale()
 	h.slots = make([]slotRuntime, board.NumSlots())
 	h.slotBusy = make([]sim.Duration, board.NumSlots())
 	h.kickFns = make([]func(), board.NumSlots())
@@ -488,12 +503,61 @@ func (h *Hypervisor) Recovery() RecoveryStats {
 	return out
 }
 
+// EnergyStats reports the power model evaluated over a run: static
+// power integrates over usable slots (leakage burns whether or not
+// logic runs; offline slots stop drawing), active power over occupied
+// slots (reconfiguring or loaded). Computed post hoc from the board's
+// occupancy integrals — energy never feeds back into scheduling
+// decisions except through the explicit NimblockEnergy policy.
+type EnergyStats struct {
+	// StaticJoules and ActiveJoules split total energy by term.
+	StaticJoules float64
+	ActiveJoules float64
+	// OccupiedSlotSeconds and UsableSlotSeconds expose the underlying
+	// integrals (slot-seconds) for conservation checks.
+	OccupiedSlotSeconds float64
+	UsableSlotSeconds   float64
+}
+
+// TotalJoules is the run's total energy under the power model.
+func (e EnergyStats) TotalJoules() float64 { return e.StaticJoules + e.ActiveJoules }
+
+// Energy evaluates the board's power model at the current virtual time.
+// With no power configured (the default) every term is zero.
+func (h *Hypervisor) Energy() EnergyStats {
+	occ := h.board.OccupiedSlotTime().Seconds()
+	us := h.board.UsableSlotTime().Seconds()
+	return EnergyStats{
+		StaticJoules:        h.cfg.Board.StaticWattsPerSlot * us,
+		ActiveJoules:        h.cfg.Board.ActiveWattsPerSlot * occ,
+		OccupiedSlotSeconds: occ,
+		UsableSlotSeconds:   us,
+	}
+}
+
 // Submit schedules an application arrival. The graph's bitstreams are
 // registered with the store (one per task per slot) and the application
 // joins the pending queue at the arrival time.
 func (h *Hypervisor) Submit(g *taskgraph.Graph, batch, priority int, arrival sim.Time) error {
 	_, err := h.SubmitID(g, batch, priority, arrival)
 	return err
+}
+
+// SubmitTenant is SubmitID with a tenant attribution: fabric compute
+// time delivered to the submission accrues to the tenant's service
+// account (TenantService), weighted by the tenant's share for fairness
+// arithmetic. Weight 0 means 1.
+func (h *Hypervisor) SubmitTenant(g *taskgraph.Graph, batch, priority int, arrival sim.Time, tenant string, weight float64) (int64, error) {
+	if weight < 0 {
+		return 0, fmt.Errorf("hv: negative tenant weight %v", weight)
+	}
+	id, err := h.SubmitID(g, batch, priority, arrival)
+	if err != nil {
+		return 0, err
+	}
+	a := h.apps[len(h.apps)-1]
+	a.Tenant, a.Weight = tenant, weight
+	return id, nil
 }
 
 // SubmitID is Submit returning the board-local application ID assigned
@@ -781,6 +845,29 @@ func (h *Hypervisor) SlotWaiting(slot int) bool {
 // PreemptRequested implements sched.World.
 func (h *Hypervisor) PreemptRequested(slot int) bool { return h.slots[slot].preempt }
 
+// TenantService implements sched.World: fabric compute time delivered
+// to the tenant so far (zero for unknown or empty tenants).
+func (h *Hypervisor) TenantService(tenant string) sim.Duration { return h.tenantSvc[tenant] }
+
+// TenantServices returns a copy of the per-tenant service accounts for
+// reports and fairness analysis.
+func (h *Hypervisor) TenantServices() map[string]sim.Duration {
+	out := make(map[string]sim.Duration, len(h.tenantSvc))
+	for k, v := range h.tenantSvc {
+		out[k] = v
+	}
+	return out
+}
+
+// addService accrues delivered compute time to the app's tenant; apps
+// submitted without a tenant cost one string compare and nothing else.
+func (h *Hypervisor) addService(a *sched.App, d sim.Duration) {
+	if a.Tenant == "" || d <= 0 {
+		return
+	}
+	h.tenantSvc[a.Tenant] += d
+}
+
 // Reconfigure implements sched.World: configure app's task into the slot.
 func (h *Hypervisor) Reconfigure(slot int, a *sched.App, task int) error {
 	if slot < 0 || slot >= len(h.slots) {
@@ -960,6 +1047,7 @@ func (h *Hypervisor) startCheckpoint(slot int) {
 	}
 	// Partial progress counts as run time (it occupied the fabric).
 	h.acct[a.ID].Run += consumed
+	h.addService(a, consumed)
 	h.slotBusy[slot] += consumed
 	h.eng.After(h.cfg.CheckpointSave, func() {
 		if h.halted() {
@@ -1032,9 +1120,10 @@ func (h *Hypervisor) ckptDelete(appID int64, task, item int) {
 	}
 }
 
-// stretchDur scales nominal work by an injected slowdown factor.
+// stretchDur scales nominal work by a slowdown (>1) or speed-up (<1)
+// factor; non-positive factors mean "no scaling" (unset).
 func stretchDur(d sim.Duration, f float64) sim.Duration {
-	if f <= 1 {
+	if f <= 0 || f == 1 {
 		return d
 	}
 	return sim.Duration(float64(d) * f)
@@ -1042,7 +1131,7 @@ func stretchDur(d sim.Duration, f float64) sim.Duration {
 
 // unstretchDur converts consumed wall time back to nominal progress.
 func unstretchDur(d sim.Duration, f float64) sim.Duration {
-	if f <= 1 {
+	if f <= 0 || f == 1 {
 		return d
 	}
 	return sim.Duration(float64(d) / f)
@@ -1060,7 +1149,8 @@ func (h *Hypervisor) startAttempt(slot int, a *sched.App, task, item int) {
 	// the watchdog by checkpointing often.
 	rt.wdLeft = 0
 	if h.cfg.WatchdogFactor > 0 {
-		rt.wdLeft = sim.Duration(float64(a.Report.Task(task).Latency)*h.cfg.WatchdogFactor) + h.cfg.WatchdogGrace
+		est := stretchDur(a.Report.Task(task).Latency, h.scale)
+		rt.wdLeft = sim.Duration(float64(est)*h.cfg.WatchdogFactor) + h.cfg.WatchdogGrace
 	}
 	// One execution-fault probe per attempt, exactly like the legacy
 	// path: a hang never completes, a slowdown stretches every stretch.
@@ -1078,6 +1168,10 @@ func (h *Hypervisor) startAttempt(slot int, a *sched.App, task, item int) {
 		// Board-wide degrade stretches every attempt started inside the
 		// window, compounding any injected per-item slowdown.
 		rt.factor *= h.slow
+	}
+	if h.scale != 1 {
+		// Fabric heterogeneity compounds the same way, permanently.
+		rt.factor *= h.scale
 	}
 	rec, ok := h.ckptGet(a.ID, task, item)
 	if ok {
@@ -1303,6 +1397,7 @@ func (h *Hypervisor) finishOnDemand(slot int, a *sched.App, task, item int, save
 		committed = wall
 	}
 	h.acct[a.ID].Run += committed
+	h.addService(a, committed)
 	h.slotBusy[slot] += wall
 	h.rec.WastedWork += wall - committed
 	aborted, err := a.MarkCheckpointPreempted(task)
@@ -1342,6 +1437,7 @@ func (h *Hypervisor) abortAccounting(slot int, rt *slotRuntime) {
 		committed = wall
 	}
 	h.acct[a.ID].Run += committed
+	h.addService(a, committed)
 	h.slotBusy[slot] += wall
 	h.rec.WastedWork += wall - committed
 }
@@ -1428,6 +1524,7 @@ func (h *Hypervisor) tryStart(slot int) {
 		}
 	}
 	lat = stretchDur(lat, h.slow)
+	lat = stretchDur(lat, h.scale)
 	rt.itemStart = h.eng.Now()
 	rt.itemLat = lat
 	rt.hung = hung
@@ -1437,7 +1534,10 @@ func (h *Hypervisor) tryStart(slot int) {
 		rt.itemEv = h.eng.AfterCancellable(lat, func() { h.itemDone(slot, a, task, item, lat) })
 	}
 	if h.cfg.WatchdogFactor > 0 {
-		deadline := sim.Duration(float64(a.Report.Task(task).Latency)*h.cfg.WatchdogFactor) + h.cfg.WatchdogGrace
+		// The deadline scales with the fabric: a slow board's healthy
+		// items must not read as hangs.
+		est := stretchDur(a.Report.Task(task).Latency, h.scale)
+		deadline := sim.Duration(float64(est)*h.cfg.WatchdogFactor) + h.cfg.WatchdogGrace
 		rt.wdEv = h.eng.AfterCancellable(deadline, func() { h.watchdogFire(slot, a, task, item) })
 	}
 }
@@ -1471,6 +1571,7 @@ func (h *Hypervisor) itemDone(slot int, a *sched.App, task, item int, lat sim.Du
 		rt.base, rt.doneNominal, rt.doneWall = 0, 0, 0
 	}
 	h.acct[a.ID].Run += run
+	h.addService(a, run)
 	h.slotBusy[slot] += run
 	h.trace(trace.Event{At: h.eng.Now(), Kind: trace.KindItemDone, App: a.Name, AppID: a.ID, Task: task, Slot: slot, Item: item})
 	if taskDone {
@@ -1702,9 +1803,11 @@ func (h *Hypervisor) SingleSlotLatency(g *taskgraph.Graph, batch int) sim.Durati
 }
 
 // SingleSlotLatencyFor computes the single-slot latency for a board
-// configuration without instantiating a hypervisor.
+// configuration without instantiating a hypervisor. The compute term
+// scales with the board's fabric latency factor; the reconfiguration
+// term follows its configuration bandwidths.
 func SingleSlotLatencyFor(board fpga.Config, g *taskgraph.Graph, batch int) sim.Duration {
 	bytes := float64(bitstream.SlotImageBytes + bitstream.HeaderBytes)
 	r := sim.Seconds(bytes/board.SDBytesPerSec) + sim.Seconds(bytes/board.CAPBytesPerSec)
-	return sim.Duration(g.NumTasks())*r + sim.Duration(batch)*g.TotalWork()
+	return sim.Duration(g.NumTasks())*r + stretchDur(sim.Duration(batch)*g.TotalWork(), board.LatencyScale)
 }

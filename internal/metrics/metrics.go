@@ -44,6 +44,25 @@ func GeoMean(xs []float64) float64 {
 // Median returns the 50th percentile.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
+// JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) over per-tenant
+// allocations: 1 when every tenant receives identical service, 1/n when
+// a single tenant monopolizes the resource. Empty or all-zero input
+// yields 1 (nothing was shared, so nothing was unfair).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // Percentile returns the p-th percentile (linear interpolation between
 // closest ranks); p is clamped to [0,100].
 func Percentile(xs []float64, p float64) float64 {

@@ -26,6 +26,30 @@ func TestMeanMedian(t *testing.T) {
 	}
 }
 
+func TestJainIndex(t *testing.T) {
+	if !almost(JainIndex([]float64{5, 5, 5}), 1) {
+		t.Fatal("equal allocations should score 1")
+	}
+	if !almost(JainIndex([]float64{1, 0, 0, 0}), 0.25) {
+		t.Fatal("monopoly over n tenants should score 1/n")
+	}
+	if !almost(JainIndex([]float64{1, 3}), 0.8) {
+		t.Fatal("(1+3)^2 / (2*(1+9)) = 0.8")
+	}
+	if JainIndex(nil) != 1 || JainIndex([]float64{0, 0}) != 1 {
+		t.Fatal("degenerate inputs should score 1")
+	}
+	// The index is scale-invariant and bounded in [1/n, 1].
+	if err := quick.Check(func(a, b, c uint8) bool {
+		xs := []float64{float64(a), float64(b), float64(c)}
+		j := JainIndex(xs)
+		scaled := JainIndex([]float64{xs[0] * 7, xs[1] * 7, xs[2] * 7})
+		return j >= 1.0/3-1e-12 && j <= 1+1e-12 && almost(j, scaled)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestGeoMean(t *testing.T) {
 	if !almost(GeoMean([]float64{1, 4}), 2) {
 		t.Fatal("geomean")

@@ -1,0 +1,34 @@
+package obs_test
+
+import (
+	"math"
+	"testing"
+
+	"nimblock/internal/obs"
+)
+
+// RecordEnergy accumulates joules across runs sharing one registry;
+// RecordFairness overwrites with the latest index.
+func TestEnergyAndFairnessInstruments(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := obs.NewMetrics(reg, 10)
+	m.RecordEnergy(100, 40)
+	m.RecordEnergy(25, 10)
+	m.RecordFairness(0.5)
+	m.RecordFairness(0.97)
+	if v := reg.Gauge("nimblock_energy_static_joules", "").Value(); math.Abs(v-125) > 1e-9 {
+		t.Fatalf("static joules %v, want 125", v)
+	}
+	if v := reg.Gauge("nimblock_energy_active_joules", "").Value(); math.Abs(v-50) > 1e-9 {
+		t.Fatalf("active joules %v, want 50", v)
+	}
+	if v := reg.Gauge("nimblock_fairness_jain_index", "").Value(); v != 0.97 {
+		t.Fatalf("fairness gauge %v, want latest 0.97", v)
+	}
+	// A second sink over the same registry shares the instruments.
+	m2 := obs.NewMetrics(reg, 10)
+	m2.RecordEnergy(75, 50)
+	if v := reg.Gauge("nimblock_energy_static_joules", "").Value(); math.Abs(v-200) > 1e-9 {
+		t.Fatalf("shared static joules %v, want 200", v)
+	}
+}

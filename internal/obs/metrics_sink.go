@@ -45,6 +45,9 @@ type Metrics struct {
 	capBusy      *Gauge
 	ckptOverhead *Gauge
 	savedWork    *Gauge
+	energyStatic *Gauge
+	energyActive *Gauge
+	fairness     *Gauge
 	response     *Histogram
 	wait         *Histogram
 	reconfig     *Histogram
@@ -82,6 +85,9 @@ func NewMetrics(reg *Registry, slots int) *Metrics {
 	m.resumed = reg.Counter("nimblock_items_resumed_total", "items resumed from a checkpoint instead of re-executing")
 	m.ckptOverhead = reg.Gauge("nimblock_checkpoint_overhead_seconds", "cumulative checkpoint save/restore transfer time")
 	m.savedWork = reg.Gauge("nimblock_saved_work_seconds", "cumulative nominal work carried over by restores")
+	m.energyStatic = reg.Gauge("nimblock_energy_static_joules", "cumulative static (leakage) energy over usable slot-time")
+	m.energyActive = reg.Gauge("nimblock_energy_active_joules", "cumulative active energy over occupied slot-time")
+	m.fairness = reg.Gauge("nimblock_fairness_jain_index", "Jain's fairness index over per-tenant weighted service (latest run)")
 	m.response = reg.Histogram("nimblock_response_seconds", "application response time (retire - arrival)", DefaultLatencyBuckets)
 	m.wait = reg.Histogram("nimblock_wait_seconds", "application wait time (first item start - arrival)", DefaultLatencyBuckets)
 	m.reconfig = reg.Histogram("nimblock_reconfig_seconds", "per-request partial reconfiguration time on the CAP", ReconfigBuckets)
@@ -92,6 +98,21 @@ func NewMetrics(reg *Registry, slots int) *Metrics {
 
 // Registry returns the backing registry.
 func (m *Metrics) Registry() *Registry { return m.reg }
+
+// RecordEnergy folds one run's energy report into the registry. Energy
+// is integrated by the board's power model, not derivable from the
+// event stream (the stream carries no wattage), so harnesses publish it
+// explicitly after each run; values accumulate across runs sharing the
+// registry, like the event counters do.
+func (m *Metrics) RecordEnergy(staticJoules, activeJoules float64) {
+	m.energyStatic.Add(staticJoules)
+	m.energyActive.Add(activeJoules)
+}
+
+// RecordFairness publishes Jain's fairness index over per-tenant
+// weighted service for the latest run (a point-in-time quality signal,
+// so the gauge is set, not accumulated).
+func (m *Metrics) RecordFairness(jain float64) { m.fairness.Set(jain) }
 
 // Observe implements Sink.
 func (m *Metrics) Observe(e trace.Event) {

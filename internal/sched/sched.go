@@ -111,6 +111,11 @@ type World interface {
 	// hypervisor honours it at the next batch boundary (immediately if
 	// the task is already waiting).
 	RequestPreempt(slot int) error
+	// TenantService reports the fabric compute time delivered so far to
+	// the named tenant (zero for unknown tenants and for apps submitted
+	// without one). Fairness-aware policies order candidates by weighted
+	// service deficit against it.
+	TenantService(tenant string) sim.Duration
 }
 
 // TaskState tracks one task of a running application.
@@ -157,6 +162,13 @@ type App struct {
 	Batch    int
 	Priority int
 	Arrival  sim.Time
+
+	// Tenant names the submitting tenant for multi-tenant fairness
+	// accounting; empty for single-tenant submissions. Weight is the
+	// tenant's service share (0 means 1). Both are set at submission and
+	// read-only afterwards.
+	Tenant string
+	Weight float64
 
 	// Tokens is the PREMA-style token balance (policy-owned).
 	Tokens float64
@@ -234,6 +246,15 @@ func (a *App) InflightItem(t int) int { return a.inflight[t] }
 
 // Retired reports whether the application has completed and retired.
 func (a *App) Retired() bool { return a.retired }
+
+// ServiceWeight resolves the tenant share for fairness arithmetic: the
+// configured Weight, or 1 when unset.
+func (a *App) ServiceWeight() float64 {
+	if a.Weight <= 0 {
+		return 1
+	}
+	return a.Weight
+}
 
 // Done reports whether every task has processed every batch item.
 func (a *App) Done() bool { return a.tasksFin == a.Graph.NumTasks() }

@@ -1,0 +1,67 @@
+package schedtest
+
+import (
+	"strings"
+	"testing"
+
+	"nimblock/internal/sim"
+	"nimblock/internal/trace"
+)
+
+// A hand-computed stream must satisfy the energy invariant exactly:
+// one slot occupied from reconfig-start through task-done (90 ms),
+// on a 2-slot board observed for 100 ms, with no offline time.
+func TestCheckEnergyAcceptsConservedRun(t *testing.T) {
+	c := NewChecker()
+	for _, e := range []trace.Event{
+		ev(0, trace.KindArrival, 1, -1, -1, -1),
+		ev(0, trace.KindReconfigStart, 1, 0, 0, -1),
+		ev(80*sim.Millisecond, trace.KindReconfigDone, 1, 0, 0, -1),
+		ev(81*sim.Millisecond, trace.KindItemStart, 1, 0, 0, 0),
+		ev(90*sim.Millisecond, trace.KindItemDone, 1, 0, 0, 0),
+		ev(90*sim.Millisecond, trace.KindTaskDone, 1, 0, 0, -1),
+		ev(91*sim.Millisecond, trace.KindRetire, 1, -1, -1, -1),
+	} {
+		c.Observe(e)
+	}
+	until := sim.Time(100 * sim.Millisecond)
+	const staticW, activeW = 2.0, 5.0
+	// usable = 2 slots x 0.1 s; occupied = 1 slot x 0.09 s.
+	want := staticW*(2*0.1) + activeW*0.09
+	if err := c.CheckEnergy(2, staticW, activeW, until, want); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.OccupiedSlotTime(until); got != 90*sim.Millisecond {
+		t.Fatalf("occupied slot-time %v, want 90ms", got)
+	}
+}
+
+// A report that disagrees with the trace-derived integrals must be
+// flagged, and the offline integral must shrink the usable slot-time.
+func TestCheckEnergyFlagsViolations(t *testing.T) {
+	c := NewChecker()
+	for _, e := range []trace.Event{
+		ev(0, trace.KindArrival, 1, -1, -1, -1),
+		ev(0, trace.KindReconfigStart, 1, 0, 0, -1),
+		ev(80*sim.Millisecond, trace.KindReconfigDone, 1, 0, 0, -1),
+		ev(90*sim.Millisecond, trace.KindTaskDone, 1, 0, 0, -1),
+		// Slot 1 dies at 50 ms: usable drops to 1 slot from then on.
+		ev(50*sim.Millisecond, trace.KindSlotOffline, -1, -1, 1, -1),
+	} {
+		c.Observe(e)
+	}
+	until := sim.Time(100 * sim.Millisecond)
+	const staticW, activeW = 2.0, 5.0
+	// usable = 2 x 0.05 + 1 x 0.05 = 0.15 slot-s; occupied = 0.09 slot-s.
+	want := staticW*0.15 + activeW*0.09
+	if err := c.CheckEnergy(2, staticW, activeW, until, want); err != nil {
+		t.Fatalf("conserved report rejected: %v", err)
+	}
+	err := c.CheckEnergy(2, staticW, activeW, until, want*1.01)
+	if err == nil || !strings.Contains(err.Error(), "energy not conserved") {
+		t.Fatalf("inflated report not flagged: %v", err)
+	}
+	if err := c.CheckEnergy(2, staticW, activeW, until, want-0.001); err == nil {
+		t.Fatal("deflated report not flagged")
+	}
+}

@@ -42,6 +42,11 @@ const maxViolations = 20
 //     actually checkpointed and never resumes more work than was saved,
 //     and checkpoint state transfers share the serialized CAP
 //     (successive transfer completions are spaced by MinStateXferGap).
+//  7. Energy conservation (CheckEnergy): the checker independently
+//     integrates occupied (reconfiguring or loaded) and offline slot
+//     counts over the event stream; reported joules must equal static
+//     power x usable-slot integral + active power x occupied-slot
+//     integral.
 //
 // Checker is safe for concurrent use; the simulation itself is
 // single-threaded per engine, but one checker may watch several engines
@@ -74,6 +79,16 @@ type Checker struct {
 	seenXfer   bool
 	events     int
 	violations []string
+
+	// Occupancy integrals for the energy-conservation check: occInt is
+	// the integral over time of occupied slots (reconfiguring or
+	// loaded), offInt of offline slots; both accrue lazily at every
+	// event that changes a slot's state.
+	occCount int
+	offCount int
+	occLast  sim.Time
+	occInt   sim.Duration
+	offInt   sim.Duration
 }
 
 type slotState struct {
@@ -134,6 +149,43 @@ func (c *Checker) Observe(e trace.Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.events++
+	var st *slotState
+	var preOcc, preOff bool
+	if e.Slot >= 0 {
+		st = c.slot(e.Slot)
+		preOcc = st.reconfiguring || st.loaded
+		preOff = st.offline
+	}
+	c.observeLocked(e)
+	if st == nil {
+		return
+	}
+	postOcc := st.reconfiguring || st.loaded
+	postOff := st.offline
+	if postOcc == preOcc && postOff == preOff {
+		return
+	}
+	// Integrate with the old counts up to this instant, then step them:
+	// the occupancy integrals stay exact under int64 arithmetic, so the
+	// energy check can demand equality rather than closeness.
+	c.accrueOcc(e.At)
+	if postOcc != preOcc {
+		if postOcc {
+			c.occCount++
+		} else {
+			c.occCount--
+		}
+	}
+	if postOff != preOff {
+		if postOff {
+			c.offCount++
+		} else {
+			c.offCount--
+		}
+	}
+}
+
+func (c *Checker) observeLocked(e trace.Event) {
 	switch e.Kind {
 	case trace.KindArrival:
 		c.arrived[e.AppID] = e.At
@@ -320,6 +372,45 @@ func (c *Checker) observeXfer(e trace.Event) {
 		c.violatef("state transfers completed %v apart (< %v): CAP not serialized: %v", e.At.Sub(c.lastXfer), gap, e)
 	}
 	c.lastXfer, c.seenXfer = e.At, true
+}
+
+// accrueOcc folds elapsed time into the occupancy integrals.
+func (c *Checker) accrueOcc(at sim.Time) {
+	if d := at.Sub(c.occLast); d > 0 {
+		c.occInt += d * sim.Duration(c.occCount)
+		c.offInt += d * sim.Duration(c.offCount)
+	}
+	c.occLast = at
+}
+
+// OccupiedSlotTime reports the checker's independently integrated
+// occupied-slot time, accrued to the given instant.
+func (c *Checker) OccupiedSlotTime(until sim.Time) sim.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.accrueOcc(until)
+	return c.occInt
+}
+
+// CheckEnergy is the energy-conservation invariant: for a board with
+// the given slot count and per-slot static and active power, the
+// reported total joules over [0, until] must match static power x
+// usable-slot integral + active power x occupied-slot integral, both
+// integrals reconstructed from the event stream alone. The integrals
+// are exact on both sides; the tolerance only absorbs the final
+// float64 joule conversion.
+func (c *Checker) CheckEnergy(slots int, staticW, activeW float64, until sim.Time, gotJoules float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.accrueOcc(until)
+	usable := sim.Duration(until)*sim.Duration(slots) - c.offInt
+	want := staticW*usable.Seconds() + activeW*c.occInt.Seconds()
+	tol := 1e-9 * math.Max(1, math.Max(math.Abs(want), math.Abs(gotJoules)))
+	if math.Abs(want-gotJoules) > tol {
+		return fmt.Errorf("schedtest: energy not conserved: reported %v J, trace implies %v J (usable %v slot-time, occupied %v slot-time over %v)",
+			gotJoules, want, usable, c.occInt, until)
+	}
+	return nil
 }
 
 // Events reports the number of events observed.

@@ -28,6 +28,8 @@ type World struct {
 	Offline   map[int]bool
 	Busy      bool
 	AppList   []*sched.App
+	// Service scripts per-tenant delivered service for TenantService.
+	Service map[string]sim.Duration
 
 	// Reconfigs records Reconfigure calls as "name#id/tN@sM".
 	Reconfigs []string
@@ -43,6 +45,7 @@ func NewWorld(slots int) *World {
 		Waiting:   map[int]bool{},
 		Preempted: map[int]bool{},
 		Offline:   map[int]bool{},
+		Service:   map[string]sim.Duration{},
 	}
 }
 
@@ -86,6 +89,9 @@ func (w *World) SlotWaiting(slot int) bool { return w.Waiting[slot] }
 
 // PreemptRequested implements sched.World.
 func (w *World) PreemptRequested(slot int) bool { return w.Preempted[slot] }
+
+// TenantService implements sched.World from the scripted Service map.
+func (w *World) TenantService(tenant string) sim.Duration { return w.Service[tenant] }
 
 // RequestPreempt implements sched.World.
 func (w *World) RequestPreempt(slot int) error {

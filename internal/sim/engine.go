@@ -486,6 +486,20 @@ func (e *Engine) Run() int {
 	return n
 }
 
+// DrainUntil fires events with time <= deadline like RunUntil, but
+// leaves the clock at the last fired event instead of advancing it to
+// the deadline — the quiescence point for sampling time-integrated
+// state (energy accrual) without pricing the idle tail to the horizon.
+func (e *Engine) DrainUntil(deadline Time) int {
+	e.stopped = false
+	n := 0
+	for !e.stopped && e.ensureNext() && e.batchAt <= deadline {
+		e.Step()
+		n++
+	}
+	return n
+}
+
 // RunUntil fires events with time <= deadline. The clock finishes at
 // min(deadline, time of last fired event); if events remain beyond the
 // deadline the clock is advanced to the deadline.

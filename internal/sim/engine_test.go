@@ -231,6 +231,35 @@ func TestEngineRunUntil(t *testing.T) {
 	}
 }
 
+func TestEngineDrainUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	// Unlike RunUntil, the clock stays at the last fired event.
+	if n := e.DrainUntil(25); n != 2 {
+		t.Fatalf("DrainUntil fired %d, want 2", n)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock at %v, want last event time 20", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	// Draining past everything stops at the final event, not the bound.
+	if n := e.DrainUntil(1000); n != 2 {
+		t.Fatalf("second DrainUntil fired %d, want 2", n)
+	}
+	if e.Now() != 40 {
+		t.Fatalf("clock at %v, want 40", e.Now())
+	}
+	if len(fired) != 4 {
+		t.Fatalf("total fired %d, want 4", len(fired))
+	}
+}
+
 func TestEngineZeroValueUsable(t *testing.T) {
 	var e Engine
 	fired := false

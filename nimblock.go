@@ -28,12 +28,14 @@ import (
 	"nimblock/internal/apps"
 	"nimblock/internal/core"
 	"nimblock/internal/faults"
+	"nimblock/internal/fpga"
 	"nimblock/internal/hv"
 	"nimblock/internal/interconnect"
 	"nimblock/internal/metrics"
 	"nimblock/internal/sched"
 	"nimblock/internal/sched/baseline"
 	"nimblock/internal/sched/ckpt"
+	"nimblock/internal/sched/energy"
 	"nimblock/internal/sched/fcfs"
 	"nimblock/internal/sched/prema"
 	"nimblock/internal/sched/rr"
@@ -84,6 +86,10 @@ const (
 	AlgoPREMA Algorithm = "PREMA"
 	// AlgoRR is the Coyote-style round-robin comparator.
 	AlgoRR Algorithm = "RR"
+	// AlgoNimblockEnergy is the Nimblock algorithm with goal-capped
+	// (energy-conserving) slot allocation and weighted per-tenant
+	// fairness; pair with SubmitTenant and a Board power model.
+	AlgoNimblockEnergy Algorithm = "NimblockEnergy"
 )
 
 // Algorithms lists every available algorithm.
@@ -91,7 +97,7 @@ func Algorithms() []Algorithm {
 	return []Algorithm{
 		AlgoBaseline, AlgoFCFS, AlgoPREMA, AlgoRR,
 		AlgoNimblock, AlgoNimblockNoPreempt, AlgoNimblockNoPipe, AlgoNimblockNoPreemptNoPipe,
-		AlgoNimblockCheckpoint,
+		AlgoNimblockCheckpoint, AlgoNimblockEnergy,
 	}
 }
 
@@ -102,6 +108,11 @@ type Config struct {
 	// Slots is the number of reconfigurable slots (default 10, the
 	// ZCU106 overlay of the evaluation).
 	Slots int
+	// Board, when non-nil, is the board's full capability spec — slot
+	// count, reconfiguration bandwidth, latency scale, and per-slot
+	// power model — and overrides Slots. A power model here is what
+	// makes System.Energy report non-zero joules.
+	Board *BoardSpec
 	// SchedInterval is the periodic scheduling interval (default 400 ms).
 	SchedInterval time.Duration
 	// ReconfigFaultRate injects transient reconfiguration faults with
@@ -173,6 +184,49 @@ type CheckpointConfig struct {
 	// for tasks that declare none (default 9, every 10%).
 	DefaultPoints int
 }
+
+// BoardSpec describes one board's capabilities for heterogeneous
+// deployments. Parse one with ParseBoardSpec or fill the fields
+// directly; every field except Slots treats zero as "inherit the
+// platform default".
+type BoardSpec struct {
+	// Slots is the number of reconfigurable slots (must be >= 1).
+	Slots int
+	// CAPBytesPerSec and SDBytesPerSec override the reconfiguration
+	// pipeline bandwidths: the configuration access port and the
+	// bitstream storage feeding it.
+	CAPBytesPerSec float64
+	SDBytesPerSec  float64
+	// LatencyScale stretches (>1) or shrinks (<1) every kernel latency
+	// relative to the reference platform.
+	LatencyScale float64
+	// StaticWattsPerSlot burns on every usable slot for the whole run;
+	// ActiveWattsPerSlot adds while a slot reconfigures or computes.
+	// Together they drive System.Energy.
+	StaticWattsPerSlot float64
+	ActiveWattsPerSlot float64
+}
+
+// ParseBoardSpec parses a textual board spec of whitespace- or
+// comma-separated key=value tokens, e.g.
+//
+//	"slots=8 scale=1.25 static=2.5 active=1.5"
+//
+// Keys: slots, cap, sd, scale, static, active (matching the BoardSpec
+// fields in order). Unknown or duplicate keys, malformed numbers, and
+// physically meaningless values are errors.
+func ParseBoardSpec(s string) (*BoardSpec, error) {
+	sp, err := fpga.ParseSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	b := BoardSpec(sp)
+	return &b, nil
+}
+
+// String renders the spec in the syntax ParseBoardSpec accepts,
+// omitting zero (inherited) fields.
+func (b BoardSpec) String() string { return fpga.Spec(b).String() }
 
 // DefaultConfig mirrors the paper's evaluation platform with the full
 // Nimblock algorithm.
@@ -291,9 +345,14 @@ func (r Result) Throughput() float64 {
 // System is one virtualized FPGA with a hypervisor and a scheduling
 // policy. Create with NewSystem, Submit applications, then Run.
 type System struct {
-	eng *sim.Engine
-	hv  *hv.Hypervisor
-	cfg Config
+	eng     *sim.Engine
+	hv      *hv.Hypervisor
+	cfg     Config
+	horizon sim.Time
+	// energy is the stats sampled at engine quiescence (the makespan)
+	// during Run; Run's final clock sits at the horizon, where lazy
+	// accrual would price static power over the idle tail.
+	energy *hv.EnergyStats
 }
 
 // newPolicy builds the scheduler for the config.
@@ -309,6 +368,8 @@ func newPolicy(cfg Config, board hv.Config) (sched.Scheduler, error) {
 		return core.New(core.Options{}, board.Board), nil
 	case AlgoNimblockCheckpoint:
 		return ckpt.New(ckpt.DefaultOptions(), board.Board), nil
+	case AlgoNimblockEnergy:
+		return energy.New(board.Board), nil
 	case AlgoBaseline:
 		return baseline.New(), nil
 	case AlgoFCFS:
@@ -330,6 +391,13 @@ func NewSystem(cfg Config) (*System, error) {
 	hcfg := hv.DefaultConfig()
 	if cfg.Slots > 0 {
 		hcfg.Board.Slots = cfg.Slots
+	}
+	if cfg.Board != nil {
+		sp := fpga.Spec(*cfg.Board)
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		hcfg.Board = sp.Apply(hcfg.Board)
 	}
 	if cfg.SchedInterval > 0 {
 		hcfg.SchedInterval = sim.FromStd(cfg.SchedInterval)
@@ -393,7 +461,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{eng: eng, hv: h, cfg: cfg}, nil
+	return &System{eng: eng, hv: h, cfg: cfg, horizon: hcfg.Horizon}, nil
 }
 
 // Submit schedules an application arrival at the given virtual time
@@ -405,9 +473,86 @@ func (s *System) Submit(app *Application, batch, priority int, arrival time.Dura
 	return s.hv.Submit(app.graph, batch, priority, sim.Time(sim.FromStd(arrival)))
 }
 
+// SubmitTenant is Submit with a tenant label and a service weight.
+// The fairness-aware AlgoNimblockEnergy policy favours tenants whose
+// weighted delivered service lags; other policies ignore the label but
+// still account service per tenant (see TenantServices). A weight <= 0
+// means 1.
+func (s *System) SubmitTenant(app *Application, batch, priority int, arrival time.Duration, tenant string, weight float64) error {
+	if app == nil {
+		return fmt.Errorf("nimblock: nil application")
+	}
+	_, err := s.hv.SubmitTenant(app.graph, batch, priority, sim.Time(sim.FromStd(arrival)), tenant, weight)
+	return err
+}
+
+// EnergyStats reports the board's integrated energy under the power
+// model on Config.Board. Every field is zero when no power model is
+// configured.
+type EnergyStats struct {
+	// StaticJoules integrates the per-slot static power over every
+	// usable slot for the whole run; ActiveJoules integrates the active
+	// power over occupied (reconfiguring or computing) slot time.
+	StaticJoules, ActiveJoules float64
+	// OccupiedSlotSeconds and UsableSlotSeconds are the underlying
+	// slot-time integrals.
+	OccupiedSlotSeconds, UsableSlotSeconds float64
+}
+
+// TotalJoules is static plus active energy.
+func (e EnergyStats) TotalJoules() float64 { return e.StaticJoules + e.ActiveJoules }
+
+// Energy reports integrated energy: after Run, the batch's total
+// sampled at the makespan (the instant the last event fired), so
+// static joules price the time the work actually needed; before Run,
+// whatever has accrued at the current virtual time.
+func (s *System) Energy() EnergyStats {
+	es := s.hv.Energy()
+	if s.energy != nil {
+		es = *s.energy
+	}
+	return EnergyStats{
+		StaticJoules:        es.StaticJoules,
+		ActiveJoules:        es.ActiveJoules,
+		OccupiedSlotSeconds: es.OccupiedSlotSeconds,
+		UsableSlotSeconds:   es.UsableSlotSeconds,
+	}
+}
+
+// TenantServices reports the weighted service (occupied slot time
+// divided by the submission weight) delivered to each tenant named in
+// SubmitTenant calls.
+func (s *System) TenantServices() map[string]time.Duration {
+	raw := s.hv.TenantServices()
+	out := make(map[string]time.Duration, len(raw))
+	for tenant, d := range raw {
+		out[tenant] = d.Std()
+	}
+	return out
+}
+
+// FairnessIndex is Jain's index over per-tenant weighted service: 1
+// when every tenant got an equal weighted share, 1/n under total
+// monopoly, and 1 degenerately when no tenant service was recorded.
+func (s *System) FairnessIndex() float64 {
+	raw := s.hv.TenantServices()
+	xs := make([]float64, 0, len(raw))
+	for _, d := range raw {
+		xs = append(xs, d.Seconds())
+	}
+	return metrics.JainIndex(xs)
+}
+
 // Run executes the simulation until every submitted application retires
 // and returns per-application results in submission order.
 func (s *System) Run() ([]Result, error) {
+	// Drain to quiescence (bounded by the horizon, so horizon
+	// enforcement still sees stuck applications) and sample energy at
+	// the makespan before the hypervisor's collection pass advances the
+	// clock to the horizon.
+	s.eng.DrainUntil(s.horizon)
+	es := s.hv.Energy()
+	s.energy = &es
 	raw, err := s.hv.Run()
 	if err != nil {
 		return nil, err
