@@ -278,16 +278,15 @@ func (c *Cluster) AdmissionStats() AdmissionStats {
 
 // Run executes the simulation until every application retires.
 func (c *Cluster) Run() ([]ClusterResult, error) {
-	// Drain to quiescence (bounded by the horizon) and sample energy at
-	// the makespan before the collection pass advances the clock to the
-	// horizon.
-	c.eng.DrainUntil(c.horizon)
-	es := c.cl.Energy()
-	c.energy = &es
 	raw, err := c.cl.Run()
 	if err != nil {
 		return nil, err
 	}
+	// The cluster's Run drains to quiescence (bounded by the horizon)
+	// and leaves the clock at the makespan, so energy sampled here never
+	// prices the idle tail out to the horizon.
+	es := c.cl.Energy()
+	c.energy = &es
 	out := make([]ClusterResult, len(raw))
 	for i, r := range raw {
 		out[i] = ClusterResult{

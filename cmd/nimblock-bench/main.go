@@ -95,6 +95,7 @@ func main() {
 		{"Fig5", runFig5},
 		{"Ablation", runAblation},
 		{"ScaleOut", runScaleOut},
+		{"Fleet", runFleet},
 	}
 	byName := map[string]Sample{}
 	record := func(s Sample) {
@@ -244,6 +245,11 @@ func runAblation(cfg experiments.Config) error {
 
 func runScaleOut(cfg experiments.Config) error {
 	_, err := experiments.ScaleOut(cfg)
+	return err
+}
+
+func runFleet(cfg experiments.Config) error {
+	_, err := experiments.Fleet(cfg, nil)
 	return err
 }
 

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all, table1, table2, table3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig7ablation, interconnect, scaleout, slotsweep, utilization, optimality, preempt, reconfigsweep, loadsweep, estimates, chaos, overload, checkpoint, failover, hetero")
+		exp        = flag.String("exp", "all", "experiment: all, table1, table2, table3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig7ablation, interconnect, scaleout, slotsweep, utilization, optimality, preempt, reconfigsweep, loadsweep, estimates, chaos, overload, checkpoint, failover, hetero, fleet")
 		quick      = flag.Bool("quick", false, "reduced scale (2 sequences x 8 events) for fast runs")
 		seed       = flag.Int64("seed", 0, "override the base random seed")
 		workers    = flag.Int("workers", 0, "worker pool size for independent runs (0: NIMBLOCK_PARALLEL or GOMAXPROCS; 1: serial)")
@@ -176,6 +176,13 @@ func main() {
 	}
 	if run("hetero") {
 		f, err := experiments.Hetero(cfg)
+		fail(err)
+		fmt.Println(f.Render())
+	}
+	if run("fleet") {
+		// The registry (when -serve is set) exposes the largest cell's
+		// per-shard routing and pending-depth instruments.
+		f, err := experiments.Fleet(cfg, reg)
 		fail(err)
 		fmt.Println(f.Render())
 	}

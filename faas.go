@@ -237,16 +237,15 @@ func (pl *Platform) TenantServices() map[string]time.Duration {
 
 // Run completes every invocation and returns results in invocation order.
 func (pl *Platform) Run() ([]InvocationResult, error) {
-	// Drain to quiescence (bounded by the horizon) and sample energy at
-	// the makespan before the collection pass advances the clock to the
-	// horizon.
-	pl.eng.DrainUntil(pl.horizon)
-	es := pl.p.Energy()
-	pl.energy = &es
 	raw, err := pl.p.Run()
 	if err != nil {
 		return nil, err
 	}
+	// The platform's Run drains to quiescence (bounded by the horizon)
+	// and leaves the clock at the makespan, so energy sampled here never
+	// prices the idle tail out to the horizon.
+	es := pl.p.Energy()
+	pl.energy = &es
 	out := make([]InvocationResult, len(raw))
 	for i, r := range raw {
 		out[i] = InvocationResult{

@@ -148,7 +148,7 @@ type submission struct {
 type Cluster struct {
 	eng      *sim.Engine
 	cfg      Config
-	boards   []*hv.Hypervisor
+	boards   []hv.Instance
 	rng      *rand.Rand
 	next     int // round-robin cursor
 	expected int
@@ -224,7 +224,7 @@ func New(eng *sim.Engine, cfg Config, mkPolicy func(board hv.Config) sched.Sched
 
 // newBoard builds (or rebuilds, after a recovery) board i's hypervisor
 // with the cluster's retire hook chained onto any user-provided one.
-func (c *Cluster) newBoard(i int) (*hv.Hypervisor, error) {
+func (c *Cluster) newBoard(i int) (hv.Instance, error) {
 	bcfg := c.boardConfig(i)
 	board, user := i, bcfg.OnRetire
 	bcfg.OnRetire = func(id int64) {
@@ -239,8 +239,8 @@ func (c *Cluster) newBoard(i int) (*hv.Hypervisor, error) {
 // Boards reports the cluster size.
 func (c *Cluster) Boards() int { return len(c.boards) }
 
-// Board exposes one board's hypervisor (for tests and reports).
-func (c *Cluster) Board(i int) *hv.Hypervisor { return c.boards[i] }
+// Board exposes one board's backend (for tests and reports).
+func (c *Cluster) Board(i int) hv.Instance { return c.boards[i] }
 
 // AdmissionStats reports the admission controller's counters; the zero
 // Stats when admission is disabled.
@@ -489,7 +489,11 @@ func (c *Cluster) pick() int {
 // for what admission turned away. Dispatch-time submit failures
 // accumulated during the run are returned joined.
 func (c *Cluster) Run() ([]Result, error) {
-	c.eng.RunUntil(c.cfg.HV.Horizon)
+	// Drain rather than run to the horizon: DrainUntil leaves the clock
+	// at the last fired event (the fleet's makespan), so Energy sampled
+	// after Run prices static power over time actually spanned by work,
+	// not over the idle tail out to the horizon.
+	c.eng.DrainUntil(c.cfg.HV.Horizon)
 	if c.mon != nil {
 		c.strand()
 	}

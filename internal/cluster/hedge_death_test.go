@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"nimblock/internal/admit"
+	"nimblock/internal/faults"
+	"nimblock/internal/health"
+	"nimblock/internal/sim"
+)
+
+// TestHedgeWinnerBoardDeathAtRetire pins the narrowest hedge/failure
+// interleaving: the hedge winner's board dies at the very instant the
+// winner retires — just before it (the retire never happens and the
+// loser must carry the submission), at the same timestamp (the crash
+// fires first: board faults are scheduled at construction, so their
+// events sort ahead of same-instant retires), and just after it (the
+// hedge has settled and the loser's Abort already landed when the
+// board's death harvests the winner's result). In every interleaving
+// the admission ticket must be released exactly once and every
+// submission must end in exactly one terminal state.
+func TestHedgeWinnerBoardDeathAtRetire(t *testing.T) {
+	const subs = 6
+	build := func(events []faults.BoardEvent) *Cluster {
+		_, c := newFailoverCluster(t, 3, Config{
+			Dispatch:  LeastPending,
+			Seed:      11,
+			Health:    &health.Options{HedgePriority: 1},
+			Admission: &admit.Config{Capacity: 64, MaxInFlight: 64},
+		}, events)
+		submitMix(t, c, subs)
+		return c
+	}
+
+	// Probe run: same cluster, no faults — find the first hedge winner's
+	// board and retire instant. Determinism makes the fault runs replay
+	// this placement exactly up to the crash.
+	probe := build(nil)
+	res, err := probe.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.FailoverStats().Hedged == 0 {
+		t.Fatal("probe run hedged nothing despite HedgePriority=1")
+	}
+	winner, retireAt := -1, sim.Time(0)
+	for _, r := range res {
+		if !r.Rejected && !r.Failed && (winner < 0 || r.Retire < retireAt) {
+			winner, retireAt = r.Board, r.Retire
+		}
+	}
+	if winner < 0 {
+		t.Fatal("probe run completed nothing")
+	}
+
+	for _, offset := range []sim.Duration{-sim.Microsecond, 0, sim.Microsecond} {
+		offset := offset
+		t.Run(fmt.Sprintf("offset%+d", offset), func(t *testing.T) {
+			c := build([]faults.BoardEvent{{
+				Kind: faults.BoardCrash, Board: winner,
+				At: retireAt.Add(offset), Recover: sim.Time(60 * sim.Second),
+			}})
+			res, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != subs {
+				t.Fatalf("%d results for %d submissions", len(res), subs)
+			}
+			completed, rejected, failed := classify(t, c, res)
+			if completed+rejected+failed != subs {
+				t.Fatalf("conservation broken: %d + %d + %d != %d", completed, rejected, failed, subs)
+			}
+			ast := c.AdmissionStats()
+			if ast.Admitted != subs {
+				t.Fatalf("admitted %d of %d", ast.Admitted, subs)
+			}
+			// Exactly-once ticket release: every admitted submission's
+			// terminal transition released its slot — no leak (Completed
+			// short of Admitted) and no double release (Release is
+			// guarded, so a double call would mask a lost slot elsewhere;
+			// equality plus zero in-flight rules both out).
+			if ast.Completed != ast.Admitted {
+				t.Fatalf("tickets released %d times for %d admissions", ast.Completed, ast.Admitted)
+			}
+			if st := c.FailoverStats(); st.Deaths == 0 {
+				t.Fatalf("board %d crash at %v never declared a death", winner, retireAt.Add(offset))
+			}
+		})
+	}
+}

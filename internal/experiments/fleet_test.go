@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nimblock/internal/obs"
+)
+
+func runFleetQuick(t *testing.T, reg *obs.Registry) *FleetResult {
+	t.Helper()
+	r, err := Fleet(QuickConfig(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// Every scale cell must be fully populated: boards and rate scaled by
+// the cell's factor, every arrival accounted for, and a positive
+// latency tail at least as large as the mean.
+func TestFleetCellShape(t *testing.T) {
+	cfg := QuickConfig()
+	r := runFleetQuick(t, nil)
+	if len(r.Cells) != len(fleetQuickScales) {
+		t.Fatalf("%d cells, want %d", len(r.Cells), len(fleetQuickScales))
+	}
+	for i, c := range r.Cells {
+		scale := fleetQuickScales[i]
+		if c.Scale != scale || c.Boards != fleetBaseBoards*scale {
+			t.Errorf("cell %d: scale %d boards %d, want %d and %d", i, c.Scale, c.Boards, scale, fleetBaseBoards*scale)
+		}
+		if c.Shards < 1 || c.Shards > fleetShardCap || c.Shards > c.Boards {
+			t.Errorf("cell %d: %d shards for %d boards", i, c.Shards, c.Boards)
+		}
+		if want := cfg.Sequences * cfg.Events * scale; c.Arrivals != want {
+			t.Errorf("cell %d: %d arrivals, want %d", i, c.Arrivals, want)
+		}
+		if c.Done+c.Shed != c.Arrivals {
+			t.Errorf("cell %d: %d done + %d shed != %d arrivals", i, c.Done, c.Shed, c.Arrivals)
+		}
+		if c.Done == 0 || c.MeanResponse <= 0 || c.P99Response < c.MeanResponse {
+			t.Errorf("cell %d: done %d responses mean %v p99 %v", i, c.Done, c.MeanResponse, c.P99Response)
+		}
+		if c.EventsFired <= 0 || c.Epochs <= 0 || c.Makespan <= 0 {
+			t.Errorf("cell %d: degenerate run %+v", i, c)
+		}
+	}
+	// The scale axis multiplies offered work: events fired must grow with
+	// the fleet.
+	if last := r.Cells[len(r.Cells)-1]; last.EventsFired <= r.Cells[0].EventsFired {
+		t.Errorf("events fired did not grow with scale: %d then %d", r.Cells[0].EventsFired, last.EventsFired)
+	}
+}
+
+func TestFleetRender(t *testing.T) {
+	text := runFleetQuick(t, nil).Render()
+	for _, want := range []string{"Fleet scale-up", "Boards", "p99 resp", "1x"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// The largest cell publishes its per-shard instruments to the supplied
+// registry (the -serve path).
+func TestFleetPublishesObsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	runFleetQuick(t, reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{"fleet_submitted_total", "fleet_shard0_submitted_total", "fleet_epoch_seconds"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %s:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package faas
+
+import (
+	"testing"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/hv"
+	"nimblock/internal/sim"
+)
+
+// Energy sampled after Run must be horizon-independent: Run drains to
+// quiescence (the makespan) instead of advancing the clock to the
+// horizon, so the lazily-priced static-power integral covers only the
+// time actually spanned by work. Before the DrainUntil fix, a 10x
+// horizon inflated static joules ~10x over the idle tail.
+func TestPlatformEnergyHorizonIndependent(t *testing.T) {
+	run := func(horizon sim.Time) (hv.EnergyStats, sim.Time) {
+		cfg := DefaultConfig()
+		cfg.HV.Horizon = horizon
+		cfg.HV.Board.StaticWattsPerSlot = 1
+		cfg.HV.Board.ActiveWattsPerSlot = 2
+		eng, p := newPlatform(t, cfg)
+		registerSuite(t, p)
+		for i := 0; i < 6; i++ {
+			if err := p.Invoke(apps.LeNet, 2, sim.Time(i)*sim.Time(50*sim.Millisecond)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := p.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return p.Energy(), eng.Now()
+	}
+
+	base := hv.DefaultConfig().Horizon
+	short, shortNow := run(base)
+	long, longNow := run(10 * base)
+	if short != long {
+		t.Fatalf("energy depends on horizon:\n  at %v: %+v\n  at %v: %+v", base, short, 10*base, long)
+	}
+	if shortNow != longNow {
+		t.Fatalf("makespan depends on horizon: %v vs %v", shortNow, longNow)
+	}
+	if longNow >= 10*base {
+		t.Fatalf("clock ran to the horizon (%v), not the makespan", longNow)
+	}
+	if short.StaticJoules <= 0 || short.ActiveJoules <= 0 {
+		t.Fatalf("degenerate energy report %+v", short)
+	}
+}

@@ -152,7 +152,7 @@ type invocation struct {
 type Platform struct {
 	eng         *sim.Engine
 	cfg         Config
-	boards      []*hv.Hypervisor
+	boards      []hv.Instance
 	deployed    []map[string]bool
 	outstanding []int // per-board dispatched-not-retired invocations
 	funcs       map[string]Function
@@ -219,7 +219,7 @@ func New(eng *sim.Engine, cfg Config, mkPolicy func() sched.Scheduler) (*Platfor
 
 // newBoard builds (or rebuilds, after a recovery) board i's hypervisor
 // with the platform's retire hook chained onto any user-provided one.
-func (p *Platform) newBoard(i int) (*hv.Hypervisor, error) {
+func (p *Platform) newBoard(i int) (hv.Instance, error) {
 	bcfg := p.boardConfig(i)
 	board, user := i, bcfg.OnRetire
 	bcfg.OnRetire = func(id int64) {
@@ -540,7 +540,11 @@ func (p *Platform) Outstanding(board int) int { return p.outstanding[board] }
 // by invocation time (ties by board, rejections first). Dispatch-time
 // submit failures accumulated during the run are returned joined.
 func (p *Platform) Run() ([]Result, error) {
-	p.eng.RunUntil(p.cfg.HV.Horizon)
+	// Drain rather than run to the horizon: DrainUntil leaves the clock
+	// at the last fired event (the platform's makespan), so Energy
+	// sampled after Run prices static power over time actually spanned
+	// by work, not over the idle tail out to the horizon.
+	p.eng.DrainUntil(p.cfg.HV.Horizon)
 	if p.mon != nil {
 		p.strand()
 	}

@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"testing"
+
+	"nimblock/internal/hv"
+	"nimblock/internal/workload"
+)
+
+// The shard-determinism property: a fleet of B boards produces
+// byte-identical per-submission results — and identical aggregate
+// energy and fairness — whether those boards live on 1, 2, or 8
+// engines, and however many workers advance the shards. Placement reads
+// per-board state only at epoch barriers (where every clock sits on the
+// same instant) plus deterministic in-epoch accumulation, and boards on
+// a shared engine never touch each other's state, so regrouping cannot
+// change any outcome. Run under -race, this is also the proof the
+// parallel coordinator shares nothing it shouldn't.
+func TestShardDeterminism(t *testing.T) {
+	const boards = 8
+	run := func(shards, workers int, seed int64) ([]Result, Stats) {
+		cfg := Config{Shards: shards, Boards: boards, HV: hv.DefaultConfig(), Workers: workers}
+		f, err := New(cfg, mkNimblock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run(workload.NewStream(workload.Spec{Scenario: workload.Stress, Events: 30}, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, f.Stats()
+	}
+
+	for seed := int64(1); seed <= 20; seed++ {
+		ref, refStats := run(1, 1, seed)
+		for _, shards := range []int{2, 8} {
+			for _, workers := range []int{1, 4} {
+				got, gotStats := run(shards, workers, seed)
+				if len(got) != len(ref) {
+					t.Fatalf("seed %d shards %d workers %d: %d results vs %d", seed, shards, workers, len(got), len(ref))
+				}
+				for i := range ref {
+					// The hosting shard is the only field allowed to
+					// differ across shard counts.
+					a, b := ref[i], got[i]
+					a.Shard, b.Shard = 0, 0
+					if a != b {
+						t.Fatalf("seed %d shards %d workers %d: result %d differs:\n  1 shard:  %+v\n  %d shards: %+v",
+							seed, shards, workers, i, ref[i], shards, got[i])
+					}
+				}
+				if gotStats.Energy != refStats.Energy {
+					t.Fatalf("seed %d shards %d: energy differs: %+v vs %+v", seed, shards, gotStats.Energy, refStats.Energy)
+				}
+				if gotStats.BoardFairness != refStats.BoardFairness {
+					t.Fatalf("seed %d shards %d: fairness %v vs %v", seed, shards, gotStats.BoardFairness, refStats.BoardFairness)
+				}
+				if gotStats.Completed != refStats.Completed || gotStats.Rejected != refStats.Rejected {
+					t.Fatalf("seed %d shards %d: stats differ: %+v vs %+v", seed, shards, gotStats, refStats)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package hv
+
+// Backend and Lifecycle are the seams the fleet-facing layers manage
+// boards through — the layered-manager split (builder / manager /
+// per-concern interfaces, no state in the management layer) that lets
+// the cluster, serverless, and fleet front-ends treat "a board" as an
+// opaque backend. The hypervisor is the only implementation today;
+// the interfaces exist so shards, heterogeneous boards, and failover
+// all sit behind the same narrow surface, and so an alternative
+// backend (a remote board, a recorded trace, a mock) can slot in
+// without touching the management layers.
+
+import (
+	"nimblock/internal/fpga"
+	"nimblock/internal/sim"
+	"nimblock/internal/taskgraph"
+)
+
+// Backend is the per-board scheduling surface: everything a dispatcher
+// needs to place work, read load, and collect results. Implementations
+// are event-driven on the engine they were built against; none of these
+// methods block.
+type Backend interface {
+	// SubmitID schedules an application arrival and returns the
+	// board-local submission ID the front-end keys its bookkeeping with.
+	SubmitID(g *taskgraph.Graph, batch, priority int, arrival sim.Time) (int64, error)
+	// SubmitTenant is SubmitID with a tenant identity and fair-share
+	// weight for service-proportional scheduling.
+	SubmitTenant(g *taskgraph.Graph, batch, priority int, arrival sim.Time, tenant string, weight float64) (int64, error)
+	// Collect returns every retired result once the engine has been
+	// driven externally; it fails if work is still unfinished.
+	Collect() ([]Result, error)
+	// OutstandingEstimate sums the estimated remaining work of all
+	// pending submissions — the load signal placement policies rank by.
+	OutstandingEstimate() sim.Duration
+	// PendingCount reports submissions accepted and not yet retired.
+	PendingCount() int
+	// NumSlots reports the board's reconfigurable region count.
+	NumSlots() int
+	// Board exposes the board's resource model (slots, latency scale,
+	// power integrals) for placement scoring and energy aggregation.
+	Board() *fpga.Board
+	// Energy reports the board's integrated energy at the engine's
+	// current time.
+	Energy() EnergyStats
+	// TenantServices reports weighted fabric time delivered per tenant.
+	TenantServices() map[string]sim.Duration
+}
+
+// Lifecycle is the failure-domain surface: the operations a health
+// monitor and failover layer drive when a board hangs, dies, degrades,
+// or hosts the losing copy of a hedged dispatch.
+type Lifecycle interface {
+	// Progress is the monotonic heartbeat counter liveness polls compare.
+	Progress() uint64
+	// Freeze halts the board (board-hang): callbacks stop, heartbeat
+	// stalls.
+	Freeze()
+	// Evacuate declares the board dead and hands back every unfinished
+	// submission with its surviving checkpoints.
+	Evacuate() []Evacuee
+	// SeedCheckpoints installs snapshots evacuated from a dead board
+	// under a freshly submitted ID, so migrated items resume.
+	SeedCheckpoints(id int64, snaps []Snapshot)
+	// Abort cancels one unfinished submission (the hedge loser) and
+	// reports the fabric time spent on it.
+	Abort(id int64) (bool, sim.Duration)
+	// SetSlowdown applies a board-wide latency multiplier (board-degrade).
+	SetSlowdown(f float64)
+}
+
+// Instance is a full board backend: schedulable and failure-domain
+// managed. The cluster, serverless, and fleet front-ends hold their
+// boards behind this type.
+type Instance interface {
+	Backend
+	Lifecycle
+}
+
+// The hypervisor is the reference implementation of both seams.
+var (
+	_ Backend   = (*Hypervisor)(nil)
+	_ Lifecycle = (*Hypervisor)(nil)
+	_ Instance  = (*Hypervisor)(nil)
+)

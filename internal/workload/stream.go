@@ -1,0 +1,92 @@
+package workload
+
+// Streamed workload generation. A Stream draws the same events, in the
+// same order, as Generate — one shared draw path keeps the two
+// interchangeable — but yields them one at a time, so a fleet-scale run
+// with millions of arrivals holds O(1) generator state instead of a
+// materialized Sequence. Admission loops pull from the stream as
+// simulated time advances; nothing is retained after an event is
+// consumed.
+
+import (
+	"math/rand"
+
+	"nimblock/internal/apps"
+	"nimblock/internal/sched"
+	"nimblock/internal/sim"
+)
+
+// Stream produces a spec's events one at a time. The zero value is not
+// usable; build with NewStream. A Stream is single-use and not safe for
+// concurrent use — each consumer (each fleet router, each replica of a
+// run) owns its own.
+type Stream struct {
+	spec Spec
+	rng  *rand.Rand
+	pool []string
+	n    int // total events; < 0 streams without bound
+	i    int // events emitted so far
+	at   sim.Time
+}
+
+// NewStream builds the deterministic event stream for the spec. The
+// same (spec, seed) pair always yields the same events, and the first
+// spec.Events draws match Generate(spec, seed) exactly. A negative
+// spec.Events makes the stream unbounded — Next never reports
+// exhaustion — which is how open-loop sweeps run at a target rate for a
+// target duration instead of a target count.
+func NewStream(spec Spec, seed int64) *Stream {
+	n := spec.Events
+	if n == 0 {
+		n = EventsPerSequence
+	}
+	pool := spec.Pool
+	if len(pool) == 0 {
+		pool = apps.Names()
+	}
+	return &Stream{
+		spec: spec,
+		rng:  rand.New(rand.NewSource(seed)),
+		pool: pool,
+		n:    n,
+	}
+}
+
+// Next returns the stream's next event, or ok=false once spec.Events
+// have been emitted (never for an unbounded stream).
+func (s *Stream) Next() (Event, bool) {
+	if s.n >= 0 && s.i >= s.n {
+		return Event{}, false
+	}
+	batch := s.spec.FixedBatch
+	if batch <= 0 {
+		cap := MaxBatch
+		if s.spec.BatchCap > 0 && s.spec.BatchCap < cap {
+			cap = s.spec.BatchCap
+		}
+		batch = 1 + s.rng.Intn(cap)
+	}
+	prio := s.spec.FixedPriority
+	if prio <= 0 {
+		prio = sched.PriorityLevels[s.rng.Intn(len(sched.PriorityLevels))]
+	}
+	ev := Event{
+		App:      s.pool[s.rng.Intn(len(s.pool))],
+		Batch:    batch,
+		Priority: prio,
+		Arrival:  s.at,
+	}
+	gap := s.spec.FixedGap
+	if gap <= 0 && s.spec.PoissonRate > 0 {
+		gap = sim.Seconds(s.rng.ExpFloat64() / s.spec.PoissonRate)
+	}
+	if gap <= 0 {
+		gap = s.spec.Scenario.gap(s.rng)
+	}
+	s.at = s.at.Add(gap)
+	s.i++
+	return ev, true
+}
+
+// Emitted reports how many events the stream has produced so far.
+func (s *Stream) Emitted() int { return s.i }

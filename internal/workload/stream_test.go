@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+
+	"nimblock/internal/sim"
+)
+
+// The stream and the materializing generator must be interchangeable:
+// same spec and seed, same events, in order.
+func TestStreamMatchesGenerate(t *testing.T) {
+	specs := []Spec{
+		{Scenario: Standard},
+		{Scenario: Stress, Events: 57},
+		{Scenario: RealTime, FixedBatch: 4, FixedPriority: 9},
+		{Scenario: Stress, BatchCap: 5, Pool: []string{"LeNet", "OpticalFlow"}},
+		{PoissonRate: 40, Events: 200},
+		{FixedGap: 500 * sim.Millisecond, Events: 31},
+	}
+	for si, spec := range specs {
+		for seed := int64(1); seed <= 5; seed++ {
+			want := Generate(spec, seed)
+			st := NewStream(spec, seed)
+			for i, ev := range want {
+				got, ok := st.Next()
+				if !ok {
+					t.Fatalf("spec %d seed %d: stream ended at %d, want %d events", si, seed, i, len(want))
+				}
+				if got != ev {
+					t.Fatalf("spec %d seed %d event %d: stream %+v != generate %+v", si, seed, i, got, ev)
+				}
+			}
+			if _, ok := st.Next(); ok {
+				t.Fatalf("spec %d seed %d: stream yields beyond %d events", si, seed, len(want))
+			}
+			if st.Emitted() != len(want) {
+				t.Fatalf("spec %d seed %d: emitted %d, want %d", si, seed, st.Emitted(), len(want))
+			}
+		}
+	}
+}
+
+// An unbounded stream keeps producing past any sequence length, with
+// strictly advancing arrivals and valid fields.
+func TestStreamUnbounded(t *testing.T) {
+	st := NewStream(Spec{Scenario: Stress, Events: -1}, 7)
+	last := sim.Time(-1)
+	for i := 0; i < 10*EventsPerSequence; i++ {
+		ev, ok := st.Next()
+		if !ok {
+			t.Fatalf("unbounded stream ended at event %d", i)
+		}
+		if ev.Arrival < last {
+			t.Fatalf("event %d: arrival %v before %v", i, ev.Arrival, last)
+		}
+		if ev.Batch < 1 || ev.Batch > MaxBatch {
+			t.Fatalf("event %d: batch %d", i, ev.Batch)
+		}
+		last = ev.Arrival
+	}
+}
+
+// Seed-derivation independence: no two (baseSeed, sequence index) pairs
+// across a band of adjacent base seeds may collide into the same
+// per-sequence seed. The old linear derivation (baseSeed + i*1_000_003)
+// failed exactly this — base seeds 1_000_003 apart shared 9 of 10
+// sequences.
+func TestDeriveSeedIndependence(t *testing.T) {
+	seen := map[int64][2]int64{}
+	bases := []int64{0, 1, 2, 17, 1_000_003, 2_000_006, 20230617, 20230617 + 1_000_003}
+	for _, base := range bases {
+		for i := 0; i < SequencesPerTest; i++ {
+			s := DeriveSeed(base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (base %d, seq %d) and (base %d, seq %d) both derive %d",
+					prev[0], prev[1], base, int64(i), s)
+			}
+			seen[s] = [2]int64{base, int64(i)}
+		}
+	}
+	// And the derived sequences themselves must differ across adjacent
+	// bases (the user-visible symptom of the old collision).
+	a := GenerateTest(Spec{Scenario: Stress}, 20230617)
+	b := GenerateTest(Spec{Scenario: Stress}, 20230617+1_000_003)
+	for i := range a {
+		for j := range b {
+			if len(a[i]) == len(b[j]) && a[i][0] == b[j][0] && a[i][len(a[i])-1] == b[j][len(b[j])-1] {
+				same := true
+				for k := range a[i] {
+					if a[i][k] != b[j][k] {
+						same = false
+						break
+					}
+				}
+				if same {
+					t.Fatalf("tests with adjacent base seeds share sequence (%d == %d)", i, j)
+				}
+			}
+		}
+	}
+}
